@@ -1,0 +1,227 @@
+// Package ahi is the public API of the Adaptive Hybrid Indexes library, a
+// from-scratch Go reproduction of Anneser et al., "Adaptive Hybrid
+// Indexes" (SIGMOD 2022).
+//
+// The library has three layers:
+//
+//   - The adaptation framework (Manager): sampling-based hot/cold
+//     classification with adaptive skip lengths and error-bounded top-k
+//     sample sizes, driving encoding migrations through index-supplied
+//     callbacks. Embed it to make any index workload-adaptive.
+//
+//   - The Hybrid B+-tree (BTree): three leaf encodings — Gapped, Packed
+//     and Succinct (frame-of-reference + bit packing) — migrated per leaf
+//     at run-time. Reads take no locks (B-link with copy-on-write nodes).
+//
+//   - The Hybrid Trie (Trie): an Adaptive Radix Tree over the hot upper
+//     levels and a Fast Succinct Trie (LOUDS-dense/sparse) below, with
+//     branch-wise expansion and compaction of subtrees at run-time.
+//
+// Quick start:
+//
+//	tree := ahi.BulkLoadBTree(ahi.BTreeOptions{MemoryBudget: 64 << 20}, keys, vals)
+//	s := tree.NewSession() // one per goroutine
+//	v, ok := s.Lookup(42)
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package ahi
+
+import (
+	"io"
+
+	"ahi/internal/btree"
+	"ahi/internal/core"
+	"ahi/internal/fst"
+	"ahi/internal/hybridtrie"
+)
+
+// Re-exported framework types: use these to integrate the adaptation
+// manager into a custom index (paper §3.1).
+type (
+	// Manager is the adaptation manager, generic over the tracked unit's
+	// identifier and context types.
+	Manager[ID comparable, Ctx any] = core.Manager[ID, Ctx]
+	// ManagerConfig wires an index's callbacks into a Manager.
+	ManagerConfig[ID comparable, Ctx any] = core.Config[ID, Ctx]
+	// Sampler is the per-goroutine sampling handle (IsSample/Track).
+	Sampler[ID comparable, Ctx any] = core.Sampler[ID, Ctx]
+	// Stats are the per-unit access statistics the CSHF sees.
+	Stats = core.Stats
+	// Action is a CSHF verdict (migrate to Target / evict).
+	Action = core.Action
+	// Env is the CSHF evaluation environment (budget, epoch, hotness).
+	Env = core.Env
+	// AccessType labels tracked accesses.
+	AccessType = core.AccessType
+	// Encoding identifies a node encoding (index-defined).
+	Encoding = core.Encoding
+	// UnitCounts feeds Equation (1) and the budget-derived k.
+	UnitCounts = core.UnitCounts
+	// AdaptInfo summarizes one adaptation phase for observers.
+	AdaptInfo = core.AdaptInfo
+)
+
+// NewManager creates an adaptation manager for a custom index.
+func NewManager[ID comparable, Ctx any](cfg ManagerConfig[ID, Ctx]) *Manager[ID, Ctx] {
+	return core.New(cfg)
+}
+
+// Access types (reads and scans count as reads; inserts, updates and
+// deletes as writes).
+const (
+	Read   = core.Read
+	Scan   = core.Scan
+	Insert = core.Insert
+	Update = core.Update
+	Delete = core.Delete
+)
+
+// B+-tree leaf encodings, most to least compact.
+const (
+	EncSuccinct = btree.EncSuccinct
+	EncPacked   = btree.EncPacked
+	EncGapped   = btree.EncGapped
+)
+
+// BTree is the workload-adaptive Hybrid B+-tree (AHI-BTree). Create
+// per-goroutine Sessions for tracked operations; the embedded Tree field
+// offers untracked access and size introspection.
+type BTree = btree.Adaptive
+
+// BTreeSession performs tracked B+-tree operations for one goroutine.
+type BTreeSession = btree.Session
+
+// PlainBTree is the non-adaptive B+-tree with a single, fixed leaf
+// encoding — the Gapped/Packed/Succinct baselines of the paper.
+type PlainBTree = btree.Tree
+
+// BTreeOptions configures an adaptive B+-tree.
+type BTreeOptions struct {
+	// MemoryBudget bounds the index size in bytes (0 = unbounded);
+	// RelativeBudget instead bounds it to a fraction of the all-expanded
+	// size.
+	MemoryBudget   int64
+	RelativeBudget float64
+	// ColdEncoding is the bulk-load/default encoding (EncSuccinct when
+	// unset is recommended: everything cold until proven hot).
+	ColdEncoding Encoding
+	// Sampling knobs (zero values take the paper's defaults: adaptive
+	// skip in [50, 500], sample size from Equation (1) with ε = δ = 5%).
+	// Long-running services keep the defaults; short-lived or small
+	// deployments adapt faster with a tighter skip range and sample cap.
+	InitialSkip      int
+	MinSkip, MaxSkip int
+	MaxSampleSize    int
+	// OnAdapt observes adaptation phases.
+	OnAdapt func(AdaptInfo)
+}
+
+func (o BTreeOptions) config() btree.AdaptiveConfig {
+	return btree.AdaptiveConfig{
+		Tree:           btree.Config{DefaultEncoding: o.ColdEncoding},
+		MemoryBudget:   o.MemoryBudget,
+		RelativeBudget: o.RelativeBudget,
+		InitialSkip:    o.InitialSkip,
+		MinSkip:        o.MinSkip,
+		MaxSkip:        o.MaxSkip,
+		MaxSampleSize:  o.MaxSampleSize,
+		OnAdapt:        o.OnAdapt,
+	}
+}
+
+// NewBTree creates an empty adaptive B+-tree.
+func NewBTree(opts BTreeOptions) *BTree { return btree.NewAdaptive(opts.config()) }
+
+// BulkLoadBTree builds an adaptive B+-tree from sorted unique keys.
+func BulkLoadBTree(opts BTreeOptions, keys, vals []uint64) *BTree {
+	return btree.BulkLoadAdaptive(opts.config(), keys, vals)
+}
+
+// BulkLoadPlainBTree builds a fixed-encoding baseline tree.
+func BulkLoadPlainBTree(enc Encoding, keys, vals []uint64) *PlainBTree {
+	return btree.BulkLoad(btree.Config{DefaultEncoding: enc}, keys, vals)
+}
+
+// Trie is the workload-adaptive Hybrid Trie (AHI-Trie) over byte-string
+// keys: ART top levels, FST below, run-time branch-wise refinement.
+// Single-goroutine (the paper evaluates it single-threaded; inserts are
+// future work there and here).
+type Trie = hybridtrie.Adaptive
+
+// TrieSession performs tracked trie operations.
+type TrieSession = hybridtrie.Session
+
+// TrieOptions configures an adaptive Hybrid Trie.
+type TrieOptions struct {
+	// CArt is the number of top levels held in ART (default 2; the paper
+	// uses 9 for email keys).
+	CArt int
+	// DenseLevels forces the FST's LOUDS-dense level count: 0 selects
+	// automatically (SuRF's heuristic), negative forces all-sparse.
+	DenseLevels int
+	// MemoryBudget bounds the total size in bytes (0 = unbounded).
+	MemoryBudget int64
+	// Sampling knobs (see BTreeOptions).
+	InitialSkip      int
+	MinSkip, MaxSkip int
+	MaxSampleSize    int
+	// OnAdapt observes adaptation phases.
+	OnAdapt func(AdaptInfo)
+}
+
+// BuildTrie builds an adaptive Hybrid Trie from sorted, unique,
+// prefix-free byte keys (see TerminateKey for variable-length keys).
+func BuildTrie(opts TrieOptions, keys [][]byte, vals []uint64) *Trie {
+	if opts.CArt == 0 {
+		opts.CArt = 2
+	}
+	fcfg := fst.AutoDense()
+	switch {
+	case opts.DenseLevels > 0:
+		fcfg = fst.Config{DenseLevels: opts.DenseLevels}
+	case opts.DenseLevels < 0:
+		fcfg = fst.Config{DenseLevels: 0}
+	}
+	return hybridtrie.BuildAdaptive(hybridtrie.AdaptiveConfig{
+		Trie:          hybridtrie.Config{CArt: opts.CArt, FST: fcfg},
+		MemoryBudget:  opts.MemoryBudget,
+		InitialSkip:   opts.InitialSkip,
+		MinSkip:       opts.MinSkip,
+		MaxSkip:       opts.MaxSkip,
+		MaxSampleSize: opts.MaxSampleSize,
+		OnAdapt:       opts.OnAdapt,
+	}, keys, vals)
+}
+
+// SaveTrie persists the trie's current state — the static FST, the ART
+// top, and every live expansion — in a self-describing binary format.
+func SaveTrie(t *Trie, w io.Writer) error {
+	_, err := t.Trie.WriteTo(w)
+	return err
+}
+
+// LoadTrie restores a trie saved by SaveTrie and wires a fresh adaptation
+// manager with the given options (the CArt/DenseLevels fields are ignored;
+// they are properties of the saved structure).
+func LoadTrie(opts TrieOptions, r io.Reader) (*Trie, error) {
+	t, err := hybridtrie.ReadTrie(r)
+	if err != nil {
+		return nil, err
+	}
+	return hybridtrie.WireAdaptive(t, hybridtrie.AdaptiveConfig{
+		MemoryBudget:  opts.MemoryBudget,
+		InitialSkip:   opts.InitialSkip,
+		MinSkip:       opts.MinSkip,
+		MaxSkip:       opts.MaxSkip,
+		MaxSampleSize: opts.MaxSampleSize,
+		OnAdapt:       opts.OnAdapt,
+	}), nil
+}
+
+// TerminateKey appends a 0x00 terminator, making variable-length NUL-free
+// keys prefix-free as the trie indexes require.
+func TerminateKey(key []byte) []byte {
+	out := make([]byte, len(key)+1)
+	copy(out, key)
+	return out
+}

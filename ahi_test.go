@@ -1,0 +1,214 @@
+package ahi_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ahi"
+	"ahi/internal/dataset"
+	"ahi/internal/workload"
+)
+
+func TestPublicBTreeLifecycle(t *testing.T) {
+	keys := dataset.OSM(50_000, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	var adapts int
+	tree := ahi.BulkLoadBTree(ahi.BTreeOptions{
+		ColdEncoding:   ahi.EncSuccinct,
+		RelativeBudget: 0.6,
+		InitialSkip:    4, MinSkip: 2, MaxSkip: 32, MaxSampleSize: 2048,
+		OnAdapt: func(ai ahi.AdaptInfo) { adapts++ },
+	}, keys, vals)
+
+	s := tree.NewSession()
+	z := workload.NewZipf(len(keys), 1.2, 5)
+	for i := 0; i < 800_000; i++ {
+		j := z.Draw()
+		if v, ok := s.Lookup(keys[j]); !ok || v != vals[j] {
+			t.Fatalf("lookup lost %d", keys[j])
+		}
+	}
+	if adapts == 0 {
+		t.Fatal("OnAdapt never fired")
+	}
+	if tree.Tree.Expansions() == 0 {
+		t.Fatal("no expansions")
+	}
+	// Inserts, scans, deletes through the session.
+	if !s.Insert(keys[0]+1, 7) {
+		t.Fatal("insert")
+	}
+	if n := s.Scan(keys[0], 10, func(k, v uint64) bool { return true }); n != 10 {
+		t.Fatalf("scan visited %d", n)
+	}
+	if !s.Delete(keys[0] + 1) {
+		t.Fatal("delete")
+	}
+	// Iterator through the session.
+	it := s.NewIterator()
+	if !it.Seek(keys[100]) || it.Key() != keys[100] {
+		t.Fatal("iterator seek")
+	}
+}
+
+func TestPublicPlainBTree(t *testing.T) {
+	keys := dataset.OSM(10_000, 2)
+	vals := make([]uint64, len(keys))
+	for _, enc := range []ahi.Encoding{ahi.EncSuccinct, ahi.EncPacked, ahi.EncGapped} {
+		tr := ahi.BulkLoadPlainBTree(enc, keys, vals)
+		if tr.Len() != len(keys) {
+			t.Fatalf("Len=%d", tr.Len())
+		}
+		if _, ok := tr.Lookup(keys[7]); !ok {
+			t.Fatal("lookup")
+		}
+	}
+}
+
+func TestPublicTrieLifecycle(t *testing.T) {
+	emails := dataset.Emails(30_000, 3)
+	keys := make([][]byte, len(emails))
+	vals := make([]uint64, len(emails))
+	for i, e := range emails {
+		keys[i] = ahi.TerminateKey([]byte(e))
+		vals[i] = uint64(i)
+	}
+	trie := ahi.BuildTrie(ahi.TrieOptions{
+		CArt:        6,
+		InitialSkip: 4, MinSkip: 2, MaxSkip: 32, MaxSampleSize: 2048,
+	}, keys, vals)
+	s := trie.NewSession()
+	z := workload.NewZipf(len(keys), 1.2, 9)
+	for i := 0; i < 600_000; i++ {
+		j := z.Draw()
+		if v, ok := s.Lookup(keys[j]); !ok || v != vals[j] {
+			t.Fatalf("trie lookup lost %q", emails[j])
+		}
+	}
+	if trie.Trie.Expansions() == 0 {
+		t.Fatal("no trie expansions")
+	}
+	var prev string
+	n := s.Scan(keys[0], 100, func(k []byte, v uint64) bool {
+		if prev != "" && string(k) <= prev {
+			t.Fatal("scan order")
+		}
+		prev = string(k)
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("scan visited %d", n)
+	}
+}
+
+func TestPublicCustomManager(t *testing.T) {
+	// Wire the adaptation manager into a toy "index" of 256 buckets.
+	expanded := make([]bool, 256)
+	cfg := ahi.ManagerConfig[int, struct{}]{
+		Hash: func(id int) uint64 { return uint64(id) * 0x9e3779b97f4a7c15 },
+		Units: func() ahi.UnitCounts {
+			var nu int64
+			for _, e := range expanded {
+				if e {
+					nu++
+				}
+			}
+			return ahi.UnitCounts{Compressed: 256 - nu, Uncompressed: nu, CompressedAvg: 16, UncompressedAvg: 64}
+		},
+		UsedMemory: func() int64 { return 256 * 16 },
+		Heuristic: func(id int, _ *struct{}, st *ahi.Stats, env ahi.Env) ahi.Action {
+			if env.Hot && !expanded[id] {
+				return ahi.Action{Target: 1, Migrate: true}
+			}
+			return ahi.Action{}
+		},
+		Migrate: func(id int, _ struct{}, target ahi.Encoding) (int, bool) {
+			expanded[id] = target == 1
+			return id, true
+		},
+		InitialSkip: 2, MinSkip: 1, MaxSkip: 8, MaxSampleSize: 512,
+	}
+	mgr := ahi.NewManager(cfg)
+	sampler := mgr.NewSampler()
+	for i := 0; i < 200_000; i++ {
+		if sampler.IsSample() {
+			sampler.Track(i%4, ahi.Read, struct{}{}) // four hot buckets
+		}
+	}
+	if mgr.Adaptations() == 0 {
+		t.Fatal("no adaptations")
+	}
+	if !expanded[0] || !expanded[3] {
+		t.Fatal("hot buckets not expanded")
+	}
+	hot := 0
+	for _, e := range expanded {
+		if e {
+			hot++
+		}
+	}
+	if hot > 8 {
+		t.Fatalf("cold buckets expanded: %d", hot)
+	}
+}
+
+func ExampleBulkLoadBTree() {
+	keys := []uint64{1, 5, 9, 12, 40}
+	vals := []uint64{10, 50, 90, 120, 400}
+	tree := ahi.BulkLoadBTree(ahi.BTreeOptions{ColdEncoding: ahi.EncSuccinct}, keys, vals)
+	s := tree.NewSession()
+	v, ok := s.Lookup(9)
+	fmt.Println(v, ok)
+	// Output: 90 true
+}
+
+func TestPublicTriePersistence(t *testing.T) {
+	emails := dataset.Emails(5000, 9)
+	keys := make([][]byte, len(emails))
+	vals := make([]uint64, len(emails))
+	for i, e := range emails {
+		keys[i] = ahi.TerminateKey([]byte(e))
+		vals[i] = uint64(i)
+	}
+	trie := ahi.BuildTrie(ahi.TrieOptions{CArt: 4}, keys, vals)
+	var buf bytes.Buffer
+	if err := ahi.SaveTrie(trie, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ahi.LoadTrie(ahi.TrieOptions{InitialSkip: 4, MinSkip: 2, MaxSkip: 32, MaxSampleSize: 1024}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loaded.NewSession()
+	for i := range keys {
+		if v, ok := s.Lookup(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("loaded trie lost %q", emails[i])
+		}
+	}
+	// The loaded trie adapts like a fresh one.
+	z := workload.NewZipf(len(keys), 1.3, 3)
+	for i := 0; i < 400_000; i++ {
+		s.Lookup(keys[z.Draw()])
+	}
+	if loaded.Trie.Expansions() == 0 {
+		t.Fatal("loaded trie never adapted")
+	}
+}
+
+// Example_trie indexes byte-string keys with the Hybrid Trie and runs a
+// prefix scan over one subtree.
+func Example_trie() {
+	keys := [][]byte{
+		ahi.TerminateKey([]byte("acme.com@ada")),
+		ahi.TerminateKey([]byte("acme.com@bob")),
+		ahi.TerminateKey([]byte("zeta.org@zoe")),
+	}
+	trie := ahi.BuildTrie(ahi.TrieOptions{CArt: 2}, keys, []uint64{1, 2, 3})
+	n := trie.Trie.ScanPrefix([]byte("acme.com@"), -1, func(k []byte, v uint64) bool { return true })
+	fmt.Println(n, "addresses under acme.com")
+	// Output: 2 addresses under acme.com
+}

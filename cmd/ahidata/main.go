@@ -1,0 +1,135 @@
+// Command ahidata inspects the synthetic datasets and workloads used by
+// the experiment suite: it prints dataset samples, key-space statistics,
+// and workload CDFs (the paper's Figure 11) as text histograms.
+//
+// Usage:
+//
+//	ahidata -dataset osm -n 100000 -sample 5
+//	ahidata -cdf W1.1 -n 1000000
+//	ahidata -workload W5.1 -ops 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ahi/internal/dataset"
+	"ahi/internal/workload"
+)
+
+func main() {
+	var (
+		ds     = flag.String("dataset", "", "dataset to inspect: osm|userids|emails|ycsb|consecutive")
+		n      = flag.Int("n", 100_000, "dataset size")
+		sample = flag.Int("sample", 5, "number of sample entries to print")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		cdf    = flag.String("cdf", "", "workload whose key-selection CDF to print (e.g. W1.1)")
+		wl     = flag.String("workload", "", "workload whose operations to print")
+		ops    = flag.Int("ops", 10, "number of operations to print")
+	)
+	flag.Parse()
+
+	switch {
+	case *ds != "":
+		inspectDataset(*ds, *n, *sample, *seed)
+	case *cdf != "":
+		printCDF(*cdf, *n, *seed)
+	case *wl != "":
+		printOps(*wl, *n, *ops, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func inspectDataset(name string, n, sample int, seed int64) {
+	switch name {
+	case "osm", "userids", "ycsb", "consecutive":
+		var keys []uint64
+		switch name {
+		case "osm":
+			keys = dataset.OSM(n, seed)
+		case "userids":
+			keys = dataset.UserIDs(n, seed)
+		case "ycsb":
+			keys = dataset.YCSBKeys(n, seed)
+		case "consecutive":
+			keys = dataset.ConsecutiveU64(n, 1)
+		}
+		fmt.Printf("%s: %d unique sorted 64-bit keys\n", name, len(keys))
+		fmt.Printf("  min=%#x max=%#x span=%.3g\n", keys[0], keys[len(keys)-1], float64(keys[len(keys)-1]-keys[0]))
+		var sumGap float64
+		for i := 1; i < len(keys); i++ {
+			sumGap += float64(keys[i] - keys[i-1])
+		}
+		fmt.Printf("  mean gap=%.1f\n", sumGap/float64(len(keys)-1))
+		for i := 0; i < sample && i < len(keys); i++ {
+			fmt.Printf("  [%d] %#016x\n", i, keys[i])
+		}
+	case "emails":
+		keys := dataset.Emails(n, seed)
+		total := 0
+		for _, k := range keys {
+			total += len(k)
+		}
+		fmt.Printf("emails: %d unique host-reversed addresses, avg len %.1f\n",
+			len(keys), float64(total)/float64(len(keys)))
+		for i := 0; i < sample && i < len(keys); i++ {
+			fmt.Printf("  [%d] %s\n", i, keys[i])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", name)
+		os.Exit(2)
+	}
+}
+
+func printCDF(wname string, n int, seed int64) {
+	spec, ok := workload.Specs[wname]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", wname)
+		os.Exit(2)
+	}
+	gen := workload.NewGenerator(spec, n, seed)
+	const buckets = 40
+	counts := make([]int, buckets)
+	const draws = 200_000
+	for i := 0; i < draws; i++ {
+		op := gen.Next()
+		b := op.Index * buckets / n
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	fmt.Printf("%s key-selection CDF over the sorted key space (Figure 11 style):\n", wname)
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		frac := float64(cum) / draws
+		bar := strings.Repeat("#", int(frac*50))
+		fmt.Printf("  %3d%% of keyspace | %-50s %5.1f%%\n", (i+1)*100/buckets, bar, 100*frac)
+	}
+}
+
+func printOps(wname string, n, ops int, seed int64) {
+	spec, ok := workload.Specs[wname]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", wname)
+		os.Exit(2)
+	}
+	gen := workload.NewGenerator(spec, n, seed)
+	kind := map[workload.OpKind]string{
+		workload.OpRead: "READ", workload.OpScan: "SCAN", workload.OpInsert: "INSERT",
+	}
+	fmt.Printf("%s: first %d operations over %d keys\n", wname, ops, n)
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		if op.Kind == workload.OpScan {
+			fmt.Printf("  %-6s idx=%-9d len=%d\n", kind[op.Kind], op.Index, op.ScanLen)
+		} else {
+			fmt.Printf("  %-6s idx=%d\n", kind[op.Kind], op.Index)
+		}
+	}
+}

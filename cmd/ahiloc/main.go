@@ -1,0 +1,28 @@
+// Command ahiloc reproduces Table 4: the lines-of-code accounting of the
+// lookup and insert paths of the hybrid indexes, split into index logic
+// and workload-tracking hooks, counted from this repository's sources.
+//
+// Usage:
+//
+//	ahiloc            # counts relative to the current directory
+//	ahiloc -repo ..   # explicit repository root
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ahi/internal/bench"
+)
+
+func main() {
+	root := flag.String("repo", ".", "repository root")
+	flag.Parse()
+	_, tbl, err := bench.RunTable4(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tbl.Render(os.Stdout)
+}

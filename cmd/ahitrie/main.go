@@ -1,0 +1,145 @@
+// Command ahitrie builds, persists, and queries Hybrid Trie index files.
+// Keys are read one per line (NUL-free; a terminator is appended
+// internally), values are the 0-based line numbers.
+//
+//	ahitrie -build keys.txt -out index.ahi -cart 4
+//	ahitrie -index index.ahi -get foo.com@alice
+//	ahitrie -index index.ahi -prefix foo.com@ -limit 10
+//	ahitrie -index index.ahi -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ahi"
+	"ahi/internal/stats"
+)
+
+func main() {
+	var (
+		build  = flag.String("build", "", "build an index from this key file (one key per line)")
+		out    = flag.String("out", "index.ahi", "output path for -build")
+		cart   = flag.Int("cart", 4, "ART cutoff level (c_ART) for -build")
+		index  = flag.String("index", "", "existing index file to query")
+		get    = flag.String("get", "", "point lookup")
+		prefix = flag.String("prefix", "", "prefix scan")
+		limit  = flag.Int("limit", 20, "max results for -prefix")
+		show   = flag.Bool("stats", false, "print index statistics")
+	)
+	flag.Parse()
+
+	switch {
+	case *build != "":
+		if err := buildIndex(*build, *out, *cart); err != nil {
+			fatal(err)
+		}
+	case *index != "":
+		trie, err := loadIndex(*index)
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *get != "":
+			key := ahi.TerminateKey([]byte(*get))
+			if v, ok := trie.Trie.Lookup(key); ok {
+				fmt.Printf("%s -> %d\n", *get, v)
+			} else {
+				fmt.Printf("%s: not found\n", *get)
+				os.Exit(1)
+			}
+		case *prefix != "":
+			n := trie.Trie.ScanPrefix([]byte(*prefix), *limit, func(k []byte, v uint64) bool {
+				fmt.Printf("%s -> %d\n", k[:len(k)-1], v) // strip terminator
+				return true
+			})
+			fmt.Printf("(%d results)\n", n)
+		case *show:
+			t := trie.Trie
+			fmt.Printf("keys:        %d\n", t.Len())
+			fmt.Printf("total size:  %s\n", stats.HumanBytes(t.Bytes()))
+			fmt.Printf("  FST:       %s\n", stats.HumanBytes(t.FSTBytes()))
+			fmt.Printf("  ART:       %s\n", stats.HumanBytes(t.ARTBytes()))
+			fmt.Printf("c_ART:       %d\n", t.CArt())
+			fmt.Printf("expanded:    %d subtrees (%d expansions, %d compactions lifetime)\n",
+				t.Expanded(), t.Expansions(), t.Compactions())
+		default:
+			flag.Usage()
+			os.Exit(2)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func buildIndex(keyFile, out string, cart int) error {
+	f, err := os.Open(keyFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var keys [][]byte
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		keys = append(keys, ahi.TerminateKey([]byte(line)))
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	vals := make([]uint64, len(keys))
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return string(keys[order[a]]) < string(keys[order[b]]) })
+	sortedKeys := make([][]byte, 0, len(keys))
+	prevSet := false
+	var prev []byte
+	dups := 0
+	for _, idx := range order {
+		if prevSet && string(keys[idx]) == string(prev) {
+			dups++
+			continue
+		}
+		sortedKeys = append(sortedKeys, keys[idx])
+		vals[len(sortedKeys)-1] = uint64(idx)
+		prev, prevSet = keys[idx], true
+	}
+	vals = vals[:len(sortedKeys)]
+	trie := ahi.BuildTrie(ahi.TrieOptions{CArt: cart}, sortedKeys, vals)
+	w, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	if err := ahi.SaveTrie(trie, w); err != nil {
+		return err
+	}
+	st, _ := w.Stat()
+	fmt.Printf("indexed %d keys (%d duplicates dropped) -> %s (%s)\n",
+		len(sortedKeys), dups, out, stats.HumanBytes(st.Size()))
+	return nil
+}
+
+func loadIndex(path string) (*ahi.Trie, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ahi.LoadTrie(ahi.TrieOptions{}, f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ahitrie:", err)
+	os.Exit(1)
+}

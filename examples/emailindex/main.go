@@ -1,0 +1,64 @@
+// emailindex: an adaptive Hybrid Trie over host-reversed email addresses
+// (the paper's Figure 19/20 scenario). The trie starts as a compact Fast
+// Succinct Trie under nine ART levels; as point lookups concentrate on a
+// few providers' subtrees, those branches expand into ART nodes, and when
+// the hot provider changes, the stale expansions compact back.
+package main
+
+import (
+	"fmt"
+
+	"ahi"
+	"ahi/internal/dataset"
+	"ahi/internal/stats"
+	"ahi/internal/workload"
+)
+
+func main() {
+	emails := dataset.Emails(300_000, 5)
+	keys := make([][]byte, len(emails))
+	vals := make([]uint64, len(emails))
+	for i, e := range emails {
+		keys[i] = ahi.TerminateKey([]byte(e))
+		vals[i] = uint64(i)
+	}
+
+	trie := ahi.BuildTrie(ahi.TrieOptions{
+		CArt:        9,
+		InitialSkip: 16, MinSkip: 8, MaxSkip: 128,
+		MaxSampleSize: 8192,
+	}, keys, vals)
+	fmt.Printf("indexed %d emails: total %s (FST %s + ART top %s)\n",
+		trie.Trie.Len(), stats.HumanBytes(trie.Trie.Bytes()),
+		stats.HumanBytes(trie.Trie.FSTBytes()), stats.HumanBytes(trie.Trie.ARTBytes()))
+
+	s := trie.NewSession()
+
+	phase := func(name string, lo, hi int, ops int) {
+		z := workload.NewZipf(hi-lo, 1.2, int64(lo+7))
+		for i := 0; i < ops; i++ {
+			j := lo + z.Draw()
+			if i%5 == 4 {
+				// Range scan: "all addresses after this one".
+				s.Scan(keys[j], 25, func(k []byte, v uint64) bool { return true })
+				continue
+			}
+			if v, ok := s.Lookup(keys[j]); !ok || v != vals[j] {
+				panic("email lost")
+			}
+		}
+		fmt.Printf("%s: size %s, %d subtrees expanded (%d expansions, %d compactions)\n",
+			name, stats.HumanBytes(trie.Trie.Bytes()), trie.Trie.Expanded(),
+			trie.Trie.Expansions(), trie.Trie.Compactions())
+	}
+
+	// Morning: traffic hammers the first provider block; evening: the last.
+	hot := len(keys) / 20
+	phase("phase 1 (first provider hot)", 0, hot, 2_000_000)
+	phase("phase 2 (last provider hot)", len(keys)-hot, len(keys), 4_000_000)
+
+	// Prefix query: everything under one provider.
+	prefix := []byte("gmail.com@")
+	n := trie.Trie.ScanPrefix(prefix, -1, func(k []byte, v uint64) bool { return true })
+	fmt.Printf("prefix scan: %d addresses under %q\n", n, prefix)
+}

@@ -1,0 +1,78 @@
+// selfdriving: offline training for hybrid indexes (paper §3.2). A
+// self-driving DBMS predicts tomorrow's workload from today's query log;
+// this example replays a historic workload into per-key frequencies,
+// trains a fresh index before it serves a single query, and compares it
+// against the online-adaptive and static variants on the predicted
+// workload.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ahi"
+	"ahi/internal/dataset"
+	"ahi/internal/stats"
+	"ahi/internal/workload"
+)
+
+func main() {
+	keys := dataset.OSM(1_000_000, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	base := ahi.BulkLoadPlainBTree(ahi.EncSuccinct, keys, vals)
+	budget := base.Bytes() + base.Bytes()/4
+
+	// Yesterday's query log -> per-key access frequencies.
+	historic := workload.NewGenerator(workload.W13, len(keys), 99)
+	freqs := map[uint64]uint64{}
+	for i := 0; i < 2_000_000; i++ {
+		freqs[keys[historic.Next().Index]]++
+	}
+
+	// Trained index: expand the predicted-hot leaves before serving.
+	trained := ahi.BulkLoadBTree(ahi.BTreeOptions{
+		ColdEncoding: ahi.EncSuccinct, MemoryBudget: budget,
+	}, keys, vals)
+	migs := trained.Train(freqs)
+	fmt.Printf("offline training expanded %d leaves within a %s budget\n",
+		migs, stats.HumanBytes(budget))
+
+	// Tomorrow's workload (same distribution, new draws).
+	serve := func(name string, lookup func(uint64) (uint64, bool), size int64) {
+		gen := workload.NewGenerator(workload.W13, len(keys), 7)
+		start := time.Now()
+		const ops = 3_000_000
+		for i := 0; i < ops; i++ {
+			op := gen.Next()
+			if op.Kind != workload.OpRead {
+				continue
+			}
+			if _, ok := lookup(keys[op.Index]); !ok {
+				panic("key lost")
+			}
+		}
+		el := time.Since(start)
+		fmt.Printf("%-22s %6.1f ns/op   size %s\n",
+			name, float64(el.Nanoseconds())/ops, stats.HumanBytes(size))
+	}
+
+	trainedSession := trained.NewSession()
+	serve("pre-trained hybrid", trainedSession.Lookup, trained.Tree.Bytes())
+
+	adaptive := ahi.BulkLoadBTree(ahi.BTreeOptions{
+		ColdEncoding: ahi.EncSuccinct, MemoryBudget: budget,
+		InitialSkip: 16, MinSkip: 8, MaxSkip: 128, MaxSampleSize: 8192,
+	}, keys, vals)
+	adaptiveSession := adaptive.NewSession()
+	serve("online adaptive", adaptiveSession.Lookup, adaptive.Tree.Bytes())
+
+	gapped := ahi.BulkLoadPlainBTree(ahi.EncGapped, keys, vals)
+	serve("gapped (fast, large)", gapped.Lookup, gapped.Bytes())
+	serve("succinct (small)", base.Lookup, base.Bytes())
+
+	fmt.Println("\nthe pre-trained index skips the online warm-up: it is fast")
+	fmt.Println("from the first query, at the same memory budget")
+}

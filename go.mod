@@ -1,0 +1,3 @@
+module ahi
+
+go 1.23

@@ -1,0 +1,804 @@
+// Package art implements the Adaptive Radix Tree of Leis et al. (ICDE
+// 2013), the performance-optimized trie of the paper's Hybrid Trie (§4.2):
+// four node types (Node4/16/48/256) grown and shrunk by fanout, optimistic
+// path compression with lazy leaf expansion, and ordered range scans.
+//
+// All nodes live in per-type arenas and children are 64-bit tagged handles
+// (kind bits + arena index) rather than Go pointers. This mirrors the
+// pointer tagging the C++ original uses to inline values — Go forbids
+// tagging real pointers — and doubles as the packed, GC-transparent layout
+// compact indexes need (the arenas are plain slices the collector never
+// traverses element-wise). The extra KindFST handle kind lets the Hybrid
+// Trie splice Fast-Succinct-Trie node numbers into ART children.
+package art
+
+import "bytes"
+
+// Kind enumerates what a Handle refers to.
+type Kind uint8
+
+// Handle kinds.
+const (
+	KindEmpty Kind = iota
+	KindNode4
+	KindNode16
+	KindNode48
+	KindNode256
+	KindLeaf
+	// KindFST marks a child stored outside the ART: the payload is an
+	// opaque FST position owned by the Hybrid Trie (§4.2.1's "extra bit"
+	// distinguishing inlined FST node numbers).
+	KindFST
+)
+
+// Handle is a tagged reference: the low 3 bits hold the Kind, the upper 61
+// the arena index (or the opaque FST payload).
+type Handle uint64
+
+// MakeHandle builds a handle from kind and payload.
+func MakeHandle(k Kind, idx uint64) Handle { return Handle(idx<<3) | Handle(k) }
+
+// Kind returns the handle's kind.
+func (h Handle) Kind() Kind { return Kind(h & 7) }
+
+// Index returns the arena index / opaque payload.
+func (h Handle) Index() uint64 { return uint64(h) >> 3 }
+
+// IsEmpty reports whether the handle is null.
+func (h Handle) IsEmpty() bool { return h == 0 }
+
+// header is shared by all four node types. Compressed-path bytes live in
+// the tree's shared prefix arena (pessimistic path compression): lookups
+// verify every skipped byte, which the Hybrid Trie depends on — it hands
+// traversal off to the FST mid-path, so a final leaf comparison cannot
+// catch an earlier mismatch the way plain optimistic ART does.
+type header struct {
+	prefixOff   uint32
+	prefixLen   uint32
+	numChildren uint16
+}
+
+type node4 struct {
+	header
+	keys     [4]byte
+	children [4]Handle
+}
+
+type node16 struct {
+	header
+	keys     [16]byte
+	children [16]Handle
+}
+
+type node48 struct {
+	header
+	// childIndex maps a key byte to a slot in children; 0xff = empty.
+	childIndex [256]byte
+	children   [48]Handle
+}
+
+type node256 struct {
+	header
+	children [256]Handle
+}
+
+type leafEntry struct {
+	keyOff uint64
+	keyLen uint32
+	val    uint64
+}
+
+// Tree is an Adaptive Radix Tree mapping byte-string keys to uint64
+// values. Keys must be prefix-free; Terminate appends a 0x00 terminator
+// for variable-length ASCII keys (fixed-length keys are prefix-free
+// already). The tree is not safe for concurrent mutation.
+type Tree struct {
+	n4   []node4
+	n16  []node16
+	n48  []node48
+	n256 []node256
+	// leaves and their key bytes live in flat arenas; compressed-path
+	// bytes live in prefixArena (append-only, addressed by header).
+	leaves      []leafEntry
+	keyArena    []byte
+	prefixArena []byte
+
+	free4, free16, free48, free256, freeLeaf []uint32
+
+	// With deferFrees enabled, freed slots collect in pending lists and
+	// only become allocatable at FlushFrees. The Hybrid Trie's adaptation
+	// pass uses this to rule out handle ABA: a slot freed by a compaction
+	// must not be recycled by an expansion while stale references to the
+	// old handle may still be processed in the same pass.
+	deferFrees                               bool
+	pend4, pend16, pend48, pend256, pendLeaf []uint32
+
+	root Handle
+	size int
+}
+
+// SetDeferFrees toggles deferred slot recycling; disabling flushes.
+func (t *Tree) SetDeferFrees(on bool) {
+	t.deferFrees = on
+	if !on {
+		t.FlushFrees()
+	}
+}
+
+// FlushFrees makes all deferred slots allocatable again.
+func (t *Tree) FlushFrees() {
+	t.free4 = append(t.free4, t.pend4...)
+	t.free16 = append(t.free16, t.pend16...)
+	t.free48 = append(t.free48, t.pend48...)
+	t.free256 = append(t.free256, t.pend256...)
+	t.freeLeaf = append(t.freeLeaf, t.pendLeaf...)
+	t.pend4, t.pend16, t.pend48, t.pend256, t.pendLeaf = t.pend4[:0], t.pend16[:0], t.pend48[:0], t.pend256[:0], t.pendLeaf[:0]
+}
+
+// New creates an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Terminate returns key with a 0x00 terminator appended, making a set of
+// variable-length keys prefix-free. The caller must apply it consistently
+// to inserts and lookups.
+func Terminate(key []byte) []byte {
+	out := make([]byte, len(key)+1)
+	copy(out, key)
+	return out
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root handle (used by the Hybrid Trie).
+func (t *Tree) Root() Handle { return t.root }
+
+// SetRoot replaces the root handle (used by the Hybrid Trie).
+func (t *Tree) SetRoot(h Handle) { t.root = h }
+
+// Bytes returns the approximate heap footprint of all arenas.
+func (t *Tree) Bytes() int64 {
+	const (
+		sz4   = 16 + 4 + 4*8
+		sz16  = 16 + 16 + 16*8
+		sz48  = 16 + 256 + 48*8
+		sz256 = 16 + 256*8
+		szLf  = 8 + 4 + 8 + 4 // padded leafEntry
+	)
+	return int64(len(t.n4)*sz4 + len(t.n16)*sz16 + len(t.n48)*sz48 +
+		len(t.n256)*sz256 + len(t.leaves)*szLf + len(t.keyArena) + len(t.prefixArena))
+}
+
+// NodeCount returns the number of live inner nodes by type.
+func (t *Tree) NodeCount() (c4, c16, c48, c256 int) {
+	return len(t.n4) - len(t.free4), len(t.n16) - len(t.free16),
+		len(t.n48) - len(t.free48), len(t.n256) - len(t.free256)
+}
+
+// --- arena helpers ------------------------------------------------------
+
+func (t *Tree) alloc4() uint32 {
+	if n := len(t.free4); n > 0 {
+		idx := t.free4[n-1]
+		t.free4 = t.free4[:n-1]
+		t.n4[idx] = node4{}
+		return idx
+	}
+	t.n4 = append(t.n4, node4{})
+	return uint32(len(t.n4) - 1)
+}
+
+func (t *Tree) alloc16() uint32 {
+	if n := len(t.free16); n > 0 {
+		idx := t.free16[n-1]
+		t.free16 = t.free16[:n-1]
+		t.n16[idx] = node16{}
+		return idx
+	}
+	t.n16 = append(t.n16, node16{})
+	return uint32(len(t.n16) - 1)
+}
+
+func (t *Tree) alloc48() uint32 {
+	if n := len(t.free48); n > 0 {
+		idx := t.free48[n-1]
+		t.free48 = t.free48[:n-1]
+		t.n48[idx] = node48{}
+		for i := range t.n48[idx].childIndex {
+			t.n48[idx].childIndex[i] = 0xff
+		}
+		return idx
+	}
+	t.n48 = append(t.n48, node48{})
+	idx := uint32(len(t.n48) - 1)
+	for i := range t.n48[idx].childIndex {
+		t.n48[idx].childIndex[i] = 0xff
+	}
+	return idx
+}
+
+func (t *Tree) alloc256() uint32 {
+	if n := len(t.free256); n > 0 {
+		idx := t.free256[n-1]
+		t.free256 = t.free256[:n-1]
+		t.n256[idx] = node256{}
+		return idx
+	}
+	t.n256 = append(t.n256, node256{})
+	return uint32(len(t.n256) - 1)
+}
+
+func (t *Tree) newLeaf(key []byte, val uint64) Handle {
+	var idx uint32
+	if n := len(t.freeLeaf); n > 0 {
+		idx = t.freeLeaf[n-1]
+		t.freeLeaf = t.freeLeaf[:n-1]
+	} else {
+		t.leaves = append(t.leaves, leafEntry{})
+		idx = uint32(len(t.leaves) - 1)
+	}
+	t.leaves[idx] = leafEntry{
+		keyOff: uint64(len(t.keyArena)),
+		keyLen: uint32(len(key)),
+		val:    val,
+	}
+	t.keyArena = append(t.keyArena, key...)
+	return MakeHandle(KindLeaf, uint64(idx))
+}
+
+// Free returns a node to its arena's freelist (Hybrid Trie compactions
+// delete expanded ART nodes). Under SetDeferFrees the slot is parked until
+// FlushFrees.
+func (t *Tree) Free(h Handle) {
+	idx := uint32(h.Index())
+	if t.deferFrees {
+		switch h.Kind() {
+		case KindNode4:
+			t.pend4 = append(t.pend4, idx)
+		case KindNode16:
+			t.pend16 = append(t.pend16, idx)
+		case KindNode48:
+			t.pend48 = append(t.pend48, idx)
+		case KindNode256:
+			t.pend256 = append(t.pend256, idx)
+		case KindLeaf:
+			t.pendLeaf = append(t.pendLeaf, idx)
+		}
+		return
+	}
+	switch h.Kind() {
+	case KindNode4:
+		t.free4 = append(t.free4, idx)
+	case KindNode16:
+		t.free16 = append(t.free16, idx)
+	case KindNode48:
+		t.free48 = append(t.free48, idx)
+	case KindNode256:
+		t.free256 = append(t.free256, idx)
+	case KindLeaf:
+		t.freeLeaf = append(t.freeLeaf, idx)
+	}
+}
+
+// LeafKey returns the full key bytes of a leaf handle.
+func (t *Tree) LeafKey(h Handle) []byte {
+	l := &t.leaves[h.Index()]
+	return t.keyArena[l.keyOff : l.keyOff+uint64(l.keyLen)]
+}
+
+// LeafVal returns the value of a leaf handle.
+func (t *Tree) LeafVal(h Handle) uint64 { return t.leaves[h.Index()].val }
+
+// --- generic node access ------------------------------------------------
+
+func (t *Tree) hdr(h Handle) *header {
+	switch h.Kind() {
+	case KindNode4:
+		return &t.n4[h.Index()].header
+	case KindNode16:
+		return &t.n16[h.Index()].header
+	case KindNode48:
+		return &t.n48[h.Index()].header
+	case KindNode256:
+		return &t.n256[h.Index()].header
+	}
+	return nil
+}
+
+// FindChild returns the child under key byte b, or 0.
+func (t *Tree) FindChild(h Handle, b byte) Handle {
+	switch h.Kind() {
+	case KindNode4:
+		n := &t.n4[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == b {
+				return n.children[i]
+			}
+		}
+	case KindNode16:
+		n := &t.n16[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == b {
+				return n.children[i]
+			}
+			if n.keys[i] > b {
+				break
+			}
+		}
+	case KindNode48:
+		n := &t.n48[h.Index()]
+		if s := n.childIndex[b]; s != 0xff {
+			return n.children[s]
+		}
+	case KindNode256:
+		return t.n256[h.Index()].children[b]
+	}
+	return 0
+}
+
+// setChildExisting replaces the child already present under b.
+func (t *Tree) setChildExisting(h Handle, b byte, child Handle) {
+	switch h.Kind() {
+	case KindNode4:
+		n := &t.n4[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == b {
+				n.children[i] = child
+				return
+			}
+		}
+	case KindNode16:
+		n := &t.n16[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == b {
+				n.children[i] = child
+				return
+			}
+		}
+	case KindNode48:
+		n := &t.n48[h.Index()]
+		if s := n.childIndex[b]; s != 0xff {
+			n.children[s] = child
+			return
+		}
+	case KindNode256:
+		t.n256[h.Index()].children[b] = child
+		return
+	}
+	panic("art: setChildExisting on missing child")
+}
+
+// SetChild publicly replaces an existing child (Hybrid Trie migrations).
+func (t *Tree) SetChild(h Handle, b byte, child Handle) { t.setChildExisting(h, b, child) }
+
+// addChild inserts a new child, growing the node type when full. It
+// returns the (possibly new) handle of the node.
+func (t *Tree) addChild(h Handle, b byte, child Handle) Handle {
+	switch h.Kind() {
+	case KindNode4:
+		n := &t.n4[h.Index()]
+		if n.numChildren < 4 {
+			i := int(n.numChildren)
+			for i > 0 && n.keys[i-1] > b {
+				n.keys[i] = n.keys[i-1]
+				n.children[i] = n.children[i-1]
+				i--
+			}
+			n.keys[i] = b
+			n.children[i] = child
+			n.numChildren++
+			return h
+		}
+		// Grow to Node16.
+		idx := t.alloc16()
+		n = &t.n4[h.Index()] // re-fetch: alloc may have grown another arena only, but keep the pattern consistent
+		g := &t.n16[idx]
+		g.header = n.header
+		copy(g.keys[:], n.keys[:4])
+		copy(g.children[:], n.children[:4])
+		t.Free(h)
+		return t.addChild(MakeHandle(KindNode16, uint64(idx)), b, child)
+	case KindNode16:
+		n := &t.n16[h.Index()]
+		if n.numChildren < 16 {
+			i := int(n.numChildren)
+			for i > 0 && n.keys[i-1] > b {
+				n.keys[i] = n.keys[i-1]
+				n.children[i] = n.children[i-1]
+				i--
+			}
+			n.keys[i] = b
+			n.children[i] = child
+			n.numChildren++
+			return h
+		}
+		idx := t.alloc48()
+		n = &t.n16[h.Index()]
+		g := &t.n48[idx]
+		g.header = n.header
+		for i := 0; i < 16; i++ {
+			g.childIndex[n.keys[i]] = byte(i)
+			g.children[i] = n.children[i]
+		}
+		t.Free(h)
+		return t.addChild(MakeHandle(KindNode48, uint64(idx)), b, child)
+	case KindNode48:
+		n := &t.n48[h.Index()]
+		if n.numChildren < 48 {
+			slot := int(n.numChildren)
+			// Slots below numChildren may be fragmented after deletes;
+			// find a genuinely free one.
+			if !n.children[slot].IsEmpty() {
+				slot = -1
+				for i := 0; i < 48; i++ {
+					if n.children[i].IsEmpty() {
+						slot = i
+						break
+					}
+				}
+			}
+			n.childIndex[b] = byte(slot)
+			n.children[slot] = child
+			n.numChildren++
+			return h
+		}
+		idx := t.alloc256()
+		n = &t.n48[h.Index()]
+		g := &t.n256[idx]
+		g.header = n.header
+		for b2 := 0; b2 < 256; b2++ {
+			if s := n.childIndex[b2]; s != 0xff {
+				g.children[b2] = n.children[s]
+			}
+		}
+		t.Free(h)
+		return t.addChild(MakeHandle(KindNode256, uint64(idx)), b, child)
+	case KindNode256:
+		n := &t.n256[h.Index()]
+		n.children[b] = child
+		n.numChildren++
+		return h
+	}
+	panic("art: addChild on non-node")
+}
+
+// prefixBytes returns a node's full compressed path.
+func (t *Tree) prefixBytes(hd *header) []byte {
+	return t.prefixArena[hd.prefixOff : hd.prefixOff+hd.prefixLen]
+}
+
+// setPrefix stores a compressed path in the arena.
+func (t *Tree) setPrefix(hd *header, p []byte) {
+	if len(p) == 0 {
+		hd.prefixOff, hd.prefixLen = 0, 0
+		return
+	}
+	hd.prefixOff = uint32(len(t.prefixArena))
+	hd.prefixLen = uint32(len(p))
+	t.prefixArena = append(t.prefixArena, p...)
+}
+
+// minLeaf returns any descendant leaf (the smallest), used by ordered
+// scans to bound subtrees.
+func (t *Tree) minLeaf(h Handle) Handle {
+	for {
+		switch h.Kind() {
+		case KindLeaf:
+			return h
+		case KindNode4:
+			h = t.n4[h.Index()].children[0]
+		case KindNode16:
+			h = t.n16[h.Index()].children[0]
+		case KindNode48:
+			n := &t.n48[h.Index()]
+			for b := 0; b < 256; b++ {
+				if n.childIndex[b] != 0xff {
+					h = n.children[n.childIndex[b]]
+					break
+				}
+			}
+		case KindNode256:
+			n := &t.n256[h.Index()]
+			for b := 0; b < 256; b++ {
+				if !n.children[b].IsEmpty() {
+					h = n.children[b]
+					break
+				}
+			}
+		default:
+			return 0 // KindFST or empty: caller handles
+		}
+	}
+}
+
+// prefixMismatch returns the first position where key (from depth) and
+// h's compressed path disagree, up to hd.prefixLen.
+func (t *Tree) prefixMismatch(hd *header, key []byte, depth int) int {
+	p := t.prefixBytes(hd)
+	for i := range p {
+		if depth+i >= len(key) || key[depth+i] != p[i] {
+			return i
+		}
+	}
+	return len(p)
+}
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(key []byte) (uint64, bool) {
+	h := t.root
+	depth := 0
+	for !h.IsEmpty() {
+		if h.Kind() == KindLeaf {
+			if bytes.Equal(t.LeafKey(h), key) {
+				return t.LeafVal(h), true
+			}
+			return 0, false
+		}
+		if h.Kind() == KindFST {
+			return 0, false // foreign subtree: plain ART lookups stop here
+		}
+		hd := t.hdr(h)
+		if hd.prefixLen > 0 {
+			if depth+int(hd.prefixLen) > len(key) {
+				return 0, false
+			}
+			p := t.prefixBytes(hd)
+			for i := range p {
+				if key[depth+i] != p[i] {
+					return 0, false
+				}
+			}
+			depth += int(hd.prefixLen)
+		}
+		if depth >= len(key) {
+			return 0, false
+		}
+		h = t.FindChild(h, key[depth])
+		depth++
+	}
+	return 0, false
+}
+
+// Insert stores val under key, returning true when the key is new.
+func (t *Tree) Insert(key []byte, val uint64) bool {
+	inserted := t.insertRec(&t.root, key, 0, val)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (t *Tree) insertRec(ref *Handle, key []byte, depth int, val uint64) bool {
+	h := *ref
+	if h.IsEmpty() {
+		*ref = t.newLeaf(key, val)
+		return true
+	}
+	if h.Kind() == KindLeaf {
+		lk := t.LeafKey(h)
+		if bytes.Equal(lk, key) {
+			t.leaves[h.Index()].val = val
+			return false
+		}
+		// Split into a Node4 holding the common path.
+		common := 0
+		for depth+common < len(key) && depth+common < len(lk) && key[depth+common] == lk[depth+common] {
+			common++
+		}
+		idx := t.alloc4()
+		t.setPrefix(&t.n4[idx].header, key[depth:depth+common])
+		nh := MakeHandle(KindNode4, uint64(idx))
+		// Prefix-free keys guarantee both continuations exist.
+		nh = t.addChild(nh, lk[depth+common], h)
+		nh = t.addChild(nh, key[depth+common], t.newLeaf(key, val))
+		*ref = nh
+		return true
+	}
+	if h.Kind() == KindFST {
+		panic("art: insert into a foreign (FST) subtree")
+	}
+	hd := t.hdr(h)
+	if hd.prefixLen > 0 {
+		p := t.prefixMismatch(hd, key, depth)
+		if p < int(hd.prefixLen) {
+			// Split the compressed path at p.
+			oldByte := t.prefixBytes(hd)[p]
+			idx := t.alloc4()
+			hd = t.hdr(h) // re-fetch: alloc4 may have moved the arena
+			t.setPrefix(&t.n4[idx].header, t.prefixBytes(hd)[:p])
+			nh := MakeHandle(KindNode4, uint64(idx))
+			// The old node keeps the tail of its prefix after byte p;
+			// trimming just moves the arena offset.
+			hd.prefixOff += uint32(p + 1)
+			hd.prefixLen -= uint32(p + 1)
+			nh = t.addChild(nh, oldByte, h)
+			nh = t.addChild(nh, key[depth+p], t.newLeaf(key, val))
+			*ref = nh
+			return true
+		}
+		depth += int(hd.prefixLen)
+	}
+	b := key[depth]
+	child := t.FindChild(h, b)
+	if !child.IsEmpty() {
+		if child.Kind() == KindLeaf || child.Kind() == KindFST {
+			// Recurse via a stack slot we can write back through.
+			tmp := child
+			ins := t.insertRec(&tmp, key, depth+1, val)
+			if tmp != child {
+				t.setChildExisting(h, b, tmp)
+			}
+			return ins
+		}
+		// Inner child: its arena slot is stable during the recursion
+		// except for node growth, which insertRec reports via tmp.
+		tmp := child
+		ins := t.insertRec(&tmp, key, depth+1, val)
+		if tmp != child {
+			t.setChildExisting(h, b, tmp)
+		}
+		return ins
+	}
+	nh := t.addChild(h, b, t.newLeaf(key, val))
+	if nh != h {
+		*ref = nh
+	}
+	return true
+}
+
+// Delete removes key, returning whether it was present. Nodes shrink back
+// through the type ladder lazily (a Node4 left with one child collapses
+// into that child, re-extending the compressed path).
+func (t *Tree) Delete(key []byte) bool {
+	ok := t.deleteRec(&t.root, key, 0)
+	if ok {
+		t.size--
+	}
+	return ok
+}
+
+func (t *Tree) deleteRec(ref *Handle, key []byte, depth int) bool {
+	h := *ref
+	if h.IsEmpty() {
+		return false
+	}
+	if h.Kind() == KindLeaf {
+		if !bytes.Equal(t.LeafKey(h), key) {
+			return false
+		}
+		t.Free(h)
+		*ref = 0
+		return true
+	}
+	if h.Kind() == KindFST {
+		return false
+	}
+	hd := t.hdr(h)
+	if hd.prefixLen > 0 {
+		if t.prefixMismatch(hd, key, depth) < int(hd.prefixLen) {
+			return false
+		}
+		depth += int(hd.prefixLen)
+	}
+	if depth >= len(key) {
+		return false
+	}
+	b := key[depth]
+	child := t.FindChild(h, b)
+	if child.IsEmpty() {
+		return false
+	}
+	if child.Kind() == KindLeaf {
+		if !bytes.Equal(t.LeafKey(child), key) {
+			return false
+		}
+		t.Free(child)
+		t.removeChild(ref, b)
+		return true
+	}
+	tmp := child
+	ok := t.deleteRec(&tmp, key, depth+1)
+	if tmp != child {
+		t.setChildExisting(h, b, tmp)
+	}
+	return ok
+}
+
+// removeChild deletes the entry under b and shrinks/collapses the node.
+func (t *Tree) removeChild(ref *Handle, b byte) {
+	h := *ref
+	switch h.Kind() {
+	case KindNode4:
+		n := &t.n4[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == b {
+				copy(n.keys[i:], n.keys[i+1:n.numChildren])
+				copy(n.children[i:], n.children[i+1:n.numChildren])
+				n.numChildren--
+				break
+			}
+		}
+		if n.numChildren == 1 {
+			// Collapse into the single child, merging compressed paths
+			// when the child is an inner node:
+			// child.prefix = n.prefix + label + child.prefix.
+			child := n.children[0]
+			if ch := t.hdr(child); ch != nil {
+				merged := make([]byte, 0, int(n.prefixLen)+1+int(ch.prefixLen))
+				merged = append(merged, t.prefixBytes(&n.header)...)
+				merged = append(merged, n.keys[0])
+				merged = append(merged, t.prefixBytes(ch)...)
+				t.setPrefix(ch, merged)
+			}
+			t.Free(h)
+			*ref = child
+		}
+	case KindNode16:
+		n := &t.n16[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == b {
+				copy(n.keys[i:], n.keys[i+1:n.numChildren])
+				copy(n.children[i:], n.children[i+1:n.numChildren])
+				n.numChildren--
+				break
+			}
+		}
+		if n.numChildren == 3 {
+			idx := t.alloc4()
+			n = &t.n16[h.Index()]
+			s := &t.n4[idx]
+			s.header = n.header
+			copy(s.keys[:], n.keys[:3])
+			copy(s.children[:], n.children[:3])
+			t.Free(h)
+			*ref = MakeHandle(KindNode4, uint64(idx))
+		}
+	case KindNode48:
+		n := &t.n48[h.Index()]
+		if s := n.childIndex[b]; s != 0xff {
+			n.children[s] = 0
+			n.childIndex[b] = 0xff
+			n.numChildren--
+		}
+		if n.numChildren == 12 {
+			idx := t.alloc16()
+			n = &t.n48[h.Index()]
+			s := &t.n16[idx]
+			s.header = n.header
+			j := 0
+			for bb := 0; bb < 256; bb++ {
+				if ci := n.childIndex[bb]; ci != 0xff {
+					s.keys[j] = byte(bb)
+					s.children[j] = n.children[ci]
+					j++
+				}
+			}
+			s.numChildren = uint16(j)
+			t.Free(h)
+			*ref = MakeHandle(KindNode16, uint64(idx))
+		}
+	case KindNode256:
+		n := &t.n256[h.Index()]
+		if !n.children[b].IsEmpty() {
+			n.children[b] = 0
+			n.numChildren--
+		}
+		if n.numChildren == 37 {
+			idx := t.alloc48()
+			n = &t.n256[h.Index()]
+			s := &t.n48[idx]
+			s.header = n.header
+			j := byte(0)
+			for bb := 0; bb < 256; bb++ {
+				if !n.children[bb].IsEmpty() {
+					s.childIndex[bb] = j
+					s.children[j] = n.children[bb]
+					j++
+				}
+			}
+			s.numChildren = uint16(j)
+			t.Free(h)
+			*ref = MakeHandle(KindNode48, uint64(idx))
+		}
+	}
+}

@@ -1,0 +1,451 @@
+package art
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ahi/internal/dataset"
+)
+
+func u64key(k uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], k)
+	return b[:]
+}
+
+func TestHandleEncoding(t *testing.T) {
+	h := MakeHandle(KindNode48, 12345)
+	if h.Kind() != KindNode48 || h.Index() != 12345 {
+		t.Fatalf("handle round trip: %v %v", h.Kind(), h.Index())
+	}
+	if !Handle(0).IsEmpty() || h.IsEmpty() {
+		t.Fatal("IsEmpty wrong")
+	}
+}
+
+func TestInsertLookupSmall(t *testing.T) {
+	tr := New()
+	keys := []string{"a", "ab", "abc", "b", "ba", "z", "zzzz"}
+	for i, k := range keys {
+		if !tr.Insert(Terminate([]byte(k)), uint64(i)) {
+			t.Fatalf("Insert(%q) not new", k)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i, k := range keys {
+		v, ok := tr.Lookup(Terminate([]byte(k)))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%q)=(%d,%v)", k, v, ok)
+		}
+	}
+	if _, ok := tr.Lookup(Terminate([]byte("abcd"))); ok {
+		t.Fatal("phantom key")
+	}
+	if _, ok := tr.Lookup(Terminate([]byte("c"))); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	tr := New()
+	k := u64key(42)
+	tr.Insert(k, 1)
+	if tr.Insert(k, 2) {
+		t.Fatal("overwrite reported new")
+	}
+	if v, _ := tr.Lookup(k); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatal("Len grew")
+	}
+}
+
+func TestNodeGrowthLadder(t *testing.T) {
+	// Inserting 256 distinct first bytes under one parent walks
+	// Node4 -> Node16 -> Node48 -> Node256.
+	tr := New()
+	for b := 0; b < 256; b++ {
+		key := []byte{byte(b), 1, 2, 3}
+		tr.Insert(key, uint64(b))
+		for probe := 0; probe <= b; probe++ {
+			v, ok := tr.Lookup([]byte{byte(probe), 1, 2, 3})
+			if !ok || v != uint64(probe) {
+				t.Fatalf("after %d inserts, Lookup(%d) broken", b+1, probe)
+			}
+		}
+	}
+	_, _, _, c256 := tr.NodeCount()
+	if c256 != 1 {
+		t.Fatalf("expected one Node256, got %d", c256)
+	}
+}
+
+func TestUint64KeysLarge(t *testing.T) {
+	tr := New()
+	keys := dataset.OSM(50000, 3)
+	for i, k := range keys {
+		tr.Insert(u64key(k), uint64(i))
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i, k := range keys {
+		v, ok := tr.Lookup(u64key(k))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%d) = (%d,%v) want %d", k, v, ok, i)
+		}
+	}
+	// Nearby misses.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		k := keys[rng.Intn(len(keys))] + 1
+		idx := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
+		if idx < len(keys) && keys[idx] == k {
+			continue
+		}
+		if _, ok := tr.Lookup(u64key(k)); ok {
+			t.Fatalf("phantom %d", k)
+		}
+	}
+}
+
+func TestEmailKeys(t *testing.T) {
+	tr := New()
+	emails := dataset.Emails(20000, 4)
+	for i, e := range emails {
+		tr.Insert(Terminate([]byte(e)), uint64(i))
+	}
+	for i, e := range emails {
+		v, ok := tr.Lookup(Terminate([]byte(e)))
+		if !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%q)", e)
+		}
+	}
+}
+
+func TestDeepPrefixesBeyondInlineWindow(t *testing.T) {
+	// Keys sharing a >8-byte prefix exercise the optimistic path.
+	tr := New()
+	prefix := []byte("0123456789abcdef") // 16 shared bytes
+	var keys [][]byte
+	for i := 0; i < 100; i++ {
+		k := append(append([]byte{}, prefix...), byte(i), byte(i*3), 0)
+		keys = append(keys, k)
+		tr.Insert(k, uint64(i))
+	}
+	for i, k := range keys {
+		v, ok := tr.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("deep prefix lookup %d failed", i)
+		}
+	}
+	// A key diverging inside the shared prefix (beyond byte 8).
+	bad := append([]byte{}, keys[0]...)
+	bad[12] ^= 0xff
+	if _, ok := tr.Lookup(bad); ok {
+		t.Fatal("phantom with deep divergence")
+	}
+	// Insert the diverging key: must split the compressed path.
+	tr.Insert(bad, 999)
+	if v, ok := tr.Lookup(bad); !ok || v != 999 {
+		t.Fatal("deep split failed")
+	}
+	if v, ok := tr.Lookup(keys[0]); !ok || v != 0 {
+		t.Fatal("old key lost after deep split")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	keys := dataset.OSM(10000, 5)
+	for i, k := range keys {
+		tr.Insert(u64key(k), uint64(i))
+	}
+	for i := 0; i < len(keys); i += 2 {
+		if !tr.Delete(u64key(keys[i])) {
+			t.Fatalf("Delete(%d) failed", keys[i])
+		}
+	}
+	if tr.Delete(u64key(keys[0])) {
+		t.Fatal("double delete")
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	for i, k := range keys {
+		_, ok := tr.Lookup(u64key(k))
+		if (i%2 == 0) == ok {
+			t.Fatalf("Lookup(%d)=%v after deletes", k, ok)
+		}
+	}
+	// Reinsert everything.
+	for i, k := range keys {
+		tr.Insert(u64key(k), uint64(i))
+	}
+	for i, k := range keys {
+		if v, ok := tr.Lookup(u64key(k)); !ok || v != uint64(i) {
+			t.Fatal("reinsert broken")
+		}
+	}
+}
+
+func TestDeleteShrinksNodes(t *testing.T) {
+	tr := New()
+	for b := 0; b < 256; b++ {
+		tr.Insert([]byte{byte(b), 9}, uint64(b))
+	}
+	_, _, _, c256 := tr.NodeCount()
+	if c256 != 1 {
+		t.Fatalf("want a Node256, have %d", c256)
+	}
+	for b := 0; b < 250; b++ {
+		tr.Delete([]byte{byte(b), 9})
+	}
+	c4, c16, _, c256 := tr.NodeCount()
+	if c256 != 0 {
+		t.Fatal("Node256 did not shrink")
+	}
+	if c4+c16 == 0 {
+		t.Fatal("no small node after shrinking")
+	}
+	for b := 250; b < 256; b++ {
+		if v, ok := tr.Lookup([]byte{byte(b), 9}); !ok || v != uint64(b) {
+			t.Fatalf("survivor %d lost", b)
+		}
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr := New()
+	keys := dataset.OSM(20000, 6)
+	for i, k := range keys {
+		tr.Insert(u64key(k), uint64(i))
+	}
+	// Full scan in order.
+	var got []uint64
+	n := tr.Scan(nil, len(keys)+5, func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	if n != len(keys) || len(got) != len(keys) {
+		t.Fatalf("full scan visited %d", n)
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("order broken at %d: %d != %d", i, got[i], keys[i])
+		}
+	}
+	// Ranged scan from a mid key.
+	start := 7777
+	got = got[:0]
+	tr.Scan(u64key(keys[start]), 50, func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	if len(got) != 50 {
+		t.Fatalf("ranged scan got %d", len(got))
+	}
+	for i := range got {
+		if got[i] != keys[start+i] {
+			t.Fatalf("ranged scan mismatch at %d", i)
+		}
+	}
+	// Scan from a non-existent key starts at the successor.
+	got = got[:0]
+	tr.Scan(u64key(keys[start]+1), 1, func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	if len(got) != 1 || got[0] != keys[start+1] {
+		t.Fatalf("successor scan: %v", got)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(u64key(i), i)
+	}
+	count := 0
+	tr.Scan(nil, 1000, func(k []byte, v uint64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestChildrenAndNewNode(t *testing.T) {
+	tr := New()
+	var entries []ChildEntry
+	for i := 0; i < 30; i++ {
+		entries = append(entries, ChildEntry{Label: byte(i * 7 % 256), Child: tr.NewLeafHandle([]byte{byte(i)}, uint64(i))})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Label < entries[j].Label })
+	h := tr.NewNode(entries)
+	if h.Kind() != KindNode48 {
+		t.Fatalf("30 children should yield Node48, got %v", h.Kind())
+	}
+	got := tr.Children(h)
+	if len(got) != len(entries) {
+		t.Fatalf("Children lost entries: %d", len(got))
+	}
+	for i := range got {
+		if got[i].Label != entries[i].Label || got[i].Child != entries[i].Child {
+			t.Fatalf("child %d mismatch", i)
+		}
+	}
+	if tr.NumChildren(h) != 30 {
+		t.Fatalf("NumChildren=%d", tr.NumChildren(h))
+	}
+}
+
+func TestFreeSubtreeRecycles(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(u64key(i*977), i)
+	}
+	before := tr.Bytes()
+	root := tr.Root()
+	tr.FreeSubtree(root)
+	tr.SetRoot(0)
+	// Arena bytes don't shrink, but freelists must be populated so new
+	// inserts recycle slots.
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(u64key(i*977), i)
+	}
+	after := tr.Bytes()
+	// Key arena grows (append-only), node arenas must not double.
+	if after > before+before/2 {
+		t.Fatalf("arenas not recycled: %d -> %d", before, after)
+	}
+}
+
+func TestSetChildAndFSTHandles(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte{1, 2, 3}, 10)
+	tr.Insert([]byte{1, 2, 4}, 11)
+	tr.Insert([]byte{2, 0, 0}, 12)
+	root := tr.Root()
+	// Replace the subtree under first byte 1 with an FST handle.
+	fst := MakeHandle(KindFST, 4242)
+	old := tr.FindChild(root, 1)
+	if old.IsEmpty() {
+		t.Fatal("child missing")
+	}
+	tr.SetChild(root, 1, fst)
+	if got := tr.FindChild(root, 1); got != fst {
+		t.Fatal("SetChild failed")
+	}
+	// Plain lookups stop at the FST boundary.
+	if _, ok := tr.Lookup([]byte{1, 2, 3}); ok {
+		t.Fatal("lookup crossed FST boundary")
+	}
+	if v, ok := tr.Lookup([]byte{2, 0, 0}); !ok || v != 12 {
+		t.Fatal("unrelated key lost")
+	}
+	// Scan skips the foreign subtree.
+	count := 0
+	tr.Scan(nil, 10, func(k []byte, v uint64) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("scan crossed FST boundary: %d", count)
+	}
+}
+
+func TestQuickAgainstMap(t *testing.T) {
+	fn := func(raw [][]byte) bool {
+		tr := New()
+		ref := map[string]uint64{}
+		for i, k := range raw {
+			// Terminate-based prefix-freedom requires NUL-free inputs
+			// (the documented precondition); strip NULs.
+			clean := bytes.ReplaceAll(k, []byte{0}, []byte{1})
+			key := Terminate(clean)
+			tr.Insert(key, uint64(i))
+			ref[string(key)] = uint64(i)
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Lookup([]byte(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: nil}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickScanMatchesSortedKeys(t *testing.T) {
+	fn := func(raw []uint32) bool {
+		tr := New()
+		set := map[uint64]bool{}
+		for _, r := range raw {
+			k := uint64(r)
+			tr.Insert(u64key(k), k)
+			set[k] = true
+		}
+		var want []uint64
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []uint64
+		tr.Scan(nil, len(want)+1, func(k []byte, v uint64) bool {
+			got = append(got, binary.BigEndian.Uint64(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTerminate(t *testing.T) {
+	k := Terminate([]byte("ab"))
+	if !bytes.Equal(k, []byte{'a', 'b', 0}) {
+		t.Fatalf("Terminate=%v", k)
+	}
+}
+
+func BenchmarkARTLookup(b *testing.B) {
+	tr := New()
+	keys := dataset.OSM(200000, 1)
+	for i, k := range keys {
+		tr.Insert(u64key(k), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(u64key(keys[i%len(keys)]))
+	}
+}
+
+func BenchmarkARTInsert(b *testing.B) {
+	tr := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(u64key(uint64(i)*0x9e3779b9), uint64(i))
+	}
+}

@@ -1,0 +1,56 @@
+package art
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzARTAgainstModel replays an arbitrary tape of inserts, deletes and
+// lookups over short byte keys (NUL-stripped + terminated to stay
+// prefix-free) and cross-checks against a map.
+func FuzzARTAgainstModel(f *testing.F) {
+	f.Add([]byte("abc\x01def\x02ghi"))
+	f.Add([]byte{5, 1, 2, 3, 5, 1, 2, 4, 5, 9})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tr := New()
+		ref := map[string]uint64{}
+		i := 0
+		for i+2 < len(tape) {
+			op := tape[i] % 4
+			klen := int(tape[i+1]%6) + 1
+			if i+2+klen > len(tape) {
+				break
+			}
+			raw := bytes.ReplaceAll(tape[i+2:i+2+klen], []byte{0}, []byte{7})
+			key := Terminate(raw)
+			i += 2 + klen
+			switch op {
+			case 0, 1:
+				v := uint64(i)
+				tr.Insert(key, v)
+				ref[string(key)] = v
+			case 2:
+				got := tr.Delete(key)
+				_, want := ref[string(key)]
+				if got != want {
+					t.Fatalf("Delete(%x)=%v want %v", key, got, want)
+				}
+				delete(ref, string(key))
+			case 3:
+				got, ok := tr.Lookup(key)
+				want, wok := ref[string(key)]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Lookup(%x)=(%d,%v) want (%d,%v)", key, got, ok, want, wok)
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len=%d want %d", tr.Len(), len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := tr.Lookup([]byte(k)); !ok || got != want {
+				t.Fatalf("final Lookup(%x) lost", k)
+			}
+		}
+	})
+}

@@ -1,0 +1,264 @@
+package art
+
+import "bytes"
+
+// Scan visits up to n key/value pairs with key >= from in ascending key
+// order, returning the number visited. fn may stop early by returning
+// false. Subtrees behind KindFST handles are skipped (the Hybrid Trie
+// provides its own scan that stitches ART and FST together).
+func (t *Tree) Scan(from []byte, n int, fn func(key []byte, val uint64) bool) int {
+	visited := 0
+	prefix := make([]byte, 0, 64)
+	t.scanRec(t.root, prefix, from, n, &visited, fn)
+	return visited
+}
+
+// scanRelation classifies a subtree whose keys all start with path against
+// the lower bound: every key qualifies, the bound cuts through the
+// subtree, or the subtree lies entirely below the bound. This pruning is
+// what keeps a ranged scan from touching the O(n) keys before `from`.
+type scanRelation int
+
+const (
+	scanAll scanRelation = iota
+	scanSeek
+	scanSkip
+)
+
+func scanRelate(from, path []byte) scanRelation {
+	if from == nil {
+		return scanAll
+	}
+	if len(from) <= len(path) {
+		if bytes.Compare(from, path[:len(from)]) <= 0 {
+			return scanAll
+		}
+		return scanSkip
+	}
+	switch bytes.Compare(from[:len(path)], path) {
+	case -1:
+		return scanAll
+	case 1:
+		return scanSkip
+	}
+	return scanSeek
+}
+
+// scanRec walks h in key order; path spells the key bytes from the root to
+// h. from == nil means "everything".
+func (t *Tree) scanRec(h Handle, path []byte, from []byte, n int, visited *int, fn func([]byte, uint64) bool) bool {
+	if h.IsEmpty() || *visited >= n {
+		return *visited < n
+	}
+	switch h.Kind() {
+	case KindLeaf:
+		k := t.LeafKey(h)
+		if from != nil && bytes.Compare(k, from) < 0 {
+			return true
+		}
+		*visited++
+		return fn(k, t.LeafVal(h)) && *visited < n
+	case KindFST:
+		return true
+	}
+	// Extend the path with the compressed prefix and classify once.
+	if p := t.prefixBytes(t.hdr(h)); len(p) > 0 {
+		path = append(path, p...)
+	}
+	switch scanRelate(from, path) {
+	case scanSkip:
+		return true
+	case scanAll:
+		from = nil
+	}
+	each := func(b byte, child Handle) bool {
+		childPath := append(path, b)
+		sub := from
+		switch scanRelate(from, childPath) {
+		case scanSkip:
+			return true
+		case scanAll:
+			sub = nil
+		}
+		return t.scanRec(child, childPath, sub, n, visited, fn)
+	}
+	switch h.Kind() {
+	case KindNode4:
+		node := &t.n4[h.Index()]
+		for i := 0; i < int(node.numChildren); i++ {
+			if !each(node.keys[i], node.children[i]) {
+				return false
+			}
+		}
+	case KindNode16:
+		node := &t.n16[h.Index()]
+		for i := 0; i < int(node.numChildren); i++ {
+			if !each(node.keys[i], node.children[i]) {
+				return false
+			}
+		}
+	case KindNode48:
+		node := &t.n48[h.Index()]
+		for b := 0; b < 256; b++ {
+			if s := node.childIndex[b]; s != 0xff {
+				if !each(byte(b), node.children[s]) {
+					return false
+				}
+			}
+		}
+	case KindNode256:
+		node := &t.n256[h.Index()]
+		for b := 0; b < 256; b++ {
+			if c := node.children[b]; !c.IsEmpty() {
+				if !each(byte(b), c) {
+					return false
+				}
+			}
+		}
+	}
+	return *visited < n
+}
+
+// EachChild invokes fn for every child in ascending label order without
+// allocating (the hot path of stitched Hybrid Trie scans); it stops early
+// when fn returns false and reports whether the iteration ran to the end.
+func (t *Tree) EachChild(h Handle, fn func(label byte, child Handle) bool) bool {
+	switch h.Kind() {
+	case KindNode4:
+		n := &t.n4[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if !fn(n.keys[i], n.children[i]) {
+				return false
+			}
+		}
+	case KindNode16:
+		n := &t.n16[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			if !fn(n.keys[i], n.children[i]) {
+				return false
+			}
+		}
+	case KindNode48:
+		n := &t.n48[h.Index()]
+		for b := 0; b < 256; b++ {
+			if s := n.childIndex[b]; s != 0xff {
+				if !fn(byte(b), n.children[s]) {
+					return false
+				}
+			}
+		}
+	case KindNode256:
+		n := &t.n256[h.Index()]
+		for b := 0; b < 256; b++ {
+			if c := n.children[b]; !c.IsEmpty() {
+				if !fn(byte(b), c) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ChildEntry is one (label, handle) pair of a node, in label order.
+type ChildEntry struct {
+	Label byte
+	Child Handle
+}
+
+// Children returns h's child entries in ascending label order.
+func (t *Tree) Children(h Handle) []ChildEntry {
+	var out []ChildEntry
+	switch h.Kind() {
+	case KindNode4:
+		n := &t.n4[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			out = append(out, ChildEntry{n.keys[i], n.children[i]})
+		}
+	case KindNode16:
+		n := &t.n16[h.Index()]
+		for i := 0; i < int(n.numChildren); i++ {
+			out = append(out, ChildEntry{n.keys[i], n.children[i]})
+		}
+	case KindNode48:
+		n := &t.n48[h.Index()]
+		for b := 0; b < 256; b++ {
+			if s := n.childIndex[b]; s != 0xff {
+				out = append(out, ChildEntry{byte(b), n.children[s]})
+			}
+		}
+	case KindNode256:
+		n := &t.n256[h.Index()]
+		for b := 0; b < 256; b++ {
+			if c := n.children[b]; !c.IsEmpty() {
+				out = append(out, ChildEntry{byte(b), c})
+			}
+		}
+	}
+	return out
+}
+
+// NewNode builds an inner node of the smallest fitting type from sorted
+// child entries — the Hybrid Trie's FST→ART expansion path ("determine the
+// appropriate ART node type based on the number of labels", §4.2.2).
+func (t *Tree) NewNode(entries []ChildEntry) Handle {
+	var h Handle
+	switch {
+	case len(entries) <= 4:
+		h = MakeHandle(KindNode4, uint64(t.alloc4()))
+	case len(entries) <= 16:
+		h = MakeHandle(KindNode16, uint64(t.alloc16()))
+	case len(entries) <= 48:
+		h = MakeHandle(KindNode48, uint64(t.alloc48()))
+	default:
+		h = MakeHandle(KindNode256, uint64(t.alloc256()))
+	}
+	for _, e := range entries {
+		h = t.addChild(h, e.Label, e.Child)
+	}
+	return h
+}
+
+// NewLeafHandle exposes leaf creation for the Hybrid Trie.
+func (t *Tree) NewLeafHandle(key []byte, val uint64) Handle { return t.newLeaf(key, val) }
+
+// FreeSubtree returns an expanded subtree's nodes and leaves to the
+// freelists (ART→FST compaction). Foreign (FST) handles are left alone.
+func (t *Tree) FreeSubtree(h Handle) {
+	switch h.Kind() {
+	case KindEmpty, KindFST:
+		return
+	case KindLeaf:
+		t.Free(h)
+		return
+	}
+	for _, e := range t.Children(h) {
+		t.FreeSubtree(e.Child)
+	}
+	t.Free(h)
+}
+
+// Prefix returns an inner node's full compressed path and its length.
+func (t *Tree) Prefix(h Handle) ([]byte, int) {
+	hd := t.hdr(h)
+	if hd == nil {
+		return nil, 0
+	}
+	return t.prefixBytes(hd), int(hd.prefixLen)
+}
+
+// SetNodePrefix replaces an inner node's compressed path (Hybrid Trie
+// build plumbing).
+func (t *Tree) SetNodePrefix(h Handle, p []byte) {
+	if hd := t.hdr(h); hd != nil {
+		t.setPrefix(hd, p)
+	}
+}
+
+// NumChildren returns an inner node's fanout.
+func (t *Tree) NumChildren(h Handle) int {
+	if hd := t.hdr(h); hd != nil {
+		return int(hd.numChildren)
+	}
+	return 0
+}

@@ -1,0 +1,246 @@
+package art
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization (version 1). The arenas are flat slices, so the on-disk
+// form is a direct dump: header, scalar fields, then each arena as a
+// little-endian stream. Freelists are persisted so slot recycling resumes
+// exactly where it left off.
+const (
+	artMagic   = uint64(0x4148494152543031) // "AHIART01"
+	artVersion = uint64(1)
+)
+
+type leWriter struct {
+	w       *bufio.Writer
+	written int64
+	err     error
+}
+
+func (lw *leWriter) u64(v uint64) {
+	if lw.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	n, err := lw.w.Write(buf[:])
+	lw.written += int64(n)
+	lw.err = err
+}
+
+func (lw *leWriter) bytes(b []byte) {
+	if lw.err != nil {
+		return
+	}
+	lw.u64(uint64(len(b)))
+	if lw.err != nil {
+		return
+	}
+	n, err := lw.w.Write(b)
+	lw.written += int64(n)
+	lw.err = err
+}
+
+func (lw *leWriter) u32s(s []uint32) {
+	lw.u64(uint64(len(s)))
+	for _, v := range s {
+		lw.u64(uint64(v))
+	}
+}
+
+// WriteTo serializes the tree. It implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	lw := &leWriter{w: bufio.NewWriter(w)}
+	lw.u64(artMagic)
+	lw.u64(artVersion)
+	lw.u64(uint64(t.root))
+	lw.u64(uint64(t.size))
+
+	lw.u64(uint64(len(t.n4)))
+	for i := range t.n4 {
+		n := &t.n4[i]
+		lw.u64(uint64(n.prefixOff)<<32 | uint64(n.prefixLen))
+		lw.u64(uint64(n.numChildren))
+		for j := 0; j < 4; j++ {
+			lw.u64(uint64(n.keys[j]))
+			lw.u64(uint64(n.children[j]))
+		}
+	}
+	lw.u64(uint64(len(t.n16)))
+	for i := range t.n16 {
+		n := &t.n16[i]
+		lw.u64(uint64(n.prefixOff)<<32 | uint64(n.prefixLen))
+		lw.u64(uint64(n.numChildren))
+		for j := 0; j < 16; j++ {
+			lw.u64(uint64(n.keys[j]))
+			lw.u64(uint64(n.children[j]))
+		}
+	}
+	lw.u64(uint64(len(t.n48)))
+	for i := range t.n48 {
+		n := &t.n48[i]
+		lw.u64(uint64(n.prefixOff)<<32 | uint64(n.prefixLen))
+		lw.u64(uint64(n.numChildren))
+		if lw.err == nil {
+			nn, err := lw.w.Write(n.childIndex[:])
+			lw.written += int64(nn)
+			lw.err = err
+		}
+		for j := 0; j < 48; j++ {
+			lw.u64(uint64(n.children[j]))
+		}
+	}
+	lw.u64(uint64(len(t.n256)))
+	for i := range t.n256 {
+		n := &t.n256[i]
+		lw.u64(uint64(n.prefixOff)<<32 | uint64(n.prefixLen))
+		lw.u64(uint64(n.numChildren))
+		for j := 0; j < 256; j++ {
+			lw.u64(uint64(n.children[j]))
+		}
+	}
+	lw.u64(uint64(len(t.leaves)))
+	for i := range t.leaves {
+		lw.u64(t.leaves[i].keyOff)
+		lw.u64(uint64(t.leaves[i].keyLen))
+		lw.u64(t.leaves[i].val)
+	}
+	lw.bytes(t.keyArena)
+	lw.bytes(t.prefixArena)
+	lw.u32s(t.free4)
+	lw.u32s(t.free16)
+	lw.u32s(t.free48)
+	lw.u32s(t.free256)
+	lw.u32s(t.freeLeaf)
+	if lw.err != nil {
+		return lw.written, lw.err
+	}
+	return lw.written, lw.w.Flush()
+}
+
+type leReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (lr *leReader) u64() uint64 {
+	if lr.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(lr.r, buf[:]); err != nil {
+		lr.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (lr *leReader) count(limit uint64) int {
+	n := lr.u64()
+	if lr.err == nil && n > limit {
+		lr.err = fmt.Errorf("art: implausible section length %d", n)
+	}
+	return int(n)
+}
+
+func (lr *leReader) bytes() []byte {
+	n := lr.count(1 << 40)
+	if lr.err != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(lr.r, out); err != nil {
+		lr.err = err
+		return nil
+	}
+	return out
+}
+
+func (lr *leReader) u32s() []uint32 {
+	n := lr.count(1 << 32)
+	if lr.err != nil {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(lr.u64())
+	}
+	return out
+}
+
+// ReadTree deserializes a tree written by WriteTo.
+func ReadTree(r io.Reader) (*Tree, error) {
+	lr := &leReader{r: bufio.NewReader(r)}
+	if m := lr.u64(); lr.err == nil && m != artMagic {
+		return nil, fmt.Errorf("art: bad magic %#x", m)
+	}
+	if v := lr.u64(); lr.err == nil && v != artVersion {
+		return nil, fmt.Errorf("art: unsupported version %d", v)
+	}
+	t := New()
+	t.root = Handle(lr.u64())
+	t.size = int(lr.u64())
+
+	readHdr := func() header {
+		pp := lr.u64()
+		nc := lr.u64()
+		return header{prefixOff: uint32(pp >> 32), prefixLen: uint32(pp), numChildren: uint16(nc)}
+	}
+	t.n4 = make([]node4, lr.count(1<<32))
+	for i := range t.n4 {
+		t.n4[i].header = readHdr()
+		for j := 0; j < 4; j++ {
+			t.n4[i].keys[j] = byte(lr.u64())
+			t.n4[i].children[j] = Handle(lr.u64())
+		}
+	}
+	t.n16 = make([]node16, lr.count(1<<32))
+	for i := range t.n16 {
+		t.n16[i].header = readHdr()
+		for j := 0; j < 16; j++ {
+			t.n16[i].keys[j] = byte(lr.u64())
+			t.n16[i].children[j] = Handle(lr.u64())
+		}
+	}
+	t.n48 = make([]node48, lr.count(1<<32))
+	for i := range t.n48 {
+		t.n48[i].header = readHdr()
+		if lr.err == nil {
+			if _, err := io.ReadFull(lr.r, t.n48[i].childIndex[:]); err != nil {
+				lr.err = err
+			}
+		}
+		for j := 0; j < 48; j++ {
+			t.n48[i].children[j] = Handle(lr.u64())
+		}
+	}
+	t.n256 = make([]node256, lr.count(1<<32))
+	for i := range t.n256 {
+		t.n256[i].header = readHdr()
+		for j := 0; j < 256; j++ {
+			t.n256[i].children[j] = Handle(lr.u64())
+		}
+	}
+	t.leaves = make([]leafEntry, lr.count(1<<40))
+	for i := range t.leaves {
+		t.leaves[i].keyOff = lr.u64()
+		t.leaves[i].keyLen = uint32(lr.u64())
+		t.leaves[i].val = lr.u64()
+	}
+	t.keyArena = lr.bytes()
+	t.prefixArena = lr.bytes()
+	t.free4 = lr.u32s()
+	t.free16 = lr.u32s()
+	t.free48 = lr.u32s()
+	t.free256 = lr.u32s()
+	t.freeLeaf = lr.u32s()
+	if lr.err != nil {
+		return nil, fmt.Errorf("art: reading tree: %w", lr.err)
+	}
+	return t, nil
+}

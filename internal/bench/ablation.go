@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+
+	"ahi/internal/btree"
+	"ahi/internal/dataset"
+	"ahi/internal/stats"
+	"ahi/internal/workload"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Config    string
+	LatencyNs float64
+	Bytes     int64
+	Extra     string
+}
+
+// RunAblationBloom isolates the Bloom filter in front of the sample map:
+// with the filter, one-off accesses never allocate tracking entries.
+func RunAblationBloom(sc Scale) ([]AblationRow, Table) {
+	keys := dataset.OSM(sc.OSMKeys, 1)
+	vals := make([]uint64, len(keys))
+	budget := adaptiveBudget(keys, vals, 4)
+	ops := sc.OpsPerPhase / 2
+	// Interleave repetitions and keep minima (CPU-frequency drift would
+	// otherwise dominate the few-percent tracking signal).
+	lat := [2]float64{1e18, 1e18}
+	var extras [2]string
+	var sizes [2]int64
+	for rep := 0; rep < 3; rep++ {
+		for i, disable := range []bool{false, true} {
+			a := btree.BulkLoadAdaptive(btree.AdaptiveConfig{
+				Tree:         btree.Config{DefaultEncoding: btree.EncSuccinct},
+				MemoryBudget: budget,
+				DisableBloom: disable,
+				InitialSkip:  20, FixedSkip: true,
+			}, keys, vals)
+			gen := workload.NewGenerator(workload.W13, len(keys), 5)
+			r := runOps(sessionIndex{a.NewSession(), a}, gen, keys, ops/2, 0)
+			if r.MeanNs < lat[i] {
+				lat[i] = r.MeanNs
+			}
+			sizes[i] = a.Tree.Bytes()
+			extras[i] = fmt.Sprintf("tracked=%d framework=%s", a.Mgr.TrackedUnits(), stats.HumanBytes(a.Mgr.Bytes()))
+		}
+	}
+	rows := []AblationRow{
+		{Config: "with bloom filter", LatencyNs: lat[0], Bytes: sizes[0], Extra: extras[0]},
+		{Config: "without bloom filter", LatencyNs: lat[1], Bytes: sizes[1], Extra: extras[1]},
+	}
+	return rows, ablationTable("Ablation: Bloom filter before the sample map", rows)
+}
+
+// RunAblationAdaptiveSkip compares the adaptive skip-length controller
+// against fixed skips at both extremes.
+func RunAblationAdaptiveSkip(sc Scale) ([]AblationRow, Table) {
+	keys := dataset.OSM(sc.OSMKeys, 1)
+	vals := make([]uint64, len(keys))
+	budget := adaptiveBudget(keys, vals, 4)
+	ops := sc.OpsPerPhase / 2
+	var rows []AblationRow
+	type cfg struct {
+		name  string
+		fixed bool
+		skip  int
+	}
+	for _, c := range []cfg{
+		{"adaptive skip [4,128]", false, 8},
+		{"fixed skip 4", true, 4},
+		{"fixed skip 128", true, 128},
+	} {
+		a := btree.BulkLoadAdaptive(btree.AdaptiveConfig{
+			Tree:          btree.Config{DefaultEncoding: btree.EncSuccinct},
+			MemoryBudget:  budget,
+			InitialSkip:   c.skip,
+			MinSkip:       4,
+			MaxSkip:       128,
+			FixedSkip:     c.fixed,
+			MaxSampleSize: ops / 256,
+		}, keys, vals)
+		gen := workload.NewGenerator(workload.W11, len(keys), 5)
+		r := runOps(sessionIndex{a.NewSession(), a}, gen, keys, ops, 0)
+		rows = append(rows, AblationRow{
+			Config: c.name, LatencyNs: r.MeanNs, Bytes: a.Tree.Bytes(),
+			Extra: fmt.Sprintf("final skip=%d adapts=%d migrations=%d", a.Mgr.SkipLength(), a.Mgr.Adaptations(), a.Mgr.Migrations()),
+		})
+	}
+	return rows, ablationTable("Ablation: adaptive vs fixed skip length", rows)
+}
+
+// RunAblationEagerExpand isolates the eager expand-on-insert policy of
+// §5.2 under the write-dominated W5.1.
+func RunAblationEagerExpand(sc Scale) ([]AblationRow, Table) {
+	ops := sc.OpsPerPhase / 2
+	var rows []AblationRow
+	for _, eager := range []bool{true, false} {
+		keys := dataset.OSM(sc.OSMKeys, 1)
+		vals := make([]uint64, len(keys))
+		budget := adaptiveBudget(keys, vals, 4)
+		cfg := btree.AdaptiveConfig{
+			Tree:         btree.Config{DefaultEncoding: btree.EncSuccinct},
+			MemoryBudget: budget,
+		}
+		cfg.NoEagerExpand = !eager
+		a := btree.BulkLoadAdaptive(cfg, keys, vals)
+		ix := sessionIndex{a.NewSession(), a}
+		gen := workload.NewGenerator(workload.W51, len(keys), 5)
+		r := runOps(ix, gen, keys, ops, 0)
+		name := "eager expand-on-insert"
+		if !eager {
+			name = "write-in-place (re-encode)"
+		}
+		rows = append(rows, AblationRow{
+			Config: name, LatencyNs: r.MeanNs, Bytes: a.Tree.Bytes(),
+			Extra: fmt.Sprintf("expansions=%d", a.Tree.Expansions()),
+		})
+	}
+	return rows, ablationTable("Ablation: eager expansion on insert (W5.1)", rows)
+}
+
+// RunAblationHistory compares migrate-on-first-classification against the
+// history-confirmed policy (the default CSHF waits for two consecutive
+// cold phases before compacting).
+func RunAblationHistory(sc Scale) ([]AblationRow, Table) {
+	ops := sc.OpsPerPhase / 2
+	var rows []AblationRow
+	for _, impatient := range []bool{false, true} {
+		keys := dataset.OSM(sc.OSMKeys, 1)
+		vals := make([]uint64, len(keys))
+		budget := adaptiveBudget(keys, vals, 4)
+		initial, minS, maxS, maxSample := sc.sampling()
+		a := btree.BulkLoadAdaptive(btree.AdaptiveConfig{
+			Tree:                btree.Config{DefaultEncoding: btree.EncSuccinct},
+			MemoryBudget:        budget,
+			ImpatientCompaction: impatient,
+			InitialSkip:         initial,
+			MinSkip:             minS,
+			MaxSkip:             maxS,
+			MaxSampleSize:       maxSample,
+		}, keys, vals)
+		// Alternate two disjoint hot ranges every ops/8 operations: the
+		// impatient policy compacts each range the moment the other takes
+		// over, paying re-expansion when it returns.
+		s := sessionIndex{a.NewSession(), a}
+		var sum float64
+		for phase := 0; phase < 8; phase++ {
+			spec := workload.W11
+			gen := workload.NewGenerator(spec, len(keys)/4, int64(phase)*13+5)
+			window := keys
+			if phase%2 == 1 {
+				window = keys[len(keys)/2:]
+			}
+			r := runOps(s, gen, window, ops/8, 0)
+			sum += r.MeanNs
+		}
+		r1 := runResult{MeanNs: sum / 8}
+		r2 := r1
+		name := "history-confirmed compaction"
+		if impatient {
+			name = "compact on first cold phase"
+		}
+		rows = append(rows, AblationRow{
+			Config:    name,
+			LatencyNs: (r1.MeanNs + r2.MeanNs) / 2,
+			Bytes:     a.Tree.Bytes(),
+			Extra:     fmt.Sprintf("migrations=%d adapts=%d", a.Mgr.Migrations(), a.Mgr.Adaptations()),
+		})
+	}
+	return rows, ablationTable("Ablation: classification-history confirmation", rows)
+}
+
+// RunAblationDecentralized compares the paper's centralized sampling
+// manager against the decentralized alternative §3 argues against: an
+// information unit embedded in every leaf, updated on every access, swept
+// wholesale at adaptation time.
+func RunAblationDecentralized(sc Scale) ([]AblationRow, Table) {
+	keys := dataset.OSM(sc.OSMKeys, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	budget := adaptiveBudget(keys, vals, 4)
+	ops := sc.OpsPerPhase / 2
+	var rows []AblationRow
+
+	// Centralized (the paper's design).
+	initial, minS, maxS, maxSample := sc.sampling()
+	a := btree.BulkLoadAdaptive(btree.AdaptiveConfig{
+		Tree:          btree.Config{DefaultEncoding: btree.EncSuccinct},
+		MemoryBudget:  budget,
+		InitialSkip:   initial,
+		MinSkip:       minS,
+		MaxSkip:       maxS,
+		MaxSampleSize: maxSample,
+	}, keys, vals)
+	gen := workload.NewGenerator(workload.W11, len(keys), 5)
+	r := runOps(sessionIndex{a.NewSession(), a}, gen, keys, ops, 0)
+	rows = append(rows, AblationRow{
+		Config: "centralized sampling (paper)", LatencyNs: r.MeanNs, Bytes: a.Tree.Bytes(),
+		Extra: fmt.Sprintf("tracking=%s", stats.HumanBytes(a.Mgr.Bytes())),
+	})
+
+	// Decentralized: per-leaf IUs, every access tracked.
+	d := btree.NewDecentralized(btree.Config{DefaultEncoding: btree.EncSuccinct}, keys, vals,
+		int64(ops/8), budget)
+	gen = workload.NewGenerator(workload.W11, len(keys), 5)
+	r = runOps(decentralizedIndex{d}, gen, keys, ops, 0)
+	rows = append(rows, AblationRow{
+		Config: "decentralized IUs (every access)", LatencyNs: r.MeanNs, Bytes: d.Tree.Bytes(),
+		Extra: fmt.Sprintf("tracking=%s (IUs on every leaf)", stats.HumanBytes(d.IUBytes())),
+	})
+	return rows, ablationTable("Ablation: centralized sampling vs decentralized IUs", rows)
+}
+
+// decentralizedIndex adapts the decentralized tree.
+type decentralizedIndex struct{ d *btree.Decentralized }
+
+func (x decentralizedIndex) Lookup(k uint64) (uint64, bool) { return x.d.Lookup(k) }
+func (x decentralizedIndex) Insert(k, v uint64) bool        { return x.d.Insert(k, v) }
+func (x decentralizedIndex) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	return x.d.Scan(from, n, fn)
+}
+func (x decentralizedIndex) Bytes() int64 { return x.d.Bytes() }
+
+func ablationTable(title string, rows []AblationRow) Table {
+	tbl := Table{Title: title, Header: []string{"config", "lat ns", "size", "notes"}}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{r.Config, f1(r.LatencyNs), stats.HumanBytes(r.Bytes), r.Extra})
+	}
+	return tbl
+}

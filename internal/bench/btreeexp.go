@@ -1,0 +1,482 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ahi/internal/btree"
+	"ahi/internal/core"
+	"ahi/internal/dataset"
+	"ahi/internal/dualstage"
+	"ahi/internal/stats"
+	"ahi/internal/workload"
+)
+
+// Table1Row is one leaf encoding of Table 1.
+type Table1Row struct {
+	Encoding  string
+	AvgBytes  int64
+	LatencyNs float64
+}
+
+// RunTable1 reproduces Table 1: average size and uniform-lookup latency
+// per leaf encoding on the OSM dataset at 70% occupancy. Instruction/LLC
+// counters are unavailable in Go; latency and the decoded-payload size
+// carry the ranking (DESIGN.md §4).
+func RunTable1(sc Scale) ([]Table1Row, Table) {
+	keys := dataset.OSM(sc.OSMKeys, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	ops := sc.OpsPerPhase / 4
+	encs := []core.Encoding{btree.EncGapped, btree.EncPacked, btree.EncSuccinct}
+	trees := make([]*btree.Tree, len(encs))
+	for i, enc := range encs {
+		trees[i] = btree.BulkLoad(btree.Config{DefaultEncoding: enc}, keys, vals)
+	}
+	// Interleave repetitions and keep minima (see RunFig5's rationale).
+	lat := []float64{1e18, 1e18, 1e18}
+	for rep := 0; rep < 3; rep++ {
+		for i := range encs {
+			gen := workload.NewGenerator(workload.Spec{
+				Name: "uniform-reads", Mix: []workload.Mix{{Frac: 1, Kind: workload.OpRead, Dist: workload.DistUniform}},
+			}, len(keys), 3)
+			if r := runOps(treeIndex{trees[i]}, gen, keys, ops, 0); r.MeanNs < lat[i] {
+				lat[i] = r.MeanNs
+			}
+		}
+	}
+	var rows []Table1Row
+	for i, enc := range encs {
+		s, p, g := trees[i].LeafBytes()
+		sc2, pc, gc := trees[i].LeafCounts()
+		var avg int64
+		if n := sc2 + pc + gc; n > 0 {
+			avg = (s + p + g) / n
+		}
+		rows = append(rows, Table1Row{
+			Encoding:  btree.EncodingName(enc),
+			AvgBytes:  avg,
+			LatencyNs: lat[i],
+		})
+	}
+	tbl := Table{
+		Title:  "Table 1: leaf encodings at 70% occupancy (OSM, uniform lookups)",
+		Header: []string{"encoding", "avg leaf bytes", "lookup ns"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{r.Encoding, fmt.Sprint(r.AvgBytes), f1(r.LatencyNs)})
+	}
+	return rows, tbl
+}
+
+// Fig9Row is one migration direction at one index size.
+type Fig9Row struct {
+	From, To  string
+	IndexSize string
+	PerNodeNs float64
+}
+
+// RunFig9 reproduces Figure 9: per-leaf migration cost between the three
+// encodings for a cache-resident and a larger index.
+func RunFig9(sc Scale) ([]Fig9Row, Table) {
+	var rows []Fig9Row
+	sizes := []struct {
+		name string
+		keys int
+	}{
+		{"small (~cache)", sc.OSMKeys / 16},
+		{"large", sc.OSMKeys},
+	}
+	encs := []core.Encoding{btree.EncSuccinct, btree.EncPacked, btree.EncGapped}
+	for _, size := range sizes {
+		keys := dataset.OSM(size.keys, 11)
+		vals := make([]uint64, len(keys))
+		tr := btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncGapped}, keys, vals)
+		leaves := collectLeaves(tr)
+		for _, from := range encs {
+			for _, to := range encs {
+				if from == to {
+					continue
+				}
+				// Bring all leaves to the source encoding, then time the
+				// migration sweep.
+				for _, l := range leaves {
+					tr.MigrateLeaf(l, from)
+				}
+				start := time.Now()
+				for _, l := range leaves {
+					tr.MigrateLeaf(l, to)
+				}
+				el := time.Since(start)
+				rows = append(rows, Fig9Row{
+					From: btree.EncodingName(from), To: btree.EncodingName(to),
+					IndexSize: size.name,
+					PerNodeNs: float64(el.Nanoseconds()) / float64(len(leaves)),
+				})
+			}
+		}
+	}
+	tbl := Table{
+		Title:  "Figure 9: leaf-encoding migration costs",
+		Header: []string{"index", "from", "to", "ns/node"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{r.IndexSize, r.From, r.To, f1(r.PerNodeNs)})
+	}
+	return rows, tbl
+}
+
+func collectLeaves(tr *btree.Tree) []*btree.Leaf {
+	var leaves []*btree.Leaf
+	tr.WalkLeaves(func(l *btree.Leaf) bool {
+		leaves = append(leaves, l)
+		return true
+	})
+	return leaves
+}
+
+// TreeVariant names one competitor of the Figure 12–17 experiments.
+type TreeVariant string
+
+// The evaluated B+-tree variants.
+const (
+	VariantAHI        TreeVariant = "AHI-BTree"
+	VariantPreTrained TreeVariant = "Pre-Trained"
+	VariantSuccinct   TreeVariant = "Succinct"
+	VariantPacked     TreeVariant = "Packed"
+	VariantGapped     TreeVariant = "Gapped"
+)
+
+// buildVariant constructs one tree variant over the keys; budgetBytes == 0
+// leaves the adaptive variants unbounded. trainSpec (optional) is replayed
+// for the Pre-Trained variant's offline training.
+func buildVariant(sc Scale, v TreeVariant, keys, vals []uint64, budgetBytes int64, trainSpec *workload.Spec, trainOps int) kvIndex {
+	switch v {
+	case VariantSuccinct:
+		return treeIndex{btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncSuccinct}, keys, vals)}
+	case VariantPacked:
+		return treeIndex{btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncPacked}, keys, vals)}
+	case VariantGapped:
+		return treeIndex{btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncGapped}, keys, vals)}
+	}
+	initial, minS, maxS, maxSample := sc.sampling()
+	cfg := btree.AdaptiveConfig{
+		Tree:          btree.Config{DefaultEncoding: btree.EncSuccinct},
+		MemoryBudget:  budgetBytes,
+		InitialSkip:   initial,
+		MinSkip:       minS,
+		MaxSkip:       maxS,
+		MaxSampleSize: maxSample,
+	}
+	a := btree.BulkLoadAdaptive(cfg, keys, vals)
+	if v == VariantPreTrained && trainSpec != nil {
+		freqs := map[uint64]uint64{}
+		gen := workload.NewGenerator(*trainSpec, len(keys), 12345)
+		for i := 0; i < trainOps; i++ {
+			op := gen.Next()
+			freqs[keys[op.Index]]++
+		}
+		a.Train(freqs)
+	}
+	return sessionIndex{a.NewSession(), a}
+}
+
+// Fig12Result carries the full phase experiment.
+type Fig12Result struct {
+	// Series is the adaptive tree's per-interval latency/size trace across
+	// all three phases.
+	Series []seriesPoint
+	// PhaseMeans[variant][phase] is the mean latency.
+	PhaseMeans map[TreeVariant][3]float64
+	// FinalBytes per variant; SamplingBytes for the adaptive tree.
+	FinalBytes    map[TreeVariant]int64
+	SamplingBytes int64
+}
+
+// RunFig12 reproduces Figure 12: workloads W1.1→W1.2→W1.3 on the OSM
+// dataset across all five tree variants.
+func RunFig12(sc Scale) (*Fig12Result, Table) {
+	keys := dataset.OSM(sc.OSMKeys, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	budget := adaptiveBudget(keys, vals, 4) // 25% of the gapped footprint headroom
+	specs := []workload.Spec{workload.W11, workload.W12, workload.W13}
+	res := &Fig12Result{
+		PhaseMeans: map[TreeVariant][3]float64{},
+		FinalBytes: map[TreeVariant]int64{},
+	}
+	for _, v := range []TreeVariant{VariantAHI, VariantPreTrained, VariantSuccinct, VariantPacked, VariantGapped} {
+		w11 := workload.W11
+		ix := buildVariant(sc, v, keys, vals, budget, &w11, sc.OpsPerPhase/4)
+		var means [3]float64
+		for phase, spec := range specs {
+			gen := workload.NewGenerator(spec, len(keys), int64(phase+1)*17)
+			interval := int64(0)
+			if v == VariantAHI {
+				interval = sc.Interval
+			}
+			r := runOps(ix, gen, keys, sc.OpsPerPhase, interval)
+			means[phase] = r.MeanNs
+			if v == VariantAHI {
+				res.Series = append(res.Series, r.Series...)
+			}
+		}
+		res.PhaseMeans[v] = means
+		res.FinalBytes[v] = ix.Bytes()
+		if v == VariantAHI {
+			res.SamplingBytes = ix.(sessionIndex).a.Mgr.Bytes()
+		}
+	}
+	tbl := Table{
+		Title:  "Figure 12: W1.1 / W1.2 / W1.3 phases on OSM",
+		Header: []string{"variant", "W1.1 ns", "W1.2 ns", "W1.3 ns", "final size"},
+	}
+	for _, v := range []TreeVariant{VariantAHI, VariantPreTrained, VariantSuccinct, VariantPacked, VariantGapped} {
+		m := res.PhaseMeans[v]
+		tbl.Rows = append(tbl.Rows, []string{
+			string(v), f1(m[0]), f1(m[1]), f1(m[2]), stats.HumanBytes(res.FinalBytes[v]),
+		})
+	}
+	tbl.Rows = append(tbl.Rows, []string{"(sampling framework)", "", "", "", stats.HumanBytes(res.SamplingBytes)})
+	return res, tbl
+}
+
+// adaptiveBudget grants the compact baseline size plus 1/div of the
+// gapped–succinct gap (the space the adaptation may spend on hot nodes).
+func adaptiveBudget(keys, vals []uint64, div int64) int64 {
+	succ := btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncSuccinct}, keys, vals).Bytes()
+	gap := btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncGapped}, keys, vals).Bytes()
+	return succ + (gap-succ)/div
+}
+
+// Fig13Row is one point of the cost-function scatter.
+type Fig13Row struct {
+	Variant   TreeVariant
+	Workload  string
+	LatencyNs float64
+	Bytes     int64
+	Cost      float64 // C = P · S (r = 1)
+}
+
+// RunFig13 reproduces Figure 13 from Figure 12's machinery: latency/size
+// points under W1.2 and W1.3 with the equal-importance cost function.
+func RunFig13(sc Scale) ([]Fig13Row, Table) {
+	res, _ := RunFig12(sc)
+	var rows []Fig13Row
+	for wi, name := range []string{"W1.2", "W1.3"} {
+		for _, v := range []TreeVariant{VariantAHI, VariantPreTrained, VariantSuccinct, VariantPacked, VariantGapped} {
+			lat := res.PhaseMeans[v][wi+1]
+			b := res.FinalBytes[v]
+			rows = append(rows, Fig13Row{
+				Variant: v, Workload: name, LatencyNs: lat, Bytes: b,
+				Cost: stats.Cost(lat, b, 1),
+			})
+		}
+	}
+	tbl := Table{
+		Title:  "Figure 13: cost function C = P*S (r=1)",
+		Header: []string{"workload", "variant", "lat ns", "size", "cost"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Workload, string(r.Variant), f1(r.LatencyNs), stats.HumanBytes(r.Bytes),
+			fmt.Sprintf("%.3g", r.Cost),
+		})
+	}
+	return rows, tbl
+}
+
+// Fig14Row is one α point of the skew sweep.
+type Fig14Row struct {
+	Alpha     float64
+	Variant   TreeVariant
+	LatencyNs float64
+	Bytes     int64
+}
+
+// RunFig14 reproduces Figure 14: W1.1 with varying Zipf α ∈ (0, 1.6].
+func RunFig14(sc Scale) ([]Fig14Row, Table) {
+	keys := dataset.OSM(sc.OSMKeys, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	budget := adaptiveBudget(keys, vals, 4)
+	ops := sc.OpsPerPhase / 2
+	var rows []Fig14Row
+	for _, alpha := range []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6} {
+		spec := workload.W11
+		spec.ZipfAlpha = alpha
+		for _, v := range []TreeVariant{VariantAHI, VariantPreTrained, VariantSuccinct, VariantPacked, VariantGapped} {
+			ix := buildVariant(sc, v, keys, vals, budget, &spec, ops/4)
+			gen := workload.NewGenerator(spec, len(keys), int64(alpha*100))
+			r := runOps(ix, gen, keys, ops, 0)
+			rows = append(rows, Fig14Row{Alpha: alpha, Variant: v, LatencyNs: r.MeanNs, Bytes: ix.Bytes()})
+		}
+	}
+	tbl := Table{
+		Title:  "Figure 14: skew sweep (W1.1, varying alpha)",
+		Header: []string{"alpha", "variant", "lat ns", "size"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{f1(r.Alpha), string(r.Variant), f1(r.LatencyNs), stats.HumanBytes(r.Bytes)})
+	}
+	return rows, tbl
+}
+
+// Fig15Row is one memory-budget point.
+type Fig15Row struct {
+	BudgetBytes int64
+	LatencyNs   float64
+	Bytes       int64
+	GappedFrac  float64
+}
+
+// RunFig15 reproduces Figure 15: consecutive keys under W1.1 with a sweep
+// of absolute memory budgets between the succinct and gapped footprints.
+func RunFig15(sc Scale) ([]Fig15Row, Table) {
+	keys := dataset.ConsecutiveU64(sc.ConsecU64, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	succ := btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncSuccinct}, keys, vals).Bytes()
+	gap := btree.BulkLoad(btree.Config{DefaultEncoding: btree.EncGapped}, keys, vals).Bytes()
+	ops := sc.OpsPerPhase / 2
+	var rows []Fig15Row
+	for _, frac := range []float64{0.05, 0.25, 0.5, 0.75, 1.0} {
+		budget := succ + int64(frac*float64(gap-succ))
+		initial, minS, maxS, maxSample := sc.sampling()
+		a := btree.BulkLoadAdaptive(btree.AdaptiveConfig{
+			Tree:          btree.Config{DefaultEncoding: btree.EncSuccinct},
+			MemoryBudget:  budget,
+			InitialSkip:   initial,
+			MinSkip:       minS,
+			MaxSkip:       maxS,
+			MaxSampleSize: maxSample,
+		}, keys, vals)
+		gen := workload.NewGenerator(workload.W11, len(keys), 77)
+		r := runOps(sessionIndex{a.NewSession(), a}, gen, keys, ops, 0)
+		s, p, g := a.Tree.LeafCounts()
+		rows = append(rows, Fig15Row{
+			BudgetBytes: budget,
+			LatencyNs:   r.MeanNs,
+			Bytes:       a.Tree.Bytes(),
+			GappedFrac:  float64(g) / float64(s+p+g),
+		})
+	}
+	tbl := Table{
+		Title:  "Figure 15: memory-budget sweep (consecutive keys, W1.1)",
+		Header: []string{"budget", "lat ns", "size", "gapped leaf frac"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{
+			stats.HumanBytes(r.BudgetBytes), f1(r.LatencyNs), stats.HumanBytes(r.Bytes), f2(r.GappedFrac),
+		})
+	}
+	return rows, tbl
+}
+
+// Fig16Result traces the write-then-scan phase experiment.
+type Fig16Result struct {
+	Series      map[TreeVariant][]seriesPoint // both phases concatenated
+	Expansions  int64
+	Compactions int64
+}
+
+// RunFig16 reproduces Figure 16: write-dominated W5.1 followed by
+// scan-dominated W5.2 on the OSM dataset.
+func RunFig16(sc Scale) (*Fig16Result, Table) {
+	res := &Fig16Result{Series: map[TreeVariant][]seriesPoint{}}
+	variants := []TreeVariant{VariantAHI, VariantSuccinct, VariantPacked, VariantGapped}
+	tbl := Table{
+		Title:  "Figure 16: W5.1 (writes) then W5.2 (scans) on OSM",
+		Header: []string{"variant", "W5.1 ns", "W5.2 ns", "size after W5.1", "size after W5.2"},
+	}
+	for _, v := range variants {
+		keys := dataset.OSM(sc.OSMKeys, 1)
+		vals := make([]uint64, len(keys))
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+		ix := buildVariant(sc, v, keys, vals, adaptiveBudget(keys, vals, 4), nil, 0)
+		g1 := workload.NewGenerator(workload.W51, len(keys), 31)
+		r1 := runOps(ix, g1, keys, sc.OpsPerPhase/2, sc.Interval)
+		size1 := ix.Bytes()
+		g2 := workload.NewGenerator(workload.W52, len(keys), 33)
+		r2 := runOps(ix, g2, keys, sc.OpsPerPhase/2, sc.Interval)
+		res.Series[v] = append(append([]seriesPoint{}, r1.Series...), r2.Series...)
+		if v == VariantAHI {
+			a := ix.(sessionIndex).a
+			res.Expansions = a.Tree.Expansions()
+			res.Compactions = a.Tree.Compactions()
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			string(v), f1(r1.MeanNs), f1(r2.MeanNs),
+			stats.HumanBytes(size1), stats.HumanBytes(ix.Bytes()),
+		})
+	}
+	tbl.Rows = append(tbl.Rows, []string{
+		"(AHI migrations)", fmt.Sprintf("expand=%d", res.Expansions),
+		fmt.Sprintf("compact=%d", res.Compactions), "", "",
+	})
+	return res, tbl
+}
+
+// Fig17Row is one index point of the Dual-Stage comparison.
+type Fig17Row struct {
+	Index     string
+	Workload  string
+	LatencyNs float64
+	Bytes     int64
+}
+
+// RunFig17 reproduces Figure 17: AHI-BTree vs. the Dual-Stage baselines
+// (packed and succinct static stages) plus the static trees, on W2 and W4
+// over consecutive keys.
+func RunFig17(sc Scale) ([]Fig17Row, Table) {
+	keys := dataset.ConsecutiveU64(sc.ConsecU64, 1)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	budget := adaptiveBudget(keys, vals, 4)
+	ops := sc.OpsPerPhase / 2
+	var rows []Fig17Row
+	for _, wname := range []string{"W2", "W4"} {
+		spec := workload.Specs[wname]
+		run := func(name string, ix kvIndex) {
+			gen := workload.NewGenerator(spec, len(keys), 3)
+			r := runOps(ix, gen, keys, ops, 0)
+			rows = append(rows, Fig17Row{Index: name, Workload: wname, LatencyNs: r.MeanNs, Bytes: ix.Bytes()})
+		}
+		run("AHI-BTree", buildVariant(sc, VariantAHI, keys, vals, budget, nil, 0))
+		run("Succinct", buildVariant(sc, VariantSuccinct, keys, vals, 0, nil, 0))
+		run("Packed", buildVariant(sc, VariantPacked, keys, vals, 0, nil, 0))
+		run("Gapped", buildVariant(sc, VariantGapped, keys, vals, 0, nil, 0))
+		run("DualStage-Packed", dsIndex{dualstage.New(dualstage.Config{Static: dualstage.Packed}, keys, vals)})
+		run("DualStage-Succinct", dsIndex{dualstage.New(dualstage.Config{Static: dualstage.Succinct}, keys, vals)})
+	}
+	tbl := Table{
+		Title:  "Figure 17: AHI-BTree vs Dual-Stage",
+		Header: []string{"workload", "index", "lat ns", "size"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{r.Workload, r.Index, f1(r.LatencyNs), stats.HumanBytes(r.Bytes)})
+	}
+	return rows, tbl
+}
+
+// dsIndex adapts the Dual-Stage index.
+type dsIndex struct{ ix *dualstage.Index }
+
+func (d dsIndex) Lookup(k uint64) (uint64, bool) { return d.ix.Lookup(k) }
+func (d dsIndex) Insert(k, v uint64) bool        { d.ix.Insert(k, v); return true }
+func (d dsIndex) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	return d.ix.Scan(from, n, fn)
+}
+func (d dsIndex) Bytes() int64 { return d.ix.Bytes() }

@@ -1,0 +1,251 @@
+// Package bench contains one runner per table and figure of the paper's
+// evaluation (§5) plus the preliminary experiments (§2, §3). Each runner
+// builds its indexes and workloads from the synthetic datasets, executes
+// the experiment at a configurable scale, and returns the same rows or
+// series the paper reports. DESIGN.md §2 maps every experiment to its
+// runner; EXPERIMENTS.md records paper-vs-measured shapes.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ahi/internal/btree"
+	"ahi/internal/workload"
+)
+
+// Scale sizes an experiment. The paper's runs use 50M–400M keys on a
+// 64 GB machine; the default scales keep every run laptop-sized while
+// preserving skew and structure.
+type Scale struct {
+	Name      string
+	OSMKeys   int
+	UserIDs   int
+	Emails    int
+	ConsecU64 int
+	// OpsPerPhase is the number of queries per workload phase.
+	OpsPerPhase int
+	// Interval is the time-series bucket (ops per plotted point).
+	Interval int64
+	// Threads is the maximum worker count for Figure 18.
+	Threads int
+}
+
+// Predefined scales.
+var (
+	Tiny = Scale{Name: "tiny", OSMKeys: 100_000, UserIDs: 100_000, Emails: 50_000,
+		ConsecU64: 100_000, OpsPerPhase: 300_000, Interval: 30_000, Threads: 4}
+	Small = Scale{Name: "small", OSMKeys: 1_000_000, UserIDs: 1_000_000, Emails: 200_000,
+		ConsecU64: 1_000_000, OpsPerPhase: 2_000_000, Interval: 100_000, Threads: 8}
+	Medium = Scale{Name: "medium", OSMKeys: 4_000_000, UserIDs: 4_000_000, Emails: 1_000_000,
+		ConsecU64: 4_000_000, OpsPerPhase: 8_000_000, Interval: 400_000, Threads: 16}
+)
+
+// ScaleByName resolves a scale flag value.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny, nil
+	case "small", "":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	default:
+		return Scale{}, fmt.Errorf("unknown scale %q (tiny|small|medium)", name)
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) RenderCSV(w io.Writer) {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	row := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		fmt.Fprintln(w, strings.Join(parts, ","))
+	}
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	row(t.Header)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	fmt.Fprintln(w)
+}
+
+// f formats a float cell.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// kvIndex is the operation surface shared by every benchmarked index.
+type kvIndex interface {
+	Lookup(k uint64) (uint64, bool)
+	Insert(k, v uint64) bool
+	Scan(from uint64, n int, fn func(k, v uint64) bool) int
+	Bytes() int64
+}
+
+// treeIndex adapts a plain (non-adaptive) btree.Tree.
+type treeIndex struct{ t *btree.Tree }
+
+func (x treeIndex) Lookup(k uint64) (uint64, bool) { return x.t.Lookup(k) }
+func (x treeIndex) Insert(k, v uint64) bool        { return x.t.Insert(k, v) }
+func (x treeIndex) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	return x.t.Scan(from, n, fn)
+}
+func (x treeIndex) Bytes() int64 { return x.t.Bytes() }
+
+// sessionIndex adapts an adaptive tree session.
+type sessionIndex struct {
+	s *btree.Session
+	a *btree.Adaptive
+}
+
+func (x sessionIndex) Lookup(k uint64) (uint64, bool) { return x.s.Lookup(k) }
+func (x sessionIndex) Insert(k, v uint64) bool        { return x.s.Insert(k, v) }
+func (x sessionIndex) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	return x.s.Scan(from, n, fn)
+}
+func (x sessionIndex) Bytes() int64 { return x.a.Tree.Bytes() }
+
+// runResult is the measured outcome of a phase run.
+type runResult struct {
+	MeanNs     float64
+	Ops        int64
+	Elapsed    time.Duration
+	FinalBytes int64
+	Series     []seriesPoint
+}
+
+type seriesPoint struct {
+	Ops    int64
+	MeanNs float64
+	Bytes  int64
+}
+
+// sampling returns adaptation-manager knobs proportional to the scale's
+// operation budget. The paper's skip range [50,500] assumes 50M-query
+// phases; scaled-down runs need proportionally tighter sampling so several
+// adaptation phases fit into each workload phase.
+func (sc Scale) sampling() (initialSkip, minSkip, maxSkip, maxSample int) {
+	maxSample = sc.OpsPerPhase / 256
+	if maxSample < 256 {
+		maxSample = 256
+	}
+	return 8, 4, 32, maxSample
+}
+
+// timedBatch is the batching quantum for latency measurement: timing every
+// single op would distort sub-100ns operations.
+const timedBatch = 512
+
+// runOps executes ops operations of gen against ix, recording a
+// time-series point every interval operations (interval <= 0 disables the
+// series). Lookups dominate cost; values are ignored.
+func runOps(ix kvIndex, gen *workload.Generator, keys []uint64, ops int, interval int64) runResult {
+	var res runResult
+	var curSum time.Duration
+	var curN int64
+	var sink uint64
+	opBuf := make([]workload.Op, timedBatch)
+	done := 0
+	for done < ops {
+		batch := timedBatch
+		if rem := ops - done; rem < batch {
+			batch = rem
+		}
+		gen.Fill(opBuf[:batch])
+		start := time.Now()
+		for _, op := range opBuf[:batch] {
+			switch op.Kind {
+			case workload.OpRead:
+				v, _ := ix.Lookup(keys[op.Index])
+				sink += v
+			case workload.OpScan:
+				ix.Scan(keys[op.Index], op.ScanLen, func(k, v uint64) bool {
+					sink += v
+					return true
+				})
+			case workload.OpInsert:
+				// Derive a fresh key adjacent to an existing one so inserts
+				// land inside the populated space (the paper's inserts
+				// follow the same key distributions as reads). The value is
+				// TID-like: huge values would wreck FOR compression and
+				// distort every size measurement.
+				ix.Insert(keys[op.Index]+1, uint64(op.Index))
+			}
+		}
+		el := time.Since(start)
+		done += batch
+		res.Elapsed += el
+		curSum += el
+		curN += int64(batch)
+		if interval > 0 && curN >= interval {
+			res.Series = append(res.Series, seriesPoint{
+				Ops:    int64(done),
+				MeanNs: float64(curSum.Nanoseconds()) / float64(curN),
+				Bytes:  ix.Bytes(),
+			})
+			curSum, curN = 0, 0
+		}
+	}
+	if interval > 0 && curN > 0 {
+		res.Series = append(res.Series, seriesPoint{
+			Ops:    int64(done),
+			MeanNs: float64(curSum.Nanoseconds()) / float64(curN),
+			Bytes:  ix.Bytes(),
+		})
+	}
+	res.Ops = int64(ops)
+	res.MeanNs = float64(res.Elapsed.Nanoseconds()) / float64(ops)
+	res.FinalBytes = ix.Bytes()
+	_ = sink
+	return res
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// timing-sensitive shape assertions relax or skip under it.
+const raceEnabled = true

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// sparkline renders values as a unicode mini-chart (min-max normalized).
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ticks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ticks)-1))
+		}
+		b.WriteRune(ticks[idx])
+	}
+	return b.String()
+}
+
+// renderSeries prints one labeled latency/size trace (the paper's
+// over-time plots, Figures 12, 16 and 20).
+func renderSeries(w io.Writer, label string, pts []seriesPoint) {
+	if len(pts) == 0 {
+		return
+	}
+	lat := make([]float64, len(pts))
+	size := make([]float64, len(pts))
+	minLat, maxLat := pts[0].MeanNs, pts[0].MeanNs
+	for i, p := range pts {
+		lat[i] = p.MeanNs
+		size[i] = float64(p.Bytes)
+		if p.MeanNs < minLat {
+			minLat = p.MeanNs
+		}
+		if p.MeanNs > maxLat {
+			maxLat = p.MeanNs
+		}
+	}
+	fmt.Fprintf(w, "%-12s latency %s  [%.0f..%.0f ns]\n", label, sparkline(lat), minLat, maxLat)
+	fmt.Fprintf(w, "%-12s size    %s  [%.2f..%.2f MB]\n", label,
+		sparkline(size), size[0]/(1<<20), size[len(size)-1]/(1<<20))
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSparkline(t *testing.T) {
+	if sparkline(nil) != "" {
+		t.Fatal("empty input")
+	}
+	s := sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("len=%d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("range mapping wrong: %q", s)
+	}
+	// Constant series: all minimum ticks, no division by zero.
+	c := []rune(sparkline([]float64{5, 5, 5}))
+	for _, r := range c {
+		if r != '▁' {
+			t.Fatalf("constant series: %q", string(c))
+		}
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	var buf bytes.Buffer
+	renderSeries(&buf, "x", nil) // no-op
+	if buf.Len() != 0 {
+		t.Fatal("empty series produced output")
+	}
+	pts := []seriesPoint{{Ops: 10, MeanNs: 100, Bytes: 1 << 20}, {Ops: 20, MeanNs: 50, Bytes: 2 << 20}}
+	renderSeries(&buf, "ahi", pts)
+	out := buf.String()
+	if !strings.Contains(out, "ahi") || !strings.Contains(out, "latency") || !strings.Contains(out, "size") {
+		t.Fatalf("series output wrong:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tbl := Table{
+		Title:  "T",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1,2", `say "hi"`}, {"3", "4"}},
+	}
+	var buf bytes.Buffer
+	tbl.RenderCSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `"1,2"`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "# T\n") {
+		t.Fatalf("title comment missing:\n%s", out)
+	}
+}
+
+func TestCSVRegistryMode(t *testing.T) {
+	reg := Registry("../..", true)
+	var buf bytes.Buffer
+	if err := reg["tbl3"].Run(microScale, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "workload,reads,") {
+		t.Fatalf("CSV output missing:\n%s", buf.String())
+	}
+}

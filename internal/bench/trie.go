@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ahi/internal/art"
+	"ahi/internal/core"
+	"ahi/internal/dataset"
+	"ahi/internal/fst"
+	"ahi/internal/hybridtrie"
+	"ahi/internal/stats"
+	"ahi/internal/workload"
+)
+
+// u64keys converts sorted uint64 keys into big-endian byte keys.
+func u64keys(keys []uint64) [][]byte {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = dataset.KeyBytes(k)
+	}
+	return out
+}
+
+// byteIndex is the operation surface of the trie experiments.
+type byteIndex interface {
+	Lookup(key []byte) (uint64, bool)
+	Scan(from []byte, n int, fn func(key []byte, val uint64) bool) int
+	Bytes() int64
+}
+
+type artIndex struct{ t *art.Tree }
+
+func (x artIndex) Lookup(k []byte) (uint64, bool) { return x.t.Lookup(k) }
+func (x artIndex) Scan(from []byte, n int, fn func([]byte, uint64) bool) int {
+	return x.t.Scan(from, n, fn)
+}
+func (x artIndex) Bytes() int64 { return x.t.Bytes() }
+
+type fstIndex struct{ f *fst.FST }
+
+func (x fstIndex) Lookup(k []byte) (uint64, bool) { return x.f.Lookup(k) }
+func (x fstIndex) Scan(from []byte, n int, fn func([]byte, uint64) bool) int {
+	it := fst.NewIterator(x.f)
+	visited := 0
+	for ok := it.Seek(from); ok && visited < n; ok = it.Next() {
+		visited++
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+	}
+	return visited
+}
+func (x fstIndex) Bytes() int64 { return x.f.Bytes() }
+
+type trieIndex struct{ t *hybridtrie.Trie }
+
+func (x trieIndex) Lookup(k []byte) (uint64, bool) { return x.t.Lookup(k) }
+func (x trieIndex) Scan(from []byte, n int, fn func([]byte, uint64) bool) int {
+	return x.t.Scan(from, n, fn, nil)
+}
+func (x trieIndex) Bytes() int64 { return x.t.Bytes() }
+
+type trieSessionIndex struct {
+	s *hybridtrie.Session
+	a *hybridtrie.Adaptive
+}
+
+func (x trieSessionIndex) Lookup(k []byte) (uint64, bool) { return x.s.Lookup(k) }
+func (x trieSessionIndex) Scan(from []byte, n int, fn func([]byte, uint64) bool) int {
+	return x.s.Scan(from, n, fn)
+}
+func (x trieSessionIndex) Bytes() int64 { return x.a.Trie.Bytes() }
+
+// runByteOps drives a byte-keyed index with a workload generator.
+func runByteOps(ix byteIndex, gen *workload.Generator, keys [][]byte, ops int, interval int64) runResult {
+	var res runResult
+	var curSum time.Duration
+	var curN int64
+	var sink uint64
+	done := 0
+	opBuf := make([]workload.Op, timedBatch)
+	for done < ops {
+		batch := timedBatch
+		if rem := ops - done; rem < batch {
+			batch = rem
+		}
+		gen.Fill(opBuf[:batch])
+		start := time.Now()
+		for _, op := range opBuf[:batch] {
+			switch op.Kind {
+			case workload.OpRead:
+				v, _ := ix.Lookup(keys[op.Index])
+				sink += v
+			case workload.OpScan:
+				ix.Scan(keys[op.Index], op.ScanLen, func(k []byte, v uint64) bool {
+					sink += v
+					return true
+				})
+			}
+		}
+		el := time.Since(start)
+		done += batch
+		res.Elapsed += el
+		curSum += el
+		curN += int64(batch)
+		if interval > 0 && curN >= interval {
+			res.Series = append(res.Series, seriesPoint{Ops: int64(done), MeanNs: float64(curSum.Nanoseconds()) / float64(curN), Bytes: ix.Bytes()})
+			curSum, curN = 0, 0
+		}
+	}
+	if interval > 0 && curN > 0 {
+		res.Series = append(res.Series, seriesPoint{Ops: int64(done), MeanNs: float64(curSum.Nanoseconds()) / float64(curN), Bytes: ix.Bytes()})
+	}
+	res.Ops = int64(ops)
+	res.MeanNs = float64(res.Elapsed.Nanoseconds()) / float64(ops)
+	res.FinalBytes = ix.Bytes()
+	_ = sink
+	return res
+}
+
+// Table2Row is one trie variant of Table 2.
+type Table2Row struct {
+	Index     string
+	Bytes     int64
+	LatencyNs float64
+	Height    int
+}
+
+// RunTable2 reproduces Table 2: ART vs. FST-dense vs. FST-sparse on the
+// prefix-random dataset (user ids), point lookups.
+func RunTable2(sc Scale) ([]Table2Row, Table) {
+	keys := dataset.UserIDs(sc.UserIDs, 3)
+	bk := u64keys(keys)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	ops := sc.OpsPerPhase / 2
+	spec := workload.W3
+	var rows []Table2Row
+
+	at := art.New()
+	for i := range bk {
+		at.Insert(bk[i], vals[i])
+	}
+	fd := fst.New(fst.Config{DenseLevels: 64}, bk, vals)
+	fs := fst.New(fst.Config{DenseLevels: 0}, bk, vals)
+
+	for _, e := range []struct {
+		name   string
+		ix     byteIndex
+		height int
+	}{
+		{"ART", artIndex{at}, 8},
+		{"FST-dense", fstIndex{fd}, fd.Height()},
+		{"FST-sparse", fstIndex{fs}, fs.Height()},
+	} {
+		gen := workload.NewGenerator(spec, len(keys), 7)
+		r := runByteOps(e.ix, gen, bk, ops, 0)
+		rows = append(rows, Table2Row{Index: e.name, Bytes: e.ix.Bytes(), LatencyNs: r.MeanNs, Height: e.height})
+	}
+	tbl := Table{
+		Title:  "Table 2: trie encodings on prefix-random user ids",
+		Header: []string{"index", "size", "lookup ns", "height"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{r.Index, stats.HumanBytes(r.Bytes), f1(r.LatencyNs), fmt.Sprint(r.Height)})
+	}
+	return rows, tbl
+}
+
+// Fig19Row is one index point of the email experiment.
+type Fig19Row struct {
+	Index     string
+	Workload  string // point (W6.1) or scan (W6.2)
+	LatencyNs float64
+	Bytes     int64
+}
+
+// RunFig19 reproduces Figure 19: point lookups (W6.1) and scans (W6.2)
+// over unique email addresses for ART, FST, AHI-Trie, and the pre-trained
+// Hybrid Trie.
+func RunFig19(sc Scale) ([]Fig19Row, Table) {
+	emails := dataset.Emails(sc.Emails, 5)
+	bk := make([][]byte, len(emails))
+	for i, e := range emails {
+		bk[i] = append([]byte(e), 0)
+	}
+	vals := make([]uint64, len(bk))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	ops := sc.OpsPerPhase / 4
+	const cArt = 9 // the paper: ART stores the upper 9 levels for emails
+	var rows []Fig19Row
+
+	for _, wl := range []struct {
+		name string
+		spec workload.Spec
+	}{
+		{"point (W6.1)", workload.W61},
+		{"scan (W6.2)", workload.W62},
+	} {
+		at := art.New()
+		for i := range bk {
+			at.Insert(bk[i], vals[i])
+		}
+		f := fst.New(fst.AutoDense(), bk, vals)
+		initial, minS, maxS, maxSample := sc.sampling()
+		adaptive := hybridtrie.BuildAdaptive(hybridtrie.AdaptiveConfig{
+			Trie:          hybridtrie.Config{CArt: cArt, FST: fst.AutoDense()},
+			InitialSkip:   initial,
+			MinSkip:       minS,
+			MaxSkip:       maxS,
+			MaxSampleSize: maxSample,
+		}, bk, vals)
+		trained := hybridtrie.BuildAdaptive(hybridtrie.AdaptiveConfig{
+			Trie: hybridtrie.Config{CArt: cArt, FST: fst.AutoDense()},
+		}, bk, vals)
+		{
+			gen := workload.NewGenerator(wl.spec, len(bk), 21)
+			freq := make([]uint64, len(bk))
+			for i := 0; i < ops/4; i++ {
+				freq[gen.Next().Index]++
+			}
+			trained.Train(bk, freq)
+		}
+		for _, e := range []struct {
+			name string
+			ix   byteIndex
+		}{
+			{"ART", artIndex{at}},
+			{"FST", fstIndex{f}},
+			{"AHI-Trie", trieSessionIndex{adaptive.NewSession(), adaptive}},
+			{"Pre-Trained", trieIndex{trained.Trie}},
+		} {
+			gen := workload.NewGenerator(wl.spec, len(bk), 9)
+			r := runByteOps(e.ix, gen, bk, ops, 0)
+			rows = append(rows, Fig19Row{Index: e.name, Workload: wl.name, LatencyNs: r.MeanNs, Bytes: e.ix.Bytes()})
+		}
+	}
+	tbl := Table{
+		Title:  "Figure 19: point & scan on email addresses",
+		Header: []string{"workload", "index", "lat ns", "size"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{r.Workload, r.Index, f1(r.LatencyNs), stats.HumanBytes(r.Bytes)})
+	}
+	return rows, tbl
+}
+
+// Fig20Result traces the prefix-random phase-shift experiment.
+type Fig20Result struct {
+	Series      map[string][]seriesPoint
+	Adaptations []core.AdaptInfo
+	Expansions  int64
+	Compactions int64
+}
+
+// RunFig20 reproduces Figure 20: the dbbench prefix-random workload (W3)
+// over user ids, two phases with disjoint hot prefix ranges, for the
+// adaptive and pre-trained Hybrid Trie, ART and FST.
+func RunFig20(sc Scale) (*Fig20Result, Table) {
+	keys := dataset.UserIDs(sc.UserIDs, 13)
+	bk := u64keys(keys)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	const cArt = 2
+	res := &Fig20Result{Series: map[string][]seriesPoint{}}
+	tbl := Table{
+		Title:  "Figure 20: prefix-random (W3) phase shift on user ids",
+		Header: []string{"index", "phase-1 ns", "phase-2 ns", "final size", "expansions", "compactions"},
+	}
+
+	runPhases := func(name string, ix byteIndex, setPhase func(int)) (p1, p2 float64) {
+		gen := workload.NewGenerator(workload.W3, len(bk), 41)
+		gen.SetPhase(0)
+		if setPhase != nil {
+			setPhase(0)
+		}
+		r1 := runByteOps(ix, gen, bk, sc.OpsPerPhase/2, sc.Interval)
+		gen.SetPhase(1)
+		r2 := runByteOps(ix, gen, bk, sc.OpsPerPhase/2, sc.Interval)
+		res.Series[name] = append(append([]seriesPoint{}, r1.Series...), r2.Series...)
+		return r1.MeanNs, r2.MeanNs
+	}
+
+	// ART baseline.
+	at := art.New()
+	for i := range bk {
+		at.Insert(bk[i], vals[i])
+	}
+	p1, p2 := runPhases("ART", artIndex{at}, nil)
+	tbl.Rows = append(tbl.Rows, []string{"ART", f1(p1), f1(p2), stats.HumanBytes(at.Bytes()), "", ""})
+
+	// FST baseline.
+	f := fst.New(fst.AutoDense(), bk, vals)
+	p1, p2 = runPhases("FST", fstIndex{f}, nil)
+	tbl.Rows = append(tbl.Rows, []string{"FST", f1(p1), f1(p2), stats.HumanBytes(f.Bytes()), "", ""})
+
+	// Adaptive Hybrid Trie with adaptation trace.
+	initial, minS, maxS, maxSample := sc.sampling()
+	a := hybridtrie.BuildAdaptive(hybridtrie.AdaptiveConfig{
+		Trie:          hybridtrie.Config{CArt: cArt, FST: fst.AutoDense()},
+		InitialSkip:   initial,
+		MinSkip:       minS,
+		MaxSkip:       maxS,
+		MaxSampleSize: maxSample,
+		OnAdapt:       func(ai core.AdaptInfo) { res.Adaptations = append(res.Adaptations, ai) },
+	}, bk, vals)
+	p1, p2 = runPhases("AHI-Trie", trieSessionIndex{a.NewSession(), a}, nil)
+	res.Expansions = a.Trie.Expansions()
+	res.Compactions = a.Trie.Compactions()
+	tbl.Rows = append(tbl.Rows, []string{"AHI-Trie", f1(p1), f1(p2),
+		stats.HumanBytes(a.Trie.Bytes()), fmt.Sprint(res.Expansions), fmt.Sprint(res.Compactions)})
+
+	// Pre-trained on phase 1 (static thereafter).
+	trained := hybridtrie.BuildAdaptive(hybridtrie.AdaptiveConfig{
+		Trie: hybridtrie.Config{CArt: cArt, FST: fst.AutoDense()},
+	}, bk, vals)
+	{
+		gen := workload.NewGenerator(workload.W3, len(bk), 41)
+		gen.SetPhase(0)
+		freq := make([]uint64, len(bk))
+		for i := 0; i < sc.OpsPerPhase/8; i++ {
+			freq[gen.Next().Index]++
+		}
+		trained.Train(bk, freq)
+	}
+	p1, p2 = runPhases("Pre-Trained", trieIndex{trained.Trie}, nil)
+	tbl.Rows = append(tbl.Rows, []string{"Pre-Trained", f1(p1), f1(p2), stats.HumanBytes(trained.Trie.Bytes()), "", ""})
+
+	sort.Slice(tbl.Rows, func(i, j int) bool { return tbl.Rows[i][0] < tbl.Rows[j][0] })
+	return res, tbl
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"sort"
+
+	"ahi/internal/dataset"
+	"ahi/internal/stats"
+	"ahi/internal/workload"
+)
+
+// YCSBRow is one (workload, index) cell of the extension experiment.
+type YCSBRow struct {
+	Workload  string
+	Index     string
+	LatencyNs float64
+	Bytes     int64
+}
+
+// RunYCSB is an extension beyond the paper's evaluation: the adaptive
+// B+-tree against the static baselines across the six core YCSB mixes.
+// The paper's W4 covers one custom YCSB configuration; this sweep shows
+// where adaptivity pays (skewed reads: B, C, D) and where the eager
+// expand-on-insert policy dominates (write-heavy: A, F).
+func RunYCSB(sc Scale) ([]YCSBRow, Table) {
+	keys := dataset.YCSBKeys(sc.ConsecU64, 5)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	budget := adaptiveBudget(keys, vals, 4)
+	ops := sc.OpsPerPhase / 4
+	letters := make([]string, 0, len(workload.YCSBSpecs))
+	for l := range workload.YCSBSpecs {
+		letters = append(letters, l)
+	}
+	sort.Strings(letters)
+	var rows []YCSBRow
+	for _, l := range letters {
+		spec := workload.YCSBSpecs[l]
+		for _, v := range []TreeVariant{VariantAHI, VariantSuccinct, VariantGapped} {
+			ix := buildVariant(sc, v, keys, vals, budget, nil, 0)
+			gen := workload.NewGenerator(spec, len(keys), 11)
+			r := runOps(ix, gen, keys, ops, 0)
+			rows = append(rows, YCSBRow{Workload: spec.Name, Index: string(v), LatencyNs: r.MeanNs, Bytes: ix.Bytes()})
+		}
+	}
+	tbl := Table{
+		Title:  "Extension: YCSB core workloads A-F",
+		Header: []string{"workload", "index", "lat ns", "size"},
+	}
+	for _, r := range rows {
+		tbl.Rows = append(tbl.Rows, []string{r.Workload, r.Index, f1(r.LatencyNs), stats.HumanBytes(r.Bytes)})
+	}
+	return rows, tbl
+}

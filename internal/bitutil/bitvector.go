@@ -1,0 +1,261 @@
+package bitutil
+
+import "math/bits"
+
+// Builder accumulates bits for a BitVector.
+type Builder struct {
+	words []uint64
+	n     int
+}
+
+// Append adds one bit.
+func (b *Builder) Append(bit bool) {
+	word := b.n / 64
+	if word == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[word] |= 1 << uint(b.n%64)
+	}
+	b.n++
+}
+
+// AppendN adds n copies of bit.
+func (b *Builder) AppendN(bit bool, n int) {
+	for i := 0; i < n; i++ {
+		b.Append(bit)
+	}
+}
+
+// AppendWord adds the low n bits of w (LSB first).
+func (b *Builder) AppendWord(w uint64, n int) {
+	for i := 0; i < n; i++ {
+		b.Append(w&(1<<uint(i)) != 0)
+	}
+}
+
+// Len returns the number of appended bits.
+func (b *Builder) Len() int { return b.n }
+
+// Set sets bit i (which must already have been appended) to 1.
+func (b *Builder) Set(i int) { b.words[i/64] |= 1 << uint(i%64) }
+
+// Get reports bit i of the builder.
+func (b *Builder) Get(i int) bool { return b.words[i/64]&(1<<uint(i%64)) != 0 }
+
+// Build finalizes the vector and computes the rank/select directories.
+func (b *Builder) Build() *BitVector {
+	return newBitVector(b.words, b.n)
+}
+
+// BitVector is an immutable bit vector with O(1) Rank1 and near-O(1)
+// Select1. The rank directory stores one cumulative 64-bit count per
+// 512-bit superblock plus packed 9-bit offsets per word (stored as bytes of
+// a uint64 here for simplicity: a rank9-style layout). Select keeps a
+// sampled position every selectSample ones and scans forward.
+type BitVector struct {
+	words      []uint64
+	superRank  []uint64 // cumulative ones before each 8-word superblock
+	selectSamp []uint32 // position of every selectSample-th one
+	n          int
+	ones       int
+}
+
+const (
+	wordsPerSuper = 8
+	selectSample  = 512
+)
+
+func newBitVector(words []uint64, n int) *BitVector {
+	v := &BitVector{words: words, n: n}
+	nSuper := (len(words) + wordsPerSuper - 1) / wordsPerSuper
+	v.superRank = make([]uint64, nSuper+1)
+	ones := 0
+	for s := 0; s < nSuper; s++ {
+		v.superRank[s] = uint64(ones)
+		end := (s + 1) * wordsPerSuper
+		if end > len(words) {
+			end = len(words)
+		}
+		for w := s * wordsPerSuper; w < end; w++ {
+			ones += bits.OnesCount64(words[w])
+		}
+	}
+	v.superRank[nSuper] = uint64(ones)
+	v.ones = ones
+	// Select samples.
+	v.selectSamp = make([]uint32, 0, ones/selectSample+1)
+	seen := 0
+	for w, word := range words {
+		c := bits.OnesCount64(word)
+		for seen/selectSample != (seen+c)/selectSample {
+			// The ((seen/selectSample)+1)*selectSample-th one lies in this word.
+			target := (seen/selectSample + 1) * selectSample
+			rem := target - seen // rem-th one inside word (1-based)
+			pos := w*64 + selectInWord(word, rem)
+			v.selectSamp = append(v.selectSamp, uint32(pos))
+			seen += c
+			c = 0 // loop exit: the remaining ones of this word were counted
+			break
+		}
+		seen += c
+	}
+	return v
+}
+
+// selectInWord returns the bit index of the k-th (1-based) set bit of w.
+func selectInWord(w uint64, k int) int {
+	for i := 1; i < k; i++ {
+		w &= w - 1
+	}
+	return bits.TrailingZeros64(w)
+}
+
+// Len returns the number of bits.
+func (v *BitVector) Len() int { return v.n }
+
+// Ones returns the total number of set bits.
+func (v *BitVector) Ones() int { return v.ones }
+
+// Bytes returns the approximate heap footprint.
+func (v *BitVector) Bytes() int {
+	return len(v.words)*8 + len(v.superRank)*8 + len(v.selectSamp)*4
+}
+
+// Get reports bit i.
+func (v *BitVector) Get(i int) bool { return v.words[i/64]&(1<<uint(i%64)) != 0 }
+
+// Rank1 returns the number of set bits in [0, i). i may equal Len().
+func (v *BitVector) Rank1(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i >= v.n {
+		return v.ones
+	}
+	word := i / 64
+	super := word / wordsPerSuper
+	r := int(v.superRank[super])
+	for w := super * wordsPerSuper; w < word; w++ {
+		r += bits.OnesCount64(v.words[w])
+	}
+	return r + bits.OnesCount64(v.words[word]&(1<<uint(i%64)-1))
+}
+
+// Rank0 returns the number of zero bits in [0, i).
+func (v *BitVector) Rank0(i int) int {
+	if i >= v.n {
+		return v.n - v.ones
+	}
+	return i - v.Rank1(i)
+}
+
+// Select1 returns the position of the k-th (1-based) set bit, or -1 if
+// k exceeds the number of ones.
+func (v *BitVector) Select1(k int) int {
+	if k <= 0 || k > v.ones {
+		return -1
+	}
+	// Start from the nearest sample, then hop superblocks, then words.
+	startWord := 0
+	count := 0
+	if s := k/selectSample - 1; s >= 0 && s < len(v.selectSamp) {
+		pos := int(v.selectSamp[s])
+		startWord = pos / 64
+		count = (s + 1) * selectSample
+		// count ones strictly before startWord: subtract ones within word up to pos inclusive
+		count -= bits.OnesCount64(v.words[startWord] & (^uint64(0) >> (63 - uint(pos%64))))
+	}
+	// Hop superblock boundaries where possible.
+	super := startWord/wordsPerSuper + 1
+	for super < len(v.superRank)-1 && int(v.superRank[super]) < k {
+		prev := super * wordsPerSuper
+		if int(v.superRank[super]) >= count {
+			startWord = prev
+			count = int(v.superRank[super])
+		}
+		super++
+	}
+	for w := startWord; w < len(v.words); w++ {
+		c := bits.OnesCount64(v.words[w])
+		if count+c >= k {
+			return w*64 + selectInWord(v.words[w], k-count)
+		}
+		count += c
+	}
+	return -1
+}
+
+// NextSet returns the position of the first set bit at or after i, or -1.
+func (v *BitVector) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= v.n {
+		return -1
+	}
+	w := i / 64
+	cur := v.words[w] >> uint(i%64)
+	if cur != 0 {
+		p := i + bits.TrailingZeros64(cur)
+		if p < v.n {
+			return p
+		}
+		return -1
+	}
+	for w++; w < len(v.words); w++ {
+		if v.words[w] != 0 {
+			p := w*64 + bits.TrailingZeros64(v.words[w])
+			if p < v.n {
+				return p
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// PrevSet returns the position of the last set bit at or before i, or -1.
+func (v *BitVector) PrevSet(i int) int {
+	if i >= v.n {
+		i = v.n - 1
+	}
+	if i < 0 {
+		return -1
+	}
+	w := i / 64
+	cur := v.words[w] << uint(63-i%64)
+	if cur != 0 {
+		return i - bits.LeadingZeros64(cur)
+	}
+	for w--; w >= 0; w-- {
+		if v.words[w] != 0 {
+			return w*64 + 63 - bits.LeadingZeros64(v.words[w])
+		}
+	}
+	return -1
+}
+
+// AppendUint64s serializes the vector as (bitLen, wordCount, words...) into
+// dst — the persistence primitive used by the FST. The rank/select
+// directories are rebuilt on load rather than stored.
+func (v *BitVector) AppendUint64s(dst []uint64) []uint64 {
+	dst = append(dst, uint64(v.n), uint64(len(v.words)))
+	return append(dst, v.words...)
+}
+
+// BitVectorFromUint64s reverses AppendUint64s, consuming from src and
+// returning the remainder. The word payload is copied.
+func BitVectorFromUint64s(src []uint64) (*BitVector, []uint64, error) {
+	if len(src) < 2 {
+		return nil, nil, errTruncated
+	}
+	n, words := int(src[0]), int(src[1])
+	src = src[2:]
+	if words > len(src) || n > words*64 || n < 0 {
+		return nil, nil, errTruncated
+	}
+	w := make([]uint64, words)
+	copy(w, src[:words])
+	return newBitVector(w, n), src[words:], nil
+}

@@ -1,0 +1,181 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveBits mirrors a BitVector for cross-checking.
+type naiveBits []bool
+
+func (n naiveBits) rank1(i int) int {
+	if i > len(n) {
+		i = len(n)
+	}
+	r := 0
+	for j := 0; j < i; j++ {
+		if n[j] {
+			r++
+		}
+	}
+	return r
+}
+
+func (n naiveBits) select1(k int) int {
+	seen := 0
+	for i, b := range n {
+		if b {
+			seen++
+			if seen == k {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func buildRandom(t *testing.T, n int, density float64, seed int64) (*BitVector, naiveBits) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var b Builder
+	ref := make(naiveBits, n)
+	for i := 0; i < n; i++ {
+		bit := rng.Float64() < density
+		ref[i] = bit
+		b.Append(bit)
+	}
+	return b.Build(), ref
+}
+
+func TestBitVectorRankSelectAgainstNaive(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		density float64
+	}{
+		{1, 1}, {63, 0.5}, {64, 0.5}, {65, 0.5}, {1000, 0.02},
+		{5000, 0.5}, {5000, 0.95}, {4096, 0.25}, {513, 1.0}, {777, 0.0},
+	} {
+		v, ref := buildRandom(t, tc.n, tc.density, int64(tc.n)*31+int64(tc.density*100))
+		if v.Len() != tc.n {
+			t.Fatalf("Len=%d want %d", v.Len(), tc.n)
+		}
+		if v.Ones() != ref.rank1(tc.n) {
+			t.Fatalf("n=%d d=%v: Ones=%d want %d", tc.n, tc.density, v.Ones(), ref.rank1(tc.n))
+		}
+		for i := 0; i <= tc.n; i++ {
+			if got, want := v.Rank1(i), ref.rank1(i); got != want {
+				t.Fatalf("n=%d d=%v: Rank1(%d)=%d want %d", tc.n, tc.density, i, got, want)
+			}
+		}
+		for k := 1; k <= v.Ones(); k++ {
+			if got, want := v.Select1(k), ref.select1(k); got != want {
+				t.Fatalf("n=%d d=%v: Select1(%d)=%d want %d", tc.n, tc.density, k, got, want)
+			}
+		}
+		if v.Select1(0) != -1 || v.Select1(v.Ones()+1) != -1 {
+			t.Fatal("Select1 out-of-range should return -1")
+		}
+	}
+}
+
+func TestBitVectorRankSelectInverse(t *testing.T) {
+	v, _ := buildRandom(t, 20000, 0.3, 99)
+	for k := 1; k <= v.Ones(); k += 7 {
+		pos := v.Select1(k)
+		if !v.Get(pos) {
+			t.Fatalf("Select1(%d)=%d is not a set bit", k, pos)
+		}
+		if r := v.Rank1(pos + 1); r != k {
+			t.Fatalf("Rank1(Select1(%d)+1)=%d", k, r)
+		}
+	}
+}
+
+func TestBitVectorRank0(t *testing.T) {
+	v, ref := buildRandom(t, 3000, 0.4, 5)
+	for i := 0; i <= 3000; i += 13 {
+		want := min(i, 3000) - ref.rank1(i)
+		if got := v.Rank0(i); got != want {
+			t.Fatalf("Rank0(%d)=%d want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitVectorNextPrevSet(t *testing.T) {
+	v, ref := buildRandom(t, 2048, 0.1, 11)
+	for i := -1; i <= 2048; i++ {
+		wantNext := -1
+		for j := max(i, 0); j < len(ref); j++ {
+			if ref[j] {
+				wantNext = j
+				break
+			}
+		}
+		if got := v.NextSet(i); got != wantNext {
+			t.Fatalf("NextSet(%d)=%d want %d", i, got, wantNext)
+		}
+		wantPrev := -1
+		for j := min(i, len(ref)-1); j >= 0; j-- {
+			if ref[j] {
+				wantPrev = j
+				break
+			}
+		}
+		if got := v.PrevSet(i); got != wantPrev {
+			t.Fatalf("PrevSet(%d)=%d want %d", i, got, wantPrev)
+		}
+	}
+}
+
+func TestBuilderSetAndGet(t *testing.T) {
+	var b Builder
+	b.AppendN(false, 130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Builder Set/Get mismatch")
+	}
+	v := b.Build()
+	if v.Ones() != 3 || v.Select1(2) != 64 {
+		t.Fatalf("Ones=%d Select1(2)=%d", v.Ones(), v.Select1(2))
+	}
+}
+
+func TestBuilderAppendWord(t *testing.T) {
+	var b Builder
+	b.AppendWord(0b1011, 4)
+	v := b.Build()
+	want := []bool{true, true, false, true}
+	for i, w := range want {
+		if v.Get(i) != w {
+			t.Fatalf("bit %d = %v want %v", i, v.Get(i), w)
+		}
+	}
+}
+
+func BenchmarkBitVectorRank1(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var bl Builder
+	for i := 0; i < 1<<20; i++ {
+		bl.Append(rng.Intn(2) == 0)
+	}
+	v := bl.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Rank1(int(uint(i*2654435761) % uint(v.Len())))
+	}
+}
+
+func BenchmarkBitVectorSelect1(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var bl Builder
+	for i := 0; i < 1<<20; i++ {
+		bl.Append(rng.Intn(2) == 0)
+	}
+	v := bl.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.Select1(1 + int(uint(i*2654435761)%uint(v.Ones())))
+	}
+}

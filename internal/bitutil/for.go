@@ -1,0 +1,75 @@
+package bitutil
+
+// FORArray is a frame-of-reference coded array of uint64 values: the minimum
+// (the frame) is stored once, the per-element deltas are bit-packed with the
+// minimum width that fits the largest delta. Random access stays O(1), which
+// is what distinguishes FOR from delta coding and what the Succinct leaf
+// encoding of the paper relies on.
+type FORArray struct {
+	deltas PackedArray
+	min    uint64
+}
+
+// NewFORArray encodes vals. The input need not be sorted; the frame is the
+// minimum value. An empty input is valid.
+func NewFORArray(vals []uint64) FORArray {
+	if len(vals) == 0 {
+		return FORArray{}
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	width := BitsFor(max - min)
+	deltas := make([]uint64, len(vals))
+	for i, v := range vals {
+		deltas[i] = v - min
+	}
+	return FORArray{min: min, deltas: NewPackedArray(deltas, width)}
+}
+
+// Len returns the number of elements.
+func (f *FORArray) Len() int { return f.deltas.Len() }
+
+// Min returns the frame (the smallest encoded value); 0 for an empty array.
+func (f *FORArray) Min() uint64 { return f.min }
+
+// Get returns element i.
+func (f *FORArray) Get(i int) uint64 { return f.min + f.deltas.Get(i) }
+
+// Bytes returns the packed payload size plus the frame.
+func (f *FORArray) Bytes() int { return f.deltas.Bytes() + 8 }
+
+// Search returns the position of the first element >= key, assuming the
+// array was built from sorted input. It binary-searches directly on the
+// packed representation without materializing the values.
+func (f *FORArray) Search(key uint64) int {
+	n := f.deltas.Len()
+	if n == 0 || key <= f.min {
+		return 0
+	}
+	target := key - f.min
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.deltas.Get(mid) < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AppendTo appends all decoded elements to dst and returns the slice.
+func (f *FORArray) AppendTo(dst []uint64) []uint64 {
+	for i, n := 0, f.deltas.Len(); i < n; i++ {
+		dst = append(dst, f.Get(i))
+	}
+	return dst
+}

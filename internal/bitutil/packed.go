@@ -1,0 +1,105 @@
+// Package bitutil provides the succinct building blocks used throughout the
+// repository: fixed-width bit-packed integer arrays, frame-of-reference
+// coding for sorted and unsorted 64-bit sequences, and bit vectors with
+// constant-time rank and fast select.
+//
+// All structures store their payload in flat []uint64 slices so that a node
+// encoded with them is a small, pointer-free object: the garbage collector
+// never has to trace into the packed data, which keeps compact encodings
+// cheap in Go.
+package bitutil
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// PackedArray is an immutable array of n unsigned integers, each stored in
+// exactly Width bits. Width 0 is valid and represents an array of zeros.
+type PackedArray struct {
+	words []uint64
+	n     int
+	width uint8
+}
+
+// NewPackedArray packs vals into width-bit slots. It panics if a value does
+// not fit, because callers are expected to derive width via BitsFor.
+func NewPackedArray(vals []uint64, width uint8) PackedArray {
+	if width > 64 {
+		panic("bitutil: width > 64")
+	}
+	p := PackedArray{n: len(vals), width: width}
+	if width == 0 || len(vals) == 0 {
+		return p
+	}
+	p.words = make([]uint64, (len(vals)*int(width)+63)/64)
+	for i, v := range vals {
+		if width < 64 && v>>width != 0 {
+			panic(fmt.Sprintf("bitutil: value %d does not fit in %d bits", v, width))
+		}
+		p.set(i, v)
+	}
+	return p
+}
+
+// BitsFor returns the minimum width able to represent v.
+func BitsFor(v uint64) uint8 {
+	if v == 0 {
+		return 0
+	}
+	return uint8(bits.Len64(v))
+}
+
+// Len returns the number of elements.
+func (p *PackedArray) Len() int { return p.n }
+
+// Width returns the per-element width in bits.
+func (p *PackedArray) Width() uint8 { return p.width }
+
+// Bytes returns the heap footprint of the packed payload in bytes.
+func (p *PackedArray) Bytes() int { return len(p.words) * 8 }
+
+func (p *PackedArray) set(i int, v uint64) {
+	w := uint(p.width)
+	bit := uint(i) * w
+	word, off := bit/64, bit%64
+	p.words[word] |= v << off
+	if off+w > 64 {
+		p.words[word+1] |= v >> (64 - off)
+	}
+}
+
+// Get returns element i. It performs at most two word reads and a handful
+// of shifts — the "additional instructions and bitwise operations" the
+// paper attributes to the succinct layout.
+func (p *PackedArray) Get(i int) uint64 {
+	if p.width == 0 {
+		return 0
+	}
+	w := uint(p.width)
+	bit := uint(i) * w
+	word, off := bit/64, bit%64
+	v := p.words[word] >> off
+	if off+w > 64 {
+		v |= p.words[word+1] << (64 - off)
+	}
+	if w == 64 {
+		return v
+	}
+	return v & (1<<w - 1)
+}
+
+// AppendTo appends all elements to dst and returns the extended slice.
+func (p *PackedArray) AppendTo(dst []uint64) []uint64 {
+	for i := 0; i < p.n; i++ {
+		dst = append(dst, p.Get(i))
+	}
+	return dst
+}
+
+// errTruncated reports malformed serialized input.
+var errTruncated = errorString("bitutil: truncated or corrupt serialized data")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,150 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackedArrayRoundTrip(t *testing.T) {
+	for _, width := range []uint8{0, 1, 3, 7, 8, 13, 31, 32, 33, 63, 64} {
+		rng := rand.New(rand.NewSource(int64(width)))
+		n := 257
+		vals := make([]uint64, n)
+		for i := range vals {
+			if width == 0 {
+				vals[i] = 0
+			} else if width == 64 {
+				vals[i] = rng.Uint64()
+			} else {
+				vals[i] = rng.Uint64() & (1<<width - 1)
+			}
+		}
+		p := NewPackedArray(vals, width)
+		if p.Len() != n {
+			t.Fatalf("width %d: Len=%d want %d", width, p.Len(), n)
+		}
+		for i, want := range vals {
+			if got := p.Get(i); got != want {
+				t.Fatalf("width %d: Get(%d)=%d want %d", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPackedArrayEmpty(t *testing.T) {
+	p := NewPackedArray(nil, 17)
+	if p.Len() != 0 || p.Bytes() != 0 {
+		t.Fatalf("empty array: Len=%d Bytes=%d", p.Len(), p.Bytes())
+	}
+}
+
+func TestPackedArrayPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for value exceeding width")
+		}
+	}()
+	NewPackedArray([]uint64{8}, 3)
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint64]uint8{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, 1<<63 - 1: 63, 1 << 63: 64}
+	for v, want := range cases {
+		if got := BitsFor(v); got != want {
+			t.Errorf("BitsFor(%d)=%d want %d", v, got, want)
+		}
+	}
+}
+
+func TestPackedArrayQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		for i := range vals {
+			vals[i] &= 1<<37 - 1
+		}
+		p := NewPackedArray(vals, 37)
+		got := p.AppendTo(nil)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFORArrayRoundTripAndSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]uint64, 500)
+	base := uint64(1 << 40)
+	cur := base
+	for i := range vals {
+		cur += uint64(rng.Intn(1000) + 1)
+		vals[i] = cur
+	}
+	f := NewFORArray(vals)
+	if f.Len() != len(vals) || f.Min() != vals[0] {
+		t.Fatalf("Len=%d Min=%d", f.Len(), f.Min())
+	}
+	for i, want := range vals {
+		if got := f.Get(i); got != want {
+			t.Fatalf("Get(%d)=%d want %d", i, got, want)
+		}
+	}
+	// Search must match sort.Search semantics (first index with v >= key).
+	probes := []uint64{0, base, vals[0], vals[0] + 1, vals[250], vals[250] - 1, vals[499], vals[499] + 1}
+	for _, key := range probes {
+		want := 0
+		for want < len(vals) && vals[want] < key {
+			want++
+		}
+		if got := f.Search(key); got != want {
+			t.Fatalf("Search(%d)=%d want %d", key, got, want)
+		}
+	}
+}
+
+func TestFORArrayConstant(t *testing.T) {
+	vals := []uint64{42, 42, 42}
+	f := NewFORArray(vals)
+	if f.Bytes() != 8 { // width 0: only the frame
+		t.Fatalf("constant FOR should cost 8 bytes, got %d", f.Bytes())
+	}
+	for i := range vals {
+		if f.Get(i) != 42 {
+			t.Fatalf("Get(%d)=%d", i, f.Get(i))
+		}
+	}
+}
+
+func TestFORArrayEmpty(t *testing.T) {
+	f := NewFORArray(nil)
+	if f.Len() != 0 || f.Search(5) != 0 {
+		t.Fatal("empty FOR misbehaves")
+	}
+}
+
+func TestFORArrayQuickUnsorted(t *testing.T) {
+	f := func(vals []uint64) bool {
+		fa := NewFORArray(vals)
+		got := fa.AppendTo(nil)
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

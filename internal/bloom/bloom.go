@@ -1,0 +1,118 @@
+// Package bloom implements the Bloom filter the adaptation manager installs
+// in front of its sample hash map (paper §3.1.3): an identifier must be
+// inserted once before the map admits it, which keeps one-off accesses to
+// cold nodes from allocating tracking entries. The same filter type also
+// guards the dynamic stage of the Dual-Stage baseline (paper §5.2).
+package bloom
+
+import "math"
+
+// Filter is a standard Bloom filter over 64-bit hashes. It is not
+// goroutine-safe; the concurrent sampling paths keep one filter per shard.
+type Filter struct {
+	words   []uint64
+	bitMask uint64
+	k       int
+}
+
+// BitsPerKey is the paper's configuration: 10 bits per expected item.
+const BitsPerKey = 10
+
+// New creates a filter dimensioned for capacity items at bitsPerKey bits
+// each. The bit-array size is rounded up to a power of two so probes can
+// use masking instead of modulo. The number of hash functions is the
+// standard optimum k = bitsPerKey · ln 2, clamped to [1, 16].
+func New(capacity, bitsPerKey int) *Filter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	bitCount := nextPow2(uint64(capacity) * uint64(bitsPerKey))
+	if bitCount < 64 {
+		bitCount = 64
+	}
+	k := int(float64(bitsPerKey) * math.Ln2)
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{
+		words:   make([]uint64, bitCount/64),
+		bitMask: bitCount - 1,
+		k:       k,
+	}
+}
+
+func nextPow2(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	v--
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	v |= v >> 16
+	v |= v >> 32
+	return v + 1
+}
+
+// Add inserts hash h (double hashing: probe_i = h1 + i·h2).
+func (f *Filter) Add(h uint64) {
+	h1, h2 := h, h>>32|h<<32
+	for i := 0; i < f.k; i++ {
+		bit := h1 & f.bitMask
+		f.words[bit/64] |= 1 << (bit % 64)
+		h1 += h2
+	}
+}
+
+// Contains reports whether h may have been added. False positives are
+// possible, false negatives are not.
+func (f *Filter) Contains(h uint64) bool {
+	h1, h2 := h, h>>32|h<<32
+	for i := 0; i < f.k; i++ {
+		bit := h1 & f.bitMask
+		if f.words[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+		h1 += h2
+	}
+	return true
+}
+
+// AddIfNew inserts h and reports whether it was (possibly) new: it returns
+// false only if every probed bit was already set. This is the single-pass
+// operation the sampling fast path uses.
+func (f *Filter) AddIfNew(h uint64) bool {
+	h1, h2 := h, h>>32|h<<32
+	fresh := false
+	for i := 0; i < f.k; i++ {
+		bit := h1 & f.bitMask
+		w, m := bit/64, uint64(1)<<(bit%64)
+		if f.words[w]&m == 0 {
+			fresh = true
+			f.words[w] |= m
+		}
+		h1 += h2
+	}
+	return fresh
+}
+
+// Reset clears the filter; the adaptation manager calls this at the start
+// of every sampling phase.
+func (f *Filter) Reset() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+}
+
+// Bytes returns the heap footprint of the bit array.
+func (f *Filter) Bytes() int { return len(f.words) * 8 }
+
+// K returns the number of hash probes per operation.
+func (f *Filter) K() int { return f.k }

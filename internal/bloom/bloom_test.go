@@ -1,0 +1,108 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, BitsPerKey)
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]uint64, 10000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		f.Add(keys[i])
+	}
+	for _, k := range keys {
+		if !f.Contains(k) {
+			t.Fatalf("false negative for %d", k)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10000, BitsPerKey)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		f.Add(rng.Uint64())
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if f.Contains(rng.Uint64()) {
+			fp++
+		}
+	}
+	// 10 bits/key gives ~1% theoretical FPR; allow generous slack.
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Fatalf("false positive rate %.4f too high", rate)
+	}
+}
+
+func TestAddIfNew(t *testing.T) {
+	f := New(1000, BitsPerKey)
+	if !f.AddIfNew(12345) {
+		t.Fatal("first AddIfNew must report new")
+	}
+	if f.AddIfNew(12345) {
+		t.Fatal("second AddIfNew must report seen")
+	}
+	if !f.Contains(12345) {
+		t.Fatal("AddIfNew must insert")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(100, BitsPerKey)
+	f.Add(7)
+	f.Reset()
+	if f.Contains(7) {
+		t.Fatal("Reset must clear the filter")
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	f := New(0, 0)
+	f.Add(1)
+	if !f.Contains(1) {
+		t.Fatal("degenerate filter must still work")
+	}
+}
+
+func TestQuickMembership(t *testing.T) {
+	f := New(4096, BitsPerKey)
+	inserted := map[uint64]bool{}
+	fn := func(h uint64) bool {
+		f.Add(h)
+		inserted[h] = true
+		for k := range inserted {
+			if !f.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddIfNew(b *testing.B) {
+	f := New(1<<16, BitsPerKey)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddIfNew(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f := New(1<<16, BitsPerKey)
+	for i := 0; i < 1<<16; i++ {
+		f.Add(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Contains(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}

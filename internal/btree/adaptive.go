@@ -1,0 +1,255 @@
+package btree
+
+import (
+	"ahi/internal/core"
+	"ahi/internal/hashmap"
+)
+
+// LeafCtx is the context the adaptation manager stores per tracked leaf:
+// the inner node the leaf was reached from. The B-link design keeps leaf
+// identities stable across migrations, so the parent is informational —
+// but the framework round-trips it exactly as the paper's variadic context
+// arguments do, and the Hybrid Trie relies on the same machinery for real.
+type LeafCtx struct {
+	Parent *Inner
+}
+
+// AdaptiveConfig configures an adaptive Hybrid B+-tree (AHI-BTree).
+type AdaptiveConfig struct {
+	Tree Config
+	// MemoryBudget / RelativeBudget bound the index size (see core.Config).
+	MemoryBudget   int64
+	RelativeBudget float64
+	// Sampling knobs; zero values take the framework defaults
+	// (skip ∈ [50, 500] adaptive, ε = δ = 0.05).
+	InitialSkip      int
+	MinSkip, MaxSkip int
+	FixedSkip        bool // disable skip adaptivity (Figure 5 sweeps)
+	DisableBloom     bool // ablation: no filter before the sample map
+	Epsilon, Delta   float64
+	MaxSampleSize    int
+	// Concurrency mode of the sample store (§3.1.5).
+	Mode    core.ConcurrencyMode
+	Workers int
+	// NoEagerExpand disables the eager expand-on-insert policy (ablation;
+	// writes then re-encode leaves in place, preserving their encoding).
+	NoEagerExpand bool
+	// ImpatientCompaction makes the CSHF compact on the first cold
+	// classification instead of waiting for two consecutive ones
+	// (ablation of the history byte).
+	ImpatientCompaction bool
+	// OnAdapt observes adaptation phases.
+	OnAdapt func(core.AdaptInfo)
+}
+
+// Adaptive is the workload-adaptive Hybrid B+-tree: a Tree plus its
+// adaptation manager. Obtain per-goroutine Sessions for tracked access.
+type Adaptive struct {
+	Tree *Tree
+	Mgr  *core.Manager[*Leaf, LeafCtx]
+
+	impatient bool
+}
+
+// NewAdaptive builds an empty adaptive tree. The tree uses eager
+// expand-on-insert (§5.2) unless ablated and Succinct as the default
+// (cold) encoding.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive {
+	cfg.Tree.ExpandOnInsert = !cfg.NoEagerExpand
+	t := New(cfg.Tree)
+	return wireAdaptive(t, cfg)
+}
+
+// BulkLoadAdaptive bulk-loads an adaptive tree from sorted keys. Leaves
+// start in cfg.Tree.DefaultEncoding (typically EncSuccinct: everything
+// cold until proven hot).
+func BulkLoadAdaptive(cfg AdaptiveConfig, keys, vals []uint64) *Adaptive {
+	cfg.Tree.ExpandOnInsert = !cfg.NoEagerExpand
+	t := BulkLoad(cfg.Tree, keys, vals)
+	return wireAdaptive(t, cfg)
+}
+
+func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
+	a := &Adaptive{Tree: t, impatient: cfg.ImpatientCompaction}
+	mcfg := core.Config[*Leaf, LeafCtx]{
+		Hash:           func(l *Leaf) uint64 { return hashmap.HashU64(l.id) },
+		Units:          a.unitCounts,
+		UsedMemory:     t.Bytes,
+		Heuristic:      a.heuristic,
+		Migrate:        a.migrate,
+		MemoryBudget:   cfg.MemoryBudget,
+		RelativeBudget: cfg.RelativeBudget,
+		Epsilon:        cfg.Epsilon,
+		Delta:          cfg.Delta,
+		InitialSkip:    cfg.InitialSkip,
+		MinSkip:        cfg.MinSkip,
+		MaxSkip:        cfg.MaxSkip,
+		AdaptiveSkip:   !cfg.FixedSkip,
+		MaxSampleSize:  cfg.MaxSampleSize,
+		DisableBloom:   cfg.DisableBloom,
+		Mode:           cfg.Mode,
+		Workers:        cfg.Workers,
+		OnAdapt:        cfg.OnAdapt,
+	}
+	a.Mgr = core.New(mcfg)
+	// Keep tracked contexts fresh across splits (§4.1.4: "in case a leaf
+	// node gets a new parent, this information must be propagated").
+	t.onLeafSplit = func(left, right *Leaf) {
+		// The B-link design reaches leaves through sibling links, so only
+		// the (informational) parent context may go stale; refreshing the
+		// left leaf's entry keeps the bookkeeping exact.
+		a.Mgr.UpdateContext(left, LeafCtx{})
+	}
+	return a
+}
+
+// unitCounts reports leaves per encoding class for Equation (1) and the
+// budget-derived k. "Compressed" covers Succinct and Packed leaves,
+// "Uncompressed" the Gapped ones.
+func (a *Adaptive) unitCounts() core.UnitCounts {
+	t := a.Tree
+	sc, pc, gc := t.LeafCounts()
+	sb, pb, gb := t.LeafBytes()
+	u := core.UnitCounts{
+		Compressed:   sc + pc,
+		Uncompressed: gc,
+	}
+	if u.Compressed > 0 {
+		u.CompressedAvg = (sb + pb) / u.Compressed
+	} else {
+		u.CompressedAvg = int64(LeafCap*2*8)/4 + leafHeaderBytes // ~1KB succinct estimate
+	}
+	if u.Uncompressed > 0 {
+		u.UncompressedAvg = gb / u.Uncompressed
+	} else {
+		u.UncompressedAvg = int64(LeafCap*2*8) + leafHeaderBytes
+	}
+	return u
+}
+
+// heuristic is the tree's CSHF (Figure 7): hot leaves expand to Gapped
+// when the budget allows; leaves that cooled down recently hold at Packed;
+// leaves cold for two consecutive classifications compact to Succinct;
+// leaves cold through their whole remembered history stop being tracked.
+func (a *Adaptive) heuristic(l *Leaf, _ *LeafCtx, st *core.Stats, env core.Env) core.Action {
+	enc := l.Encoding()
+	if env.Hot {
+		if enc == EncGapped {
+			return core.Action{}
+		}
+		// Expanding costs the size difference between Gapped and current.
+		cost := int64(LeafCap*2*8) - int64(l.box.Load().p.bytes())
+		if env.BudgetRemaining > cost {
+			return core.Action{Target: EncGapped, Migrate: true}
+		}
+		// No headroom: at least leave the compact encoding in place.
+		return core.Action{}
+	}
+	// Cold now. Figure 7's decision tree branches on the memory budget
+	// first: while the index exceeds its budget, cold leaves compact
+	// immediately instead of waiting out the history confirmation.
+	if enc != EncSuccinct && (a.impatient || env.BudgetRemaining < 0) {
+		return core.Action{Target: EncSuccinct, Migrate: true}
+	}
+	switch {
+	case st.HistoryLen >= 6 && st.HotCount() == 0:
+		// Never hot in remembered history: compact fully and stop tracking.
+		if enc != EncSuccinct {
+			return core.Action{Target: EncSuccinct, Migrate: true, Evict: true}
+		}
+		return core.Action{Evict: true}
+	case st.HistoryLen >= 2 && st.History&0b11 == 0:
+		// Cold for the last two phases: back to Succinct.
+		if enc != EncSuccinct {
+			return core.Action{Target: EncSuccinct, Migrate: true}
+		}
+	case enc == EncGapped && st.HistoryLen >= 1:
+		// Just cooled down: hold at Packed (cheap to re-expand, half the
+		// Gapped footprint) until the classification confirms.
+		return core.Action{Target: EncPacked, Migrate: true}
+	}
+	return core.Action{}
+}
+
+// migrate is the manager's migration callback; leaf identity is stable.
+func (a *Adaptive) migrate(l *Leaf, _ LeafCtx, target core.Encoding) (*Leaf, bool) {
+	return l, a.Tree.MigrateLeaf(l, target)
+}
+
+// Session is a per-goroutine handle that performs tracked index
+// operations: the embedded sampler holds the thread-local skip counter and
+// (in TLS mode) the thread-local sample map.
+type Session struct {
+	a       *Adaptive
+	sampler *core.Sampler[*Leaf, LeafCtx]
+}
+
+// NewSession creates a tracked session. Each goroutine needs its own.
+func (a *Adaptive) NewSession() *Session {
+	return &Session{a: a, sampler: a.Mgr.NewSampler()}
+}
+
+// Lookup is a tracked point query.
+func (s *Session) Lookup(k uint64) (uint64, bool) {
+	sample := s.sampler.IsSample()
+	if !sample {
+		v, _, ok := s.a.Tree.lookupLeaf(k)
+		return v, ok
+	}
+	v, leaf, ok := s.a.Tree.lookupLeaf(k)
+	s.sampler.Track(leaf, core.Read, LeafCtx{})
+	return v, ok
+}
+
+// Insert is a tracked insert. A write that eagerly expanded its leaf is
+// always tracked — sampled or not — so the deferred compaction of §5.2 can
+// find the leaf once it cools down.
+func (s *Session) Insert(k, v uint64) bool {
+	sample := s.sampler.IsSample()
+	inserted, leaf, expanded := s.a.Tree.insertTracked(k, v)
+	if sample || expanded {
+		s.sampler.Track(leaf, core.Insert, LeafCtx{})
+	}
+	return inserted
+}
+
+// Delete is a tracked delete.
+func (s *Session) Delete(k uint64) bool {
+	sample := s.sampler.IsSample()
+	ok := s.a.Tree.Delete(k)
+	if sample {
+		_, leaf, _ := s.a.Tree.lookupLeaf(k)
+		s.sampler.Track(leaf, core.Delete, LeafCtx{})
+	}
+	return ok
+}
+
+// Scan is a tracked range scan: when the scan is sampled, every visited
+// leaf is tracked with the Scan access type (§4.1.3).
+func (s *Session) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	if !s.sampler.IsSample() {
+		return s.a.Tree.Scan(from, n, fn)
+	}
+	return s.a.Tree.scanLeaves(from, n, fn, func(l *Leaf) {
+		s.sampler.Track(l, core.Scan, LeafCtx{})
+	})
+}
+
+// Flush hands buffered thread-local samples to the manager (TLS mode).
+func (s *Session) Flush() { s.sampler.Flush() }
+
+// Train runs offline training (§3.2): replay expands the most frequently
+// accessed leaves first, within the memory budget. The input maps a key to
+// its historic access count; keys sharing a leaf aggregate automatically.
+func (a *Adaptive) Train(keyFreqs map[uint64]uint64) int {
+	leafFreq := make(map[*Leaf]uint64)
+	for k, f := range keyFreqs {
+		_, leaf, _ := a.Tree.lookupLeaf(k)
+		leafFreq[leaf] += f
+	}
+	freqs := make([]core.IDFreq[*Leaf, LeafCtx], 0, len(leafFreq))
+	for l, f := range leafFreq {
+		freqs = append(freqs, core.IDFreq[*Leaf, LeafCtx]{ID: l, Freq: f})
+	}
+	return a.Mgr.TrainOffline(freqs)
+}

@@ -1,0 +1,721 @@
+package btree
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ahi/internal/core"
+)
+
+// Concurrency note. The paper synchronizes the Hybrid B+-tree with
+// Optimistic Lock Coupling, whose readers tolerate benign torn reads and
+// re-validate versions afterwards. Go's memory model gives no such
+// allowance — a torn slice-header read can fault — so this implementation
+// keeps OLC's essential property (readers take no locks and write nothing)
+// via the Lehman–Yao B-link scheme with copy-on-write node images: every
+// node holds an atomic pointer to an immutable box (keys, children, high
+// key, right-sibling link); readers load boxes and "move right" when a
+// concurrent split shifted their key, writers serialize per node through
+// the version lock in olc.go. See DESIGN.md §4 for the substitution entry.
+
+// innerCap is the maximum number of children per inner node.
+const innerCap = 64
+
+// Leaf is one leaf node: a stable identity (the tracked unit of the
+// adaptation framework) whose payload image is swapped atomically.
+type Leaf struct {
+	lock olcLock
+	id   uint64
+	box  atomic.Pointer[leafBox]
+}
+
+// ID returns the leaf's stable numeric identity.
+func (l *Leaf) ID() uint64 { return l.id }
+
+// Encoding returns the leaf's current encoding.
+func (l *Leaf) Encoding() core.Encoding { return l.box.Load().p.encoding() }
+
+// leafBox is one immutable leaf image.
+type leafBox struct {
+	p       payload
+	next    *Leaf
+	highKey uint64 // exclusive upper bound of this leaf, valid if hasHigh
+	hasHigh bool
+}
+
+func (b *leafBox) covers(k uint64) bool { return !b.hasHigh || k < b.highKey }
+
+// Inner is one inner node.
+type Inner struct {
+	lock olcLock
+	box  atomic.Pointer[innerBox]
+}
+
+// innerBox is one immutable inner-node image. children[i] covers keys in
+// [keys[i-1], keys[i]); len(children) == len(keys)+1.
+type innerBox struct {
+	keys     []uint64
+	children []childRef
+	next     *Inner
+	highKey  uint64
+	hasHigh  bool
+	// depth is the node's height above the leaves: 1 means the children
+	// are leaves. Separator inserts target the level right above the
+	// split node by depth, which stays correct however the root moves.
+	depth uint8
+}
+
+func (b *innerBox) leafLevel() bool { return b.depth == 1 }
+
+func (b *innerBox) covers(k uint64) bool { return !b.hasHigh || k < b.highKey }
+
+// childIdx returns the index of the child covering k.
+func (b *innerBox) childIdx(k uint64) int {
+	lo, hi := 0, len(b.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childRef points to either an inner node or a leaf.
+type childRef struct {
+	inner *Inner
+	leaf  *Leaf
+}
+
+// Config configures a Tree.
+type Config struct {
+	// DefaultEncoding is applied to bulk-loaded and freshly split leaves
+	// (EncGapped for the classic tree, EncSuccinct/EncPacked for the
+	// compact baselines).
+	DefaultEncoding core.Encoding
+	// Occupancy is the bulk-load fill factor of leaves (default 0.70, the
+	// paper's assumed average).
+	Occupancy float64
+	// ExpandOnInsert eagerly migrates non-Gapped leaves to Gapped when a
+	// write hits them (the adaptive tree's policy, §5.2); without it,
+	// writes re-encode in place, preserving the leaf's encoding.
+	ExpandOnInsert bool
+}
+
+// Tree is the Hybrid B+-tree. The zero value is not usable; construct via
+// New or BulkLoad. All methods are safe for concurrent use.
+type Tree struct {
+	cfg    Config
+	root   atomic.Pointer[Inner]
+	rootMu sync.Mutex // serializes root growth
+	nextID atomic.Uint64
+
+	// Accounting (bytes include payloads + per-node headers).
+	countByEnc [3]atomic.Int64
+	bytesByEnc [3]atomic.Int64
+	innerBytes atomic.Int64
+	innerCount atomic.Int64
+	keyCount   atomic.Int64
+
+	expansions  atomic.Int64
+	compactions atomic.Int64
+
+	// onLeafSplit, if set, is invoked after a leaf split with the split
+	// leaf and its (new) parent-side context; the adaptive layer uses it
+	// to refresh tracked contexts.
+	onLeafSplit func(left, right *Leaf)
+}
+
+// New creates an empty tree.
+func New(cfg Config) *Tree {
+	if cfg.Occupancy <= 0 || cfg.Occupancy > 1 {
+		cfg.Occupancy = 0.70
+	}
+	t := &Tree{cfg: cfg}
+	leaf := t.newLeaf(encodePayload(cfg.DefaultEncoding, nil, nil), nil, 0, false)
+	root := &Inner{}
+	rb := &innerBox{children: []childRef{{leaf: leaf}}, depth: 1}
+	root.box.Store(rb)
+	t.root.Store(root)
+	t.innerCount.Add(1)
+	t.innerBytes.Add(int64(innerBoxBytes(rb)))
+	return t
+}
+
+func (t *Tree) newLeaf(p payload, next *Leaf, highKey uint64, hasHigh bool) *Leaf {
+	l := &Leaf{id: t.nextID.Add(1)}
+	l.box.Store(&leafBox{p: p, next: next, highKey: highKey, hasHigh: hasHigh})
+	e := p.encoding()
+	t.countByEnc[e].Add(1)
+	t.bytesByEnc[e].Add(int64(p.bytes() + leafHeaderBytes))
+	return l
+}
+
+// swapLeafBox replaces a leaf's image under its lock, fixing accounting.
+func (t *Tree) swapLeafBox(l *Leaf, old, new_ *leafBox) {
+	oe, ne := old.p.encoding(), new_.p.encoding()
+	t.countByEnc[oe].Add(-1)
+	t.bytesByEnc[oe].Add(-int64(old.p.bytes() + leafHeaderBytes))
+	t.countByEnc[ne].Add(1)
+	t.bytesByEnc[ne].Add(int64(new_.p.bytes() + leafHeaderBytes))
+	l.box.Store(new_)
+}
+
+func innerBoxBytes(b *innerBox) int {
+	return len(b.keys)*8 + len(b.children)*16 + 48
+}
+
+// BulkLoad builds a tree from sorted, unique keys with parallel values,
+// filling leaves to cfg.Occupancy with cfg.DefaultEncoding.
+func BulkLoad(cfg Config, keys, vals []uint64) *Tree {
+	if len(keys) != len(vals) {
+		panic("btree: keys and vals length mismatch")
+	}
+	if cfg.Occupancy <= 0 || cfg.Occupancy > 1 {
+		cfg.Occupancy = 0.70
+	}
+	t := &Tree{cfg: cfg}
+	per := int(float64(LeafCap) * cfg.Occupancy)
+	if per < 1 {
+		per = 1
+	}
+	if len(keys) == 0 {
+		return New(cfg)
+	}
+	// Build the leaf level.
+	var leaves []*Leaf
+	var seps []uint64 // seps[i] = first key of leaf i (i >= 1)
+	for i := 0; i < len(keys); i += per {
+		end := i + per
+		if end > len(keys) {
+			end = len(keys)
+		}
+		p := encodePayload(cfg.DefaultEncoding, keys[i:end], vals[i:end])
+		leaves = append(leaves, t.newLeaf(p, nil, 0, false))
+		if i > 0 {
+			seps = append(seps, keys[i])
+		}
+	}
+	for i := 0; i < len(leaves)-1; i++ {
+		b := leaves[i].box.Load()
+		b.next = leaves[i+1]
+		b.highKey = seps[i]
+		b.hasHigh = true
+	}
+	t.keyCount.Store(int64(len(keys)))
+	// Build inner levels bottom-up.
+	level := make([]childRef, len(leaves))
+	for i, l := range leaves {
+		level[i] = childRef{leaf: l}
+	}
+	levelSeps := seps
+	depth := uint8(1)
+	for {
+		var nextLevel []childRef
+		var nextSeps []uint64
+		var prevInner *Inner
+		for i := 0; i < len(level); i += innerCap {
+			end := i + innerCap
+			if end > len(level) {
+				end = len(level)
+			}
+			box := &innerBox{
+				children: append([]childRef(nil), level[i:end]...),
+				depth:    depth,
+			}
+			// Separators between children i..end-1 are levelSeps[i..end-2].
+			if end-1 > i {
+				box.keys = append([]uint64(nil), levelSeps[i:end-1]...)
+			}
+			in := &Inner{}
+			in.box.Store(box)
+			t.innerCount.Add(1)
+			t.innerBytes.Add(int64(innerBoxBytes(box)))
+			if prevInner != nil {
+				pb := prevInner.box.Load()
+				pb.next = in
+				pb.highKey = levelSeps[i-1]
+				pb.hasHigh = true
+			}
+			prevInner = in
+			nextLevel = append(nextLevel, childRef{inner: in})
+			if i > 0 {
+				nextSeps = append(nextSeps, levelSeps[i-1])
+			}
+		}
+		level, levelSeps = nextLevel, nextSeps
+		depth++
+		if len(level) == 1 {
+			break
+		}
+	}
+	t.root.Store(level[0].inner)
+	return t
+}
+
+// descend walks from the root to the leaf responsible for k. It appends
+// the visited inner nodes to stack (outermost first) when stack != nil and
+// returns the leaf plus the inner node it was reached from.
+func (t *Tree) descend(k uint64, stack *[]*Inner) (*Leaf, *Inner) {
+	node := t.root.Load()
+	for {
+		b := node.box.Load()
+		if !b.covers(k) && b.next != nil {
+			node = b.next
+			continue
+		}
+		if stack != nil {
+			*stack = append(*stack, node)
+		}
+		c := b.children[b.childIdx(k)]
+		if b.leafLevel() {
+			return c.leaf, node
+		}
+		node = c.inner
+	}
+}
+
+// moveRightLeaf hops leaf images until the one covering k is found.
+func moveRightLeaf(l *Leaf, k uint64) (*Leaf, *leafBox) {
+	for {
+		b := l.box.Load()
+		if b.covers(k) || b.next == nil {
+			return l, b
+		}
+		l = b.next
+	}
+}
+
+// Lookup returns the value stored under k.
+func (t *Tree) Lookup(k uint64) (uint64, bool) {
+	v, _, ok := t.lookupLeaf(k)
+	return v, ok
+}
+
+// lookupLeaf additionally returns the leaf that held (or would hold) k.
+func (t *Tree) lookupLeaf(k uint64) (uint64, *Leaf, bool) {
+	leaf, _ := t.descend(k, nil)
+	leaf, b := moveRightLeaf(leaf, k)
+	if i, found := b.p.search(k); found {
+		return b.p.valAt(i), leaf, true
+	}
+	return 0, leaf, false
+}
+
+// Scan visits up to n key/value pairs with key >= from in ascending order
+// and returns how many were visited. The callback may stop the scan early
+// by returning false; visited counts the pairs delivered.
+func (t *Tree) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	return t.scanLeaves(from, n, fn, nil)
+}
+
+// scanLeaves is Scan plus a per-leaf callback for access tracking.
+func (t *Tree) scanLeaves(from uint64, n int, fn func(k, v uint64) bool, onLeaf func(*Leaf)) int {
+	leaf, _ := t.descend(from, nil)
+	leaf, b := moveRightLeaf(leaf, from)
+	visited := 0
+	i, _ := b.p.search(from)
+	for visited < n {
+		if onLeaf != nil {
+			onLeaf(leaf)
+		}
+		for ; i < b.p.count() && visited < n; i++ {
+			if !fn(b.p.keyAt(i), b.p.valAt(i)) {
+				return visited + 1
+			}
+			visited++
+		}
+		if visited >= n || b.next == nil {
+			break
+		}
+		leaf = b.next
+		b = leaf.box.Load()
+		i = 0
+	}
+	return visited
+}
+
+// Insert stores v under k, returning true when k was newly inserted
+// (false: an existing value was overwritten).
+func (t *Tree) Insert(k, v uint64) bool {
+	inserted, _, _ := t.insertTracked(k, v)
+	return inserted
+}
+
+// insertTracked also returns the leaf that received the key and whether
+// the write eagerly expanded the leaf's encoding (the adaptive session
+// must then track the leaf even when the access is not sampled, or the
+// expansion could never be compacted again).
+func (t *Tree) insertTracked(k, v uint64) (bool, *Leaf, bool) {
+	for {
+		stack := make([]*Inner, 0, 8)
+		leaf, _ := t.descend(k, &stack)
+		if !leaf.lock.writeLock() {
+			continue // leaf became obsolete under us; re-descend
+		}
+		// Move right while locked (a split may have shifted our range).
+		for {
+			b := leaf.box.Load()
+			if b.covers(k) || b.next == nil {
+				break
+			}
+			next := b.next
+			leaf.lock.unlock()
+			leaf = next
+			if !leaf.lock.writeLock() {
+				leaf = nil
+				break
+			}
+		}
+		if leaf == nil {
+			continue
+		}
+		b := leaf.box.Load()
+		p := b.p
+
+		// Overwrite in place if the key exists.
+		if i, found := p.search(k); found {
+			np := clonePayload(p)
+			np.(mutablePayload).update(i, v)
+			t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
+			leaf.lock.unlock()
+			return false, leaf, false
+		}
+
+		if p.count() < LeafCap {
+			target := p.encoding()
+			expanded := false
+			if t.cfg.ExpandOnInsert && target != EncGapped {
+				target = EncGapped
+				expanded = true
+				t.expansions.Add(1)
+			}
+			keys, vals := p.appendAll(nil, nil)
+			g := gapped{keys: keys, vals: vals}
+			g.insert(k, v)
+			np := encodePayload(target, g.keys, g.vals)
+			t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
+			leaf.lock.unlock()
+			t.keyCount.Add(1)
+			return true, leaf, expanded
+		}
+
+		// Split: left keeps the lower half, a new right leaf the rest.
+		keys, vals := p.appendAll(nil, nil)
+		g := gapped{keys: keys, vals: vals}
+		g.insert(k, v)
+		mid := len(g.keys) / 2
+		sep := g.keys[mid]
+		enc := p.encoding()
+		if t.cfg.ExpandOnInsert {
+			enc = EncGapped
+		}
+		right := t.newLeaf(encodePayload(enc, g.keys[mid:], g.vals[mid:]), b.next, b.highKey, b.hasHigh)
+		left := &leafBox{p: encodePayload(enc, g.keys[:mid], g.vals[:mid]), next: right, highKey: sep, hasHigh: true}
+		t.swapLeafBox(leaf, b, left)
+		leaf.lock.unlock()
+		t.keyCount.Add(1)
+		if t.onLeafSplit != nil {
+			t.onLeafSplit(leaf, right)
+		}
+		// Publish the separator to the parent level.
+		t.insertSeparator(stack, sep, childRef{leaf: right}, 0)
+		return true, leaf, t.cfg.ExpandOnInsert && enc == EncGapped && p.encoding() != EncGapped
+	}
+}
+
+// Delete removes k, returning whether it was present. Leaves are not
+// merged on underflow — mirroring the long-running-system behaviour whose
+// sub-70% occupancies motivate the paper's compact encodings.
+func (t *Tree) Delete(k uint64) bool {
+	for {
+		leaf, _ := t.descend(k, nil)
+		if !leaf.lock.writeLock() {
+			continue
+		}
+		for {
+			b := leaf.box.Load()
+			if b.covers(k) || b.next == nil {
+				break
+			}
+			next := b.next
+			leaf.lock.unlock()
+			leaf = next
+			if !leaf.lock.writeLock() {
+				leaf = nil
+				break
+			}
+		}
+		if leaf == nil {
+			continue
+		}
+		b := leaf.box.Load()
+		i, found := b.p.search(k)
+		if !found {
+			leaf.lock.unlock()
+			return false
+		}
+		np := clonePayload(b.p).(mutablePayload).remove(i)
+		t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
+		leaf.lock.unlock()
+		t.keyCount.Add(-1)
+		return true
+	}
+}
+
+// clonePayload duplicates a payload so mutations never touch an image a
+// concurrent reader may hold.
+func clonePayload(p payload) payload {
+	keys, vals := p.appendAll(nil, nil)
+	return encodePayload(p.encoding(), keys, vals)
+}
+
+// insertSeparator inserts (sep, right) into the level childDepth+1,
+// walking the descent stack upward; it grows a new root when the stack is
+// exhausted. childDepth is 0 for a split leaf, 1 for a split leaf-level
+// inner node, and so on.
+func (t *Tree) insertSeparator(stack []*Inner, sep uint64, right childRef, childDepth uint8) {
+	var node *Inner
+	if len(stack) > 0 {
+		node = stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+	}
+	if node == nil {
+		t.growRoot(sep, right, childDepth)
+		return
+	}
+	if !node.lock.writeLock() {
+		// Node died (cannot happen today — inner nodes are never retired —
+		// but a fresh descent stays correct if that ever changes).
+		t.insertSeparatorFromRoot(sep, right, childDepth)
+		return
+	}
+	// Move right while locked.
+	for {
+		b := node.box.Load()
+		if b.covers(sep) || b.next == nil {
+			break
+		}
+		next := b.next
+		node.lock.unlock()
+		node = next
+		if !node.lock.writeLock() {
+			t.insertSeparatorFromRoot(sep, right, childDepth)
+			return
+		}
+	}
+	b := node.box.Load()
+	idx := b.childIdx(sep)
+	nb := &innerBox{
+		keys:     make([]uint64, 0, len(b.keys)+1),
+		children: make([]childRef, 0, len(b.children)+1),
+		next:     b.next,
+		highKey:  b.highKey,
+		hasHigh:  b.hasHigh,
+		depth:    b.depth,
+	}
+	nb.keys = append(nb.keys, b.keys[:idx]...)
+	nb.keys = append(nb.keys, sep)
+	nb.keys = append(nb.keys, b.keys[idx:]...)
+	nb.children = append(nb.children, b.children[:idx+1]...)
+	nb.children = append(nb.children, right)
+	nb.children = append(nb.children, b.children[idx+1:]...)
+
+	if len(nb.children) <= innerCap {
+		t.innerBytes.Add(int64(innerBoxBytes(nb) - innerBoxBytes(b)))
+		node.box.Store(nb)
+		node.lock.unlock()
+		return
+	}
+	// Split this inner node too.
+	mid := len(nb.keys) / 2
+	upSep := nb.keys[mid]
+	rightInner := &Inner{}
+	rBox := &innerBox{
+		keys:     append([]uint64(nil), nb.keys[mid+1:]...),
+		children: append([]childRef(nil), nb.children[mid+1:]...),
+		next:     nb.next,
+		highKey:  nb.highKey,
+		hasHigh:  nb.hasHigh,
+		depth:    nb.depth,
+	}
+	rightInner.box.Store(rBox)
+	lBox := &innerBox{
+		keys:     append([]uint64(nil), nb.keys[:mid]...),
+		children: append([]childRef(nil), nb.children[:mid+1]...),
+		next:     rightInner,
+		highKey:  upSep,
+		hasHigh:  true,
+		depth:    nb.depth,
+	}
+	t.innerCount.Add(1)
+	t.innerBytes.Add(int64(innerBoxBytes(lBox) + innerBoxBytes(rBox) - innerBoxBytes(b)))
+	node.box.Store(lBox)
+	node.lock.unlock()
+	t.insertSeparator(stack, upSep, childRef{inner: rightInner}, nb.depth)
+}
+
+// insertSeparatorFromRoot re-descends from the current root to the level
+// childDepth+1 and retries the separator insert (taken when the recorded
+// stack is too short because the root grew concurrently).
+func (t *Tree) insertSeparatorFromRoot(sep uint64, right childRef, childDepth uint8) {
+	var stack []*Inner
+	node := t.root.Load()
+	for {
+		b := node.box.Load()
+		if !b.covers(sep) && b.next != nil {
+			node = b.next
+			continue
+		}
+		stack = append(stack, node)
+		if b.depth == childDepth+1 {
+			break
+		}
+		node = b.children[b.childIdx(sep)].inner
+	}
+	t.insertSeparator(stack, sep, right, childDepth)
+}
+
+// growRoot installs a new root above the split node, or routes the insert
+// through the current root if one already exists at a higher level.
+func (t *Tree) growRoot(sep uint64, right childRef, childDepth uint8) {
+	t.rootMu.Lock()
+	cur := t.root.Load()
+	if cur.box.Load().depth > childDepth+1 {
+		// Another writer grew the root past this level already.
+		t.rootMu.Unlock()
+		t.insertSeparatorFromRoot(sep, right, childDepth)
+		return
+	}
+	if cur.box.Load().depth == childDepth+1 {
+		// A root at the right level appeared; insert into it.
+		t.rootMu.Unlock()
+		t.insertSeparatorFromRoot(sep, right, childDepth)
+		return
+	}
+	newRoot := &Inner{}
+	nb := &innerBox{
+		keys:     []uint64{sep},
+		children: []childRef{{inner: cur}, right},
+		depth:    cur.box.Load().depth + 1,
+	}
+	newRoot.box.Store(nb)
+	t.innerCount.Add(1)
+	t.innerBytes.Add(int64(innerBoxBytes(nb)))
+	t.root.Store(newRoot)
+	t.rootMu.Unlock()
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return int(t.keyCount.Load()) }
+
+// Bytes returns the tree's total footprint (leaf payloads + headers +
+// inner nodes).
+func (t *Tree) Bytes() int64 {
+	var b int64
+	for e := 0; e < 3; e++ {
+		b += t.bytesByEnc[e].Load()
+	}
+	return b + t.innerBytes.Load()
+}
+
+// LeafCounts returns the number of leaves per encoding
+// (succinct, packed, gapped).
+func (t *Tree) LeafCounts() (succ, packed, gapped int64) {
+	return t.countByEnc[EncSuccinct].Load(), t.countByEnc[EncPacked].Load(), t.countByEnc[EncGapped].Load()
+}
+
+// LeafBytes returns the byte footprint per encoding.
+func (t *Tree) LeafBytes() (succ, packed, gapped int64) {
+	return t.bytesByEnc[EncSuccinct].Load(), t.bytesByEnc[EncPacked].Load(), t.bytesByEnc[EncGapped].Load()
+}
+
+// Expansions returns the number of leaf expansions (migrations toward
+// Gapped, including eager expand-on-insert).
+func (t *Tree) Expansions() int64 { return t.expansions.Add(0) }
+
+// Compactions returns the number of compacting migrations.
+func (t *Tree) Compactions() int64 { return t.compactions.Add(0) }
+
+// MigrateLeaf re-encodes one leaf to the target encoding under its lock.
+// It reports whether the encoding changed.
+func (t *Tree) MigrateLeaf(l *Leaf, target core.Encoding) bool {
+	if !l.lock.writeLock() {
+		return false
+	}
+	defer l.lock.unlock()
+	b := l.box.Load()
+	if b.p.encoding() == target {
+		return false
+	}
+	if b.p.encoding() < target {
+		t.expansions.Add(1)
+	} else {
+		t.compactions.Add(1)
+	}
+	np := reencode(b.p, target)
+	t.swapLeafBox(l, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
+	return true
+}
+
+// WalkLeaves visits every leaf left to right until fn returns false. It
+// takes a consistent entry into the chain but, like scans, observes
+// concurrent splits only through the sibling links.
+func (t *Tree) WalkLeaves(fn func(*Leaf) bool) {
+	node := t.root.Load()
+	for {
+		b := node.box.Load()
+		if b.leafLevel() {
+			leaf := b.children[0].leaf
+			for leaf != nil {
+				if !fn(leaf) {
+					return
+				}
+				leaf = leaf.box.Load().next
+			}
+			return
+		}
+		node = b.children[0].inner
+	}
+}
+
+// Validate checks structural invariants (test helper): key order within
+// and across leaves, separator consistency, and key count. It must only
+// be called while no writers are active.
+func (t *Tree) Validate() error {
+	// Walk to the leftmost leaf.
+	node := t.root.Load()
+	for {
+		b := node.box.Load()
+		if b.leafLevel() {
+			break
+		}
+		node = b.children[0].inner
+	}
+	leaf := node.box.Load().children[0].leaf
+	var prev uint64
+	first := true
+	count := 0
+	for leaf != nil {
+		b := leaf.box.Load()
+		for i := 0; i < b.p.count(); i++ {
+			k := b.p.keyAt(i)
+			if !first && k <= prev {
+				return fmt.Errorf("keys out of order: %d after %d", k, prev)
+			}
+			if b.hasHigh && k >= b.highKey {
+				return fmt.Errorf("key %d >= leaf highKey %d", k, b.highKey)
+			}
+			prev, first = k, false
+			count++
+		}
+		leaf = b.next
+	}
+	if count != t.Len() {
+		return fmt.Errorf("key count mismatch: walked %d, counter %d", count, t.Len())
+	}
+	return nil
+}

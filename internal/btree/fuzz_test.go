@@ -1,0 +1,56 @@
+package btree
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ahi/internal/core"
+)
+
+// FuzzTreeAgainstModel feeds an arbitrary operation tape into a tree with
+// encoding migrations interleaved and cross-checks every result against a
+// map. Run with `go test -fuzz=FuzzTreeAgainstModel` for deep exploration;
+// the seed corpus below runs on every `go test`.
+func FuzzTreeAgainstModel(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0, 0, 0, 0, 255, 255, 1, 1, 128, 64, 32, 16})
+	f.Add([]byte{9, 1, 9, 2, 9, 3, 9, 4, 9, 5, 9, 6, 9, 7})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		tr := New(Config{DefaultEncoding: EncSuccinct, ExpandOnInsert: true})
+		ref := map[uint64]uint64{}
+		var lastLeafKey uint64
+		for i := 0; i+2 < len(tape); i += 3 {
+			op := tape[i] % 5
+			k := uint64(binary.LittleEndian.Uint16(tape[i+1 : i+3]))
+			switch op {
+			case 0, 1: // insert
+				v := uint64(tape[i]) + 1
+				tr.Insert(k, v)
+				ref[k] = v
+				lastLeafKey = k
+			case 2: // delete
+				got := tr.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("Delete(%d)=%v want %v", k, got, want)
+				}
+				delete(ref, k)
+			case 3: // lookup
+				got, ok := tr.Lookup(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					t.Fatalf("Lookup(%d)=(%d,%v) want (%d,%v)", k, got, ok, want, wok)
+				}
+			case 4: // migrate the leaf holding the last inserted key
+				_, leaf, _ := tr.lookupLeaf(lastLeafKey)
+				tr.MigrateLeaf(leaf, core.Encoding(tape[i]%3))
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len=%d want %d", tr.Len(), len(ref))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

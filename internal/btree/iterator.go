@@ -1,0 +1,92 @@
+package btree
+
+import "ahi/internal/core"
+
+// Iterator is a pull-style ordered cursor over the tree. Each leaf image
+// it enters is an immutable snapshot; like scans, the iterator observes
+// concurrent splits only through sibling links and never blocks writers.
+// The zero value is invalid; obtain one from Tree.NewIterator or
+// Session.NewIterator and position it with Seek/SeekFirst.
+type Iterator struct {
+	tree  *Tree
+	leaf  *Leaf
+	box   *leafBox
+	i     int
+	valid bool
+	// onLeaf observes every leaf the iterator enters (used by tracked
+	// session iterators, §4.1.3: "iterators keep a pointer to the current
+	// parent" — here tracking needs only the stable leaf identity).
+	onLeaf func(*Leaf)
+}
+
+// NewIterator returns an unpositioned iterator.
+func (t *Tree) NewIterator() *Iterator { return &Iterator{tree: t} }
+
+// Seek positions at the first key >= k.
+func (it *Iterator) Seek(k uint64) bool {
+	leaf, _ := it.tree.descend(k, nil)
+	leaf, box := moveRightLeaf(leaf, k)
+	it.enter(leaf, box)
+	i, _ := box.p.search(k)
+	it.i = i
+	it.valid = true
+	return it.skipEmpty()
+}
+
+// SeekFirst positions at the smallest key.
+func (it *Iterator) SeekFirst() bool { return it.Seek(0) }
+
+func (it *Iterator) enter(leaf *Leaf, box *leafBox) {
+	it.leaf, it.box = leaf, box
+	if it.onLeaf != nil {
+		it.onLeaf(leaf)
+	}
+}
+
+// skipEmpty advances across empty leaves until a key is under the cursor.
+func (it *Iterator) skipEmpty() bool {
+	for it.i >= it.box.p.count() {
+		next := it.box.next
+		if next == nil {
+			it.valid = false
+			return false
+		}
+		it.enter(next, next.box.Load())
+		it.i = 0
+	}
+	return true
+}
+
+// Next advances to the following key.
+func (it *Iterator) Next() bool {
+	if !it.valid {
+		return false
+	}
+	it.i++
+	if !it.skipEmpty() {
+		return false
+	}
+	return true
+}
+
+// Valid reports whether the cursor is on a key.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current key (Valid must hold).
+func (it *Iterator) Key() uint64 { return it.box.p.keyAt(it.i) }
+
+// Value returns the current value (Valid must hold).
+func (it *Iterator) Value() uint64 { return it.box.p.valAt(it.i) }
+
+// NewIterator returns a tracked iterator: if the iterator creation is
+// sampled, every leaf the cursor enters is tracked with the Scan access
+// type, exactly like a sampled range scan.
+func (s *Session) NewIterator() *Iterator {
+	it := s.a.Tree.NewIterator()
+	if s.sampler.IsSample() {
+		it.onLeaf = func(l *Leaf) {
+			s.sampler.Track(l, core.Scan, LeafCtx{})
+		}
+	}
+	return it
+}

@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIteratorFullOrder(t *testing.T) {
+	keys, vals := sortedPairs(30000, 21)
+	for name, cfg := range treeConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tr := BulkLoad(cfg, keys, vals)
+			it := tr.NewIterator()
+			i := 0
+			for ok := it.SeekFirst(); ok; ok = it.Next() {
+				if it.Key() != keys[i] || it.Value() != vals[i] {
+					t.Fatalf("pos %d: got (%d,%d) want (%d,%d)", i, it.Key(), it.Value(), keys[i], vals[i])
+				}
+				i++
+			}
+			if i != len(keys) {
+				t.Fatalf("iterated %d of %d", i, len(keys))
+			}
+			if it.Valid() {
+				t.Fatal("exhausted iterator still valid")
+			}
+		})
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	keys, vals := sortedPairs(10000, 22)
+	tr := BulkLoad(Config{DefaultEncoding: EncSuccinct}, keys, vals)
+	it := tr.NewIterator()
+	// Exact key.
+	if !it.Seek(keys[777]) || it.Key() != keys[777] {
+		t.Fatal("exact seek failed")
+	}
+	// Between keys: successor.
+	if !it.Seek(keys[777]+1) || it.Key() != keys[778] {
+		t.Fatal("successor seek failed")
+	}
+	// Before everything.
+	if !it.Seek(0) || it.Key() != keys[0] {
+		t.Fatal("seek 0 failed")
+	}
+	// Past the end.
+	if it.Seek(keys[len(keys)-1] + 1) {
+		t.Fatal("seek past end should be invalid")
+	}
+	if it.Next() {
+		t.Fatal("Next on invalid iterator")
+	}
+}
+
+func TestIteratorEmptyTree(t *testing.T) {
+	tr := New(Config{DefaultEncoding: EncGapped})
+	it := tr.NewIterator()
+	if it.SeekFirst() {
+		t.Fatal("empty tree iterator valid")
+	}
+}
+
+func TestIteratorAcrossEmptyLeaves(t *testing.T) {
+	// Delete a whole leaf's worth of keys in the middle: the iterator must
+	// hop the empty leaf.
+	keys, vals := sortedPairs(1000, 23)
+	tr := BulkLoad(Config{DefaultEncoding: EncGapped, Occupancy: 0.5}, keys, vals)
+	for i := 200; i < 200+LeafCap/2; i++ {
+		tr.Delete(keys[i])
+	}
+	it := tr.NewIterator()
+	count := 0
+	var prev uint64
+	for ok := it.SeekFirst(); ok; ok = it.Next() {
+		if count > 0 && it.Key() <= prev {
+			t.Fatal("order broken across empty leaf")
+		}
+		prev = it.Key()
+		count++
+	}
+	if count != tr.Len() {
+		t.Fatalf("iterated %d of %d", count, tr.Len())
+	}
+}
+
+func TestIteratorConcurrentWithWriters(t *testing.T) {
+	keys, vals := sortedPairs(20000, 24)
+	tr := BulkLoad(Config{DefaultEncoding: EncGapped}, keys, vals)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		k := keys[len(keys)-1]
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k += 3
+			tr.Insert(k, 1)
+		}
+	}()
+	for rep := 0; rep < 50; rep++ {
+		it := tr.NewIterator()
+		var prev uint64
+		n := 0
+		for ok := it.Seek(keys[100]); ok && n < 2000; ok = it.Next() {
+			if n > 0 && it.Key() <= prev {
+				t.Errorf("order violated under concurrency")
+				break
+			}
+			prev = it.Key()
+			n++
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSessionIteratorTracks(t *testing.T) {
+	a, keys, _ := adaptiveFixture(30000, 100, 25)
+	s := a.NewSession() // one session: its sampler paces the tracking
+	for i := 0; i < 200_000; i++ {
+		it := s.NewIterator()
+		if !it.Seek(keys[i%500]) {
+			t.Fatal("seek failed")
+		}
+		for j := 0; j < 30 && it.Next(); j++ {
+		}
+		if a.Mgr.Migrations() > 0 {
+			return // tracking led to migrations: done
+		}
+	}
+	t.Fatal("session iterators never produced migrations")
+}

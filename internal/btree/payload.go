@@ -1,0 +1,272 @@
+package btree
+
+import (
+	"ahi/internal/bitutil"
+	"ahi/internal/core"
+)
+
+// Leaf encodings, ordered from most to least compact. The adaptation
+// manager treats these values as opaque; the CSHF and migration callback
+// in adaptive.go give them meaning.
+const (
+	EncSuccinct core.Encoding = iota
+	EncPacked
+	EncGapped
+)
+
+// EncodingName returns a human-readable encoding name.
+func EncodingName(e core.Encoding) string {
+	switch e {
+	case EncSuccinct:
+		return "succinct"
+	case EncPacked:
+		return "packed"
+	case EncGapped:
+		return "gapped"
+	default:
+		return "unknown"
+	}
+}
+
+// LeafCap is the slot count of a Gapped leaf. 256 key/value slots of 8
+// bytes each put the Gapped payload at 4 KiB, matching Table 1.
+const LeafCap = 256
+
+// leafHeaderBytes approximates the fixed per-leaf overhead (lock, id,
+// pointers, payload header) charged to every encoding's footprint.
+const leafHeaderBytes = 64
+
+// payload is one leaf-node encoding. Implementations are single-writer:
+// the tree serializes mutations through the leaf's OLC lock.
+type payload interface {
+	encoding() core.Encoding
+	count() int
+	keyAt(i int) uint64
+	valAt(i int) uint64
+	// search returns the position of the first key >= k and whether it
+	// equals k.
+	search(k uint64) (int, bool)
+	// bytes is the heap footprint of the payload (excl. leaf header).
+	bytes() int
+	// appendAll decodes all pairs into the destination slices.
+	appendAll(keys, vals []uint64) ([]uint64, []uint64)
+}
+
+// mutablePayload additionally supports in-place mutation. Gapped supports
+// all operations natively; Packed updates and deletes in place but
+// re-allocates on insert; Succinct re-encodes on any write (which is why
+// the adaptive tree eagerly expands written leaves, §5.2).
+type mutablePayload interface {
+	payload
+	insert(k, v uint64) payload // returns the (possibly re-encoded) payload
+	update(i int, v uint64)
+	remove(i int) payload
+}
+
+// --- Gapped -----------------------------------------------------------
+
+// gapped is the traditional universal encoding: fixed-capacity sorted
+// arrays with free slots at the end (Figure 8 top).
+type gapped struct {
+	keys []uint64 // len = count, cap = LeafCap
+	vals []uint64
+}
+
+func newGapped(keys, vals []uint64) *gapped {
+	g := &gapped{
+		keys: make([]uint64, len(keys), LeafCap),
+		vals: make([]uint64, len(vals), LeafCap),
+	}
+	copy(g.keys, keys)
+	copy(g.vals, vals)
+	return g
+}
+
+func (g *gapped) encoding() core.Encoding { return EncGapped }
+func (g *gapped) count() int              { return len(g.keys) }
+func (g *gapped) keyAt(i int) uint64      { return g.keys[i] }
+func (g *gapped) valAt(i int) uint64      { return g.vals[i] }
+func (g *gapped) bytes() int              { return cap(g.keys)*8 + cap(g.vals)*8 }
+
+func (g *gapped) search(k uint64) (int, bool) {
+	lo, hi := 0, len(g.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(g.keys) && g.keys[lo] == k
+}
+
+func (g *gapped) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
+	return append(keys, g.keys...), append(vals, g.vals...)
+}
+
+func (g *gapped) insert(k, v uint64) payload {
+	pos, found := g.search(k)
+	if found {
+		g.vals[pos] = v
+		return g
+	}
+	g.keys = append(g.keys, 0)
+	g.vals = append(g.vals, 0)
+	copy(g.keys[pos+1:], g.keys[pos:])
+	copy(g.vals[pos+1:], g.vals[pos:])
+	g.keys[pos] = k
+	g.vals[pos] = v
+	return g
+}
+
+func (g *gapped) update(i int, v uint64) { g.vals[i] = v }
+
+func (g *gapped) remove(i int) payload {
+	copy(g.keys[i:], g.keys[i+1:])
+	copy(g.vals[i:], g.vals[i+1:])
+	g.keys = g.keys[:len(g.keys)-1]
+	g.vals = g.vals[:len(g.vals)-1]
+	return g
+}
+
+func (g *gapped) full() bool { return len(g.keys) == LeafCap }
+
+// --- Packed -----------------------------------------------------------
+
+// packed stores keys and values densely, sized exactly (Figure 8 middle).
+// Reads and in-place updates are as fast as Gapped; inserts re-allocate.
+type packed struct {
+	keys []uint64
+	vals []uint64
+}
+
+func newPacked(keys, vals []uint64) *packed {
+	p := &packed{keys: make([]uint64, len(keys)), vals: make([]uint64, len(vals))}
+	copy(p.keys, keys)
+	copy(p.vals, vals)
+	return p
+}
+
+func (p *packed) encoding() core.Encoding { return EncPacked }
+func (p *packed) count() int              { return len(p.keys) }
+func (p *packed) keyAt(i int) uint64      { return p.keys[i] }
+func (p *packed) valAt(i int) uint64      { return p.vals[i] }
+func (p *packed) bytes() int              { return len(p.keys)*8 + len(p.vals)*8 }
+
+func (p *packed) search(k uint64) (int, bool) {
+	lo, hi := 0, len(p.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(p.keys) && p.keys[lo] == k
+}
+
+func (p *packed) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
+	return append(keys, p.keys...), append(vals, p.vals...)
+}
+
+func (p *packed) insert(k, v uint64) payload {
+	pos, found := p.search(k)
+	if found {
+		p.vals[pos] = v
+		return p
+	}
+	nk := make([]uint64, len(p.keys)+1)
+	nv := make([]uint64, len(p.vals)+1)
+	copy(nk, p.keys[:pos])
+	copy(nv, p.vals[:pos])
+	nk[pos], nv[pos] = k, v
+	copy(nk[pos+1:], p.keys[pos:])
+	copy(nv[pos+1:], p.vals[pos:])
+	p.keys, p.vals = nk, nv
+	return p
+}
+
+func (p *packed) update(i int, v uint64) { p.vals[i] = v }
+
+func (p *packed) remove(i int) payload {
+	copy(p.keys[i:], p.keys[i+1:])
+	copy(p.vals[i:], p.vals[i+1:])
+	p.keys = p.keys[:len(p.keys)-1]
+	p.vals = p.vals[:len(p.vals)-1]
+	return p
+}
+
+// --- Succinct ---------------------------------------------------------
+
+// succinct combines frame-of-reference coding with bit packing for both
+// keys and values (Figure 8 bottom). Random access survives, at the cost
+// of extra shift/mask work per probe; writes re-encode the whole leaf.
+type succinct struct {
+	keys bitutil.FORArray
+	vals bitutil.FORArray
+}
+
+func newSuccinct(keys, vals []uint64) *succinct {
+	return &succinct{keys: bitutil.NewFORArray(keys), vals: bitutil.NewFORArray(vals)}
+}
+
+func (s *succinct) encoding() core.Encoding { return EncSuccinct }
+func (s *succinct) count() int              { return s.keys.Len() }
+func (s *succinct) keyAt(i int) uint64      { return s.keys.Get(i) }
+func (s *succinct) valAt(i int) uint64      { return s.vals.Get(i) }
+func (s *succinct) bytes() int              { return s.keys.Bytes() + s.vals.Bytes() }
+
+func (s *succinct) search(k uint64) (int, bool) {
+	pos := s.keys.Search(k)
+	return pos, pos < s.keys.Len() && s.keys.Get(pos) == k
+}
+
+func (s *succinct) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
+	return s.keys.AppendTo(keys), s.vals.AppendTo(vals)
+}
+
+func (s *succinct) insert(k, v uint64) payload {
+	keys, vals := s.appendAll(nil, nil)
+	g := gapped{keys: keys, vals: vals}
+	g.insert(k, v)
+	return newSuccinct(g.keys, g.vals)
+}
+
+func (s *succinct) update(i int, v uint64) {
+	// Re-encode with the new value; FOR arrays are immutable.
+	vals := s.vals.AppendTo(nil)
+	vals[i] = v
+	s.vals = bitutil.NewFORArray(vals)
+}
+
+func (s *succinct) remove(i int) payload {
+	keys, vals := s.appendAll(nil, nil)
+	copy(keys[i:], keys[i+1:])
+	copy(vals[i:], vals[i+1:])
+	return newSuccinct(keys[:len(keys)-1], vals[:len(vals)-1])
+}
+
+// encodePayload builds a payload of the requested encoding from sorted
+// key/value slices — the migration primitive of the Hybrid B+-tree.
+func encodePayload(enc core.Encoding, keys, vals []uint64) payload {
+	switch enc {
+	case EncGapped:
+		return newGapped(keys, vals)
+	case EncPacked:
+		return newPacked(keys, vals)
+	default:
+		return newSuccinct(keys, vals)
+	}
+}
+
+// reencode migrates a payload to the target encoding; it returns the input
+// unchanged when the encoding already matches.
+func reencode(p payload, target core.Encoding) payload {
+	if p.encoding() == target {
+		return p
+	}
+	keys, vals := p.appendAll(nil, nil)
+	return encodePayload(target, keys, vals)
+}

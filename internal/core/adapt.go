@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"ahi/internal/topk"
+)
+
+// candidate is one tracked unit copied out of the sample store for
+// classification. Entries are copied (not referenced) because in GS mode
+// other workers keep mutating the store while the adaptation runs.
+type candidate[ID comparable, Ctx any] struct {
+	id    ID
+	ctx   Ctx
+	stats Stats
+	hot   bool
+}
+
+// adapt runs Phase II (§3.1.4): classify, apply the CSHF and migrations,
+// then adapt skip length and sample size, and open the next epoch.
+func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
+	units := m.cfg.Units()
+	k := m.budgetK(units)
+
+	// 1. Collect current-epoch candidates and classify in a single pass.
+	//    Stale-epoch entries are cold by definition and are still
+	//    evaluated (their heuristic may compact or evict them).
+	var cands []candidate[ID, Ctx]
+	cls := topk.NewClassifier(k)
+	collect := func(id ID, e *entry[Ctx]) bool {
+		cands = append(cands, candidate[ID, Ctx]{id: id, ctx: e.ctx, stats: e.stats})
+		return true
+	}
+	if m.shared != nil {
+		m.shared.Range(collect)
+	} else {
+		m.mergeMu.Lock()
+		m.local.Range(collect)
+		m.mergeMu.Unlock()
+	}
+	// Single pass over the candidates: offer current-epoch entries to the
+	// bounded heap; displaced ones stay cold.
+	hotMark := make([]bool, len(cands))
+	for i := range cands {
+		if cands[i].stats.LastEpoch != epoch {
+			continue // not sampled this phase: cold without a heap visit
+		}
+		cls.Offer(topk.Entry{
+			Item:     i,
+			Priority: cands[i].stats.WeightedFreq(m.cfg.ReadWeight, m.cfg.WriteWeight),
+		})
+	}
+	for _, e := range cls.Hot() {
+		hotMark[e.Item] = true
+	}
+	hotCount := 0
+	for i := range cands {
+		cands[i].hot = hotMark[i]
+		if hotMark[i] {
+			hotCount++
+		}
+	}
+
+	// 2. Evaluate the CSHF for every tracked unit and apply migrations.
+	budget := m.budget(units)
+	env := Env{Epoch: epoch}
+	migrations, evictions := 0, 0
+	for i := range cands {
+		c := &cands[i]
+		c.stats.PushClassification(c.hot)
+		if budget == math.MaxInt64 {
+			env.BudgetRemaining = math.MaxInt64
+		} else {
+			env.BudgetRemaining = budget - m.cfg.UsedMemory()
+		}
+		env.Hot = c.hot
+		act := m.cfg.Heuristic(c.id, &c.ctx, &c.stats, env)
+		newID := c.id
+		if act.Migrate {
+			if id2, ok := m.cfg.Migrate(c.id, c.ctx, act.Target); ok {
+				newID = id2
+				migrations++
+			}
+		}
+		m.storeBack(c.id, newID, c, act.Evict)
+		if act.Evict {
+			evictions++
+		}
+	}
+	m.totalMigrations.Add(int64(migrations))
+	m.totalAdapts.Add(1)
+
+	// 3. Adapt sampling parameters (§3.1.4): migration churn over the
+	//    sampled accesses steers the skip length within [MinSkip, MaxSkip].
+	sampled := m.sampled.Load()
+	if m.cfg.AdaptiveSkip && sampled > 0 {
+		share := float64(migrations) / float64(sampled)
+		skip := m.globalSkip.Load()
+		switch {
+		case share > 0.30:
+			skip /= 2
+		case share < 0.10:
+			skip *= 2
+		}
+		if skip < int64(m.cfg.MinSkip) {
+			skip = int64(m.cfg.MinSkip)
+		}
+		if skip > int64(m.cfg.MaxSkip) {
+			skip = int64(m.cfg.MaxSkip)
+		}
+		m.globalSkip.Store(skip)
+	}
+	newSize := m.clampSampleSize(topk.SampleSize(int(units.Total()), k, m.cfg.Epsilon, m.cfg.Delta))
+	m.sampleSize.Store(int64(newSize))
+
+	// 4. Open the next phase: bump the epoch, reset counters, signal the
+	//    samplers to reset their Bloom filters.
+	m.sampled.Store(0)
+	m.epoch.Add(1)
+	m.filterEpoch.Add(1)
+
+	if m.cfg.OnAdapt != nil {
+		m.cfg.OnAdapt(AdaptInfo{
+			Epoch:         epoch,
+			UniqueSamples: len(cands),
+			SampledTotal:  sampled,
+			Hot:           hotCount,
+			Migrations:    migrations,
+			Evicted:       evictions,
+			NewSkip:       int(m.globalSkip.Load()),
+			NewSampleSize: newSize,
+			K:             k,
+		})
+	}
+}
+
+// storeBack writes the updated stats (history, possibly new identity) back
+// into the sample store, or removes the entry on eviction. An entry that
+// is no longer present was removed by a migration callback (e.g. the
+// Hybrid Trie forgetting the descendants of a compacted subtree) and must
+// stay gone — resurrecting it would let a stale identifier act on a
+// recycled node in a later phase.
+func (m *Manager[ID, Ctx]) storeBack(oldID, newID ID, c *candidate[ID, Ctx], evict bool) {
+	update := func(e *entry[Ctx], created bool) {
+		// Concurrent samplers may have advanced the counters; only the
+		// classification history and identity are authoritative here.
+		e.stats.History = c.stats.History
+		e.stats.HistoryLen = c.stats.HistoryLen
+		if created {
+			e.stats.Reads = c.stats.Reads
+			e.stats.Writes = c.stats.Writes
+			e.stats.LastEpoch = c.stats.LastEpoch
+			e.ctx = c.ctx
+		}
+	}
+	if m.shared != nil {
+		present := m.shared.Delete(oldID)
+		if evict || !present {
+			return
+		}
+		m.shared.Upsert(newID, update)
+		return
+	}
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
+	present := m.local.Delete(oldID)
+	if evict || !present {
+		return
+	}
+	m.local.Upsert(newID, update)
+}
+
+// IDFreq pairs an identifier with an observed (historic or predicted)
+// access frequency for offline training.
+type IDFreq[ID comparable, Ctx any] struct {
+	ID   ID
+	Ctx  Ctx
+	Freq uint64
+}
+
+// TrainOffline implements §3.2: given per-unit frequencies from a historic
+// or predicted workload, rank units by frequency and migrate the most
+// promising ones — as proposed by each unit's CSHF evaluation with
+// Hot=true — until the memory budget is exhausted or all units are
+// optimized. It returns the number of performed migrations.
+func (m *Manager[ID, Ctx]) TrainOffline(freqs []IDFreq[ID, Ctx]) int {
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i].Freq > freqs[j].Freq })
+	units := m.cfg.Units()
+	budget := m.budget(units)
+	migrations := 0
+	for i := range freqs {
+		if budget != math.MaxInt64 && m.cfg.UsedMemory() >= budget {
+			break
+		}
+		st := Stats{Reads: uint32(freqs[i].Freq), LastEpoch: m.epoch.Load()}
+		st.PushClassification(true)
+		env := Env{Epoch: m.epoch.Load(), Hot: true}
+		if budget == math.MaxInt64 {
+			env.BudgetRemaining = math.MaxInt64
+		} else {
+			env.BudgetRemaining = budget - m.cfg.UsedMemory()
+		}
+		act := m.cfg.Heuristic(freqs[i].ID, &freqs[i].Ctx, &st, env)
+		if !act.Migrate {
+			continue
+		}
+		if _, ok := m.cfg.Migrate(freqs[i].ID, freqs[i].Ctx, act.Target); ok {
+			migrations++
+		}
+	}
+	m.totalMigrations.Add(int64(migrations))
+	return migrations
+}

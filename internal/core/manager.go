@@ -1,0 +1,448 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ahi/internal/bloom"
+	"ahi/internal/hashmap"
+	"ahi/internal/topk"
+)
+
+// Config wires an index into the adaptation manager. Hash, Units,
+// Heuristic and Migrate are required; everything else has defaults.
+type Config[ID comparable, Ctx any] struct {
+	// Hash maps an identifier to a 64-bit hash (hashmap.HashU64 over a
+	// numeric handle is the common choice).
+	Hash func(ID) uint64
+	// Units reports the index's tracked-unit counts and average encoding
+	// sizes, consumed by Equation (1) and the budget-derived k.
+	Units func() UnitCounts
+	// UsedMemory returns the index's current size in bytes (Listing 1's
+	// GetUsedMemory callback).
+	UsedMemory func() int64
+	// Heuristic is the index's CSHF (Listing 1's EvaluateHeuristic): given
+	// a unit's stats, context and classification, propose an Action.
+	Heuristic func(id ID, ctx *Ctx, st *Stats, env Env) Action
+	// Migrate performs one encoding migration (Listing 1's Encode
+	// callback) and returns the unit's identifier afterwards — migrations
+	// may replace nodes, changing identity — plus whether anything
+	// changed. Stale contexts must be tolerated (e.g. a parent pointer
+	// outdated by a split); returning ok=false skips the unit.
+	Migrate func(id ID, ctx Ctx, target Encoding) (newID ID, ok bool)
+
+	// MemoryBudget bounds the index size in bytes; 0 means unbounded.
+	MemoryBudget int64
+	// RelativeBudget, if positive, sets the budget to this fraction of the
+	// all-expanded index size (Uncompressed average × total units),
+	// re-evaluated each phase — the paper's relative budget that tracks
+	// inserts and deletes (§3.1.6).
+	RelativeBudget float64
+
+	// Epsilon and Delta are the error bound and failure probability of the
+	// top-k approximation (default 0.05 each).
+	Epsilon, Delta float64
+
+	// Skip-length control (§3.1.4). When AdaptiveSkip is true the manager
+	// moves the skip within [MinSkip, MaxSkip] based on migration churn;
+	// otherwise the skip stays at InitialSkip (Figure 5's fixed sweep).
+	InitialSkip      int
+	MinSkip, MaxSkip int
+	AdaptiveSkip     bool
+
+	// MaxSampleSize caps Equation (1)'s result (and bounds memory).
+	MaxSampleSize int
+
+	// ReadWeight and WriteWeight bias the classification priority
+	// (default 1 and 1: plain access counts). A write-averse deployment
+	// can rank write-heavy nodes hotter so they reach the write-friendly
+	// encoding sooner (§3.1.4's custom weights).
+	ReadWeight, WriteWeight uint32
+
+	// RandomizeSkip jitters each reloaded skip by up to ±25% (§3.1.4:
+	// "the adaptation manager could randomize sk in a limited range to
+	// cope with query patterns" — periodic access patterns would otherwise
+	// alias with a fixed stride).
+	RandomizeSkip bool
+
+	// DisableBloom removes the Bloom filter in front of the sample map
+	// (the ablation of Figure 5's blue vs. red line).
+	DisableBloom bool
+
+	// Mode selects SingleThreaded (default), GS or TLS; Workers sizes the
+	// concurrent structures (defaults to 1).
+	Mode    ConcurrencyMode
+	Workers int
+
+	// OnAdapt, if set, observes every completed adaptation phase.
+	OnAdapt func(AdaptInfo)
+}
+
+func (c *Config[ID, Ctx]) setDefaults() {
+	if c.Epsilon <= 0 {
+		c.Epsilon = topk.DefaultEpsilon
+	}
+	if c.Delta <= 0 {
+		c.Delta = topk.DefaultDelta
+	}
+	if c.MinSkip <= 0 {
+		c.MinSkip = 50
+	}
+	if c.MaxSkip < c.MinSkip {
+		c.MaxSkip = 500
+	}
+	// A zero skip ("sample every access", Figure 5's leftmost point) is
+	// meaningful with a fixed skip; under adaptive control it only makes
+	// sense to start at the minimum.
+	if c.InitialSkip < 0 || (c.InitialSkip == 0 && c.AdaptiveSkip) {
+		c.InitialSkip = c.MinSkip
+	}
+	if c.MaxSampleSize <= 0 {
+		c.MaxSampleSize = 1 << 20
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.ReadWeight == 0 {
+		c.ReadWeight = 1
+	}
+	if c.WriteWeight == 0 {
+		c.WriteWeight = 1
+	}
+}
+
+// entry is the per-unit record in the sample stores: aggregated statistics
+// plus the caller-supplied context.
+type entry[Ctx any] struct {
+	stats Stats
+	ctx   Ctx
+}
+
+// Manager is the adaptation manager of §3.1. Create one per hybrid index
+// via New, obtain one Sampler per worker goroutine, and call
+// Sampler.IsSample/Track from the index's access paths.
+type Manager[ID comparable, Ctx any] struct {
+	cfg Config[ID, Ctx]
+
+	epoch       atomic.Uint32
+	globalSkip  atomic.Int64
+	sampleSize  atomic.Int64
+	sampled     atomic.Int64 // samples accumulated in the current phase
+	adapting    atomic.Bool
+	filterEpoch atomic.Uint32 // samplers reset their filters lazily
+
+	// Single-threaded / TLS-merge store (guarded by mergeMu in TLS mode).
+	local   *hashmap.Hopscotch[ID, entry[Ctx]]
+	mergeMu sync.Mutex
+
+	// GS store.
+	shared *hashmap.Cuckoo[ID, entry[Ctx]]
+
+	// Aggregate counters.
+	totalMigrations atomic.Int64
+	totalAdapts     atomic.Int64
+	samplerBytes    atomic.Int64
+}
+
+// New creates an adaptation manager. It panics if a required callback is
+// missing, because a silently inert manager would invalidate experiments.
+func New[ID comparable, Ctx any](cfg Config[ID, Ctx]) *Manager[ID, Ctx] {
+	if cfg.Hash == nil || cfg.Units == nil || cfg.Heuristic == nil || cfg.Migrate == nil || cfg.UsedMemory == nil {
+		panic("core: Config requires Hash, Units, UsedMemory, Heuristic and Migrate")
+	}
+	cfg.setDefaults()
+	m := &Manager[ID, Ctx]{cfg: cfg}
+	m.globalSkip.Store(int64(cfg.InitialSkip))
+	m.sampleSize.Store(int64(m.initialSampleSize()))
+	switch cfg.Mode {
+	case GS:
+		m.shared = hashmap.NewCuckoo[ID, entry[Ctx]](cfg.Hash, 4096, cfg.Workers*4)
+	default:
+		m.local = hashmap.NewHopscotch[ID, entry[Ctx]](cfg.Hash, 1024)
+	}
+	return m
+}
+
+func (m *Manager[ID, Ctx]) initialSampleSize() int {
+	u := m.cfg.Units()
+	n := int(u.Total())
+	if n == 0 {
+		n = 1024
+	}
+	s := topk.SampleSize(n, m.budgetK(u), m.cfg.Epsilon, m.cfg.Delta)
+	return m.clampSampleSize(s)
+}
+
+func (m *Manager[ID, Ctx]) clampSampleSize(s int) int {
+	if s < 64 {
+		s = 64
+	}
+	if s > m.cfg.MaxSampleSize {
+		s = m.cfg.MaxSampleSize
+	}
+	return s
+}
+
+// budget resolves the configured budget in bytes; MaxInt64 when unbounded.
+func (m *Manager[ID, Ctx]) budget(u UnitCounts) int64 {
+	if m.cfg.RelativeBudget > 0 {
+		allExpanded := float64(u.Total()) * float64(u.UncompressedAvg)
+		return int64(m.cfg.RelativeBudget * allExpanded)
+	}
+	if m.cfg.MemoryBudget > 0 {
+		return m.cfg.MemoryBudget
+	}
+	return math.MaxInt64
+}
+
+// budgetK derives the top-k size from the memory budget (§3: "we set k to
+// the number of theoretically expandable nodes").
+func (m *Manager[ID, Ctx]) budgetK(u UnitCounts) int {
+	b := m.budget(u)
+	if b == math.MaxInt64 {
+		return int(u.Total())
+	}
+	return topk.BudgetK(b, u.Compressed, u.CompressedAvg, u.Uncompressed, u.UncompressedAvg)
+}
+
+// Epoch returns the current sampling epoch.
+func (m *Manager[ID, Ctx]) Epoch() uint32 { return m.epoch.Load() }
+
+// SkipLength returns the current global skip length.
+func (m *Manager[ID, Ctx]) SkipLength() int { return int(m.globalSkip.Load()) }
+
+// SampleSize returns the current target sample size.
+func (m *Manager[ID, Ctx]) SampleSize() int { return int(m.sampleSize.Load()) }
+
+// Migrations returns the total number of successful encoding migrations.
+func (m *Manager[ID, Ctx]) Migrations() int64 { return m.totalMigrations.Load() }
+
+// Adaptations returns the number of completed adaptation phases.
+func (m *Manager[ID, Ctx]) Adaptations() int64 { return m.totalAdapts.Load() }
+
+// Bytes reports the memory the sampling framework itself occupies (sample
+// stores plus per-sampler filters) — the paper reports this as 0.1% of the
+// index size in Figure 12.
+func (m *Manager[ID, Ctx]) Bytes() int64 {
+	var b int64
+	if m.shared != nil {
+		b += int64(m.shared.Bytes())
+	}
+	if m.local != nil {
+		m.mergeMu.Lock()
+		b += int64(m.local.Bytes())
+		m.mergeMu.Unlock()
+	}
+	return b + m.samplerBytes.Load()
+}
+
+// TrackedUnits returns the number of units currently tracked in the
+// central store (TLS-local entries not yet merged are excluded).
+func (m *Manager[ID, Ctx]) TrackedUnits() int {
+	if m.shared != nil {
+		return m.shared.Len()
+	}
+	m.mergeMu.Lock()
+	defer m.mergeMu.Unlock()
+	return m.local.Len()
+}
+
+// UpdateContext propagates a context change (e.g. a leaf's parent changed
+// after a split) to the tracked entry, if any (Listing 1's UpdateContext).
+// In TLS mode only the central store is updated; stale contexts in
+// unmerged thread-local maps must be tolerated by the Migrate callback.
+func (m *Manager[ID, Ctx]) UpdateContext(id ID, ctx Ctx) {
+	if m.shared != nil {
+		if _, ok := m.shared.Get(id); ok {
+			m.shared.Upsert(id, func(e *entry[Ctx], created bool) {
+				if !created {
+					e.ctx = ctx
+				}
+			})
+		}
+		return
+	}
+	m.mergeMu.Lock()
+	if e := m.local.Ref(id); e != nil {
+		e.ctx = ctx
+	}
+	m.mergeMu.Unlock()
+}
+
+// Forget drops a tracked unit (e.g. the index deleted the node).
+func (m *Manager[ID, Ctx]) Forget(id ID) {
+	if m.shared != nil {
+		m.shared.Delete(id)
+		return
+	}
+	m.mergeMu.Lock()
+	m.local.Delete(id)
+	m.mergeMu.Unlock()
+}
+
+// Sampler is the per-goroutine sampling handle: a thread-local skip
+// counter (the paper's `static thread_local size_t skip_length`), a Bloom
+// filter admitting only re-seen identifiers, and — in TLS mode — the
+// thread-local sample map.
+type Sampler[ID comparable, Ctx any] struct {
+	m           *Manager[ID, Ctx]
+	skip        int64
+	rng         uint64 // xorshift state for skip jitter
+	filter      *bloom.Filter
+	filterEpoch uint32
+	local       *hashmap.Hopscotch[ID, entry[Ctx]] // TLS mode only
+	localCount  int
+	quota       int   // TLS: local samples before merging
+	reported    int64 // TLS: local map bytes already counted in samplerBytes
+}
+
+// NewSampler creates a sampling handle. Each worker goroutine must use its
+// own; in SingleThreaded mode create exactly one.
+func (m *Manager[ID, Ctx]) NewSampler() *Sampler[ID, Ctx] {
+	s := &Sampler[ID, Ctx]{m: m, skip: m.globalSkip.Load(), rng: 0x9e3779b97f4a7c15}
+	size := int(m.sampleSize.Load())
+	if !m.cfg.DisableBloom {
+		s.filter = bloom.New(size/2+1, bloom.BitsPerKey)
+		m.samplerBytes.Add(int64(s.filter.Bytes()))
+	}
+	if m.cfg.Mode == TLS {
+		s.local = hashmap.NewHopscotch[ID, entry[Ctx]](m.cfg.Hash, 256)
+		s.quota = size/m.cfg.Workers + 1
+		// The paper's TLS trade-off: thread-local maps cost extra memory
+		// (up to 10x the GS map in their runs); account for them.
+		s.reported = int64(s.local.Bytes())
+		m.samplerBytes.Add(s.reported)
+	}
+	return s
+}
+
+// IsSample reports whether the current access should be tracked. The
+// thread-local counter is decremented without synchronization; only on
+// expiry is the shared skip length loaded atomically (§3.1.3), optionally
+// jittered so periodic query patterns cannot alias with the stride.
+func (s *Sampler[ID, Ctx]) IsSample() bool {
+	if s.skip <= 0 {
+		sk := s.m.globalSkip.Load()
+		if s.m.cfg.RandomizeSkip && sk > 3 {
+			s.rng ^= s.rng << 13
+			s.rng ^= s.rng >> 7
+			s.rng ^= s.rng << 17
+			span := sk / 2 // ±25%
+			sk += int64(s.rng%uint64(span+1)) - span/2
+		}
+		s.skip = sk
+		return true
+	}
+	s.skip--
+	return false
+}
+
+// Track records one sampled access to the unit identified by id with the
+// given context. The context overwrites the stored one (it is the most
+// recent known parent); counters reset when the entry's epoch is stale.
+func (s *Sampler[ID, Ctx]) Track(id ID, at AccessType, ctx Ctx) {
+	m := s.m
+	epoch := m.epoch.Load()
+	if s.filter != nil {
+		// Reset the filter lazily when a new phase began.
+		if fe := m.filterEpoch.Load(); fe != s.filterEpoch {
+			s.filter.Reset()
+			s.filterEpoch = fe
+		}
+		if s.filter.AddIfNew(m.cfg.Hash(id)) {
+			// First sighting in this phase: admit to the filter only; the
+			// map stays untouched (keeps one-off cold nodes out).
+			return
+		}
+	}
+	update := func(e *entry[Ctx], _ bool) {
+		if e.stats.LastEpoch != epoch {
+			e.stats.Reads, e.stats.Writes = 0, 0
+			e.stats.LastEpoch = epoch
+		}
+		e.stats.Count(at)
+		e.ctx = ctx
+	}
+	switch m.cfg.Mode {
+	case GS:
+		m.shared.Upsert(id, update)
+		if m.sampled.Add(1) >= m.sampleSize.Load() {
+			s.tryAdapt(epoch)
+		}
+	case TLS:
+		s.local.Upsert(id, update)
+		s.localCount++
+		if s.localCount >= s.quota {
+			s.merge(epoch)
+		}
+	default:
+		m.local.Upsert(id, update)
+		m.sampled.Add(1)
+		if m.sampled.Load() >= m.sampleSize.Load() {
+			m.adapt(epoch)
+		}
+	}
+}
+
+// merge flushes a TLS sampler's local map into the central store; if that
+// completes the global sample, this worker runs the adaptation while the
+// others keep sampling (§3.1.5).
+func (s *Sampler[ID, Ctx]) merge(epoch uint32) {
+	m := s.m
+	m.mergeMu.Lock()
+	s.local.Range(func(id ID, e *entry[Ctx]) bool {
+		m.local.Upsert(id, func(dst *entry[Ctx], created bool) {
+			if created || dst.stats.LastEpoch != e.stats.LastEpoch {
+				if dst.stats.LastEpoch < e.stats.LastEpoch || created {
+					hist, histLen := dst.stats.History, dst.stats.HistoryLen
+					dst.stats = e.stats
+					if !created {
+						dst.stats.History, dst.stats.HistoryLen = hist, histLen
+					}
+					dst.ctx = e.ctx
+				}
+				return
+			}
+			dst.stats.Reads += e.stats.Reads
+			dst.stats.Writes += e.stats.Writes
+			dst.ctx = e.ctx
+		})
+		return true
+	})
+	m.mergeMu.Unlock()
+	// Refresh this sampler's share of the framework footprint (the local
+	// map is at its high-water mark right before Clear keeps capacity).
+	if now := int64(s.local.Bytes()); now != s.reported {
+		m.samplerBytes.Add(now - s.reported)
+		s.reported = now
+	}
+	merged := s.localCount
+	s.local.Clear()
+	s.localCount = 0
+	s.quota = int(m.sampleSize.Load())/m.cfg.Workers + 1
+	if m.sampled.Add(int64(merged)) >= m.sampleSize.Load() {
+		s.tryAdapt(epoch)
+	}
+}
+
+// Flush force-merges any locally buffered samples (TLS mode); call when a
+// worker retires. No-op in other modes.
+func (s *Sampler[ID, Ctx]) Flush() {
+	if s.local != nil && s.localCount > 0 {
+		s.merge(s.m.epoch.Load())
+	}
+}
+
+// tryAdapt lets exactly one worker run the adaptation for this phase.
+func (s *Sampler[ID, Ctx]) tryAdapt(epoch uint32) {
+	m := s.m
+	if !m.adapting.CompareAndSwap(false, true) {
+		return
+	}
+	defer m.adapting.Store(false)
+	if m.epoch.Load() != epoch {
+		return // another worker already completed this phase
+	}
+	m.adapt(epoch)
+}

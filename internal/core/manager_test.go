@@ -1,0 +1,239 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ahi/internal/hashmap"
+)
+
+// Additional manager behaviour tests beyond core_test.go's workload-driven
+// scenarios: parameter clamps, access-type accounting, context updates in
+// GS mode, and sampler lifecycle edges.
+
+func TestMaxSampleSizeClamps(t *testing.T) {
+	ix := newMockIndex(1_000_000) // Eq.(1) would want a huge sample here
+	cfg := ix.config(SingleThreaded, 1)
+	cfg.MaxSampleSize = 500
+	m := New(cfg)
+	if m.SampleSize() > 500 {
+		t.Fatalf("sample size %d exceeds cap", m.SampleSize())
+	}
+	// A floor keeps degenerate indexes from adapting on every access.
+	ix2 := newMockIndex(1)
+	cfg2 := ix2.config(SingleThreaded, 1)
+	m2 := New(cfg2)
+	if m2.SampleSize() < 64 {
+		t.Fatalf("sample size %d below floor", m2.SampleSize())
+	}
+}
+
+func TestScanAccessesCountAsReads(t *testing.T) {
+	ix := newMockIndex(16)
+	cfg := ix.config(SingleThreaded, 1)
+	cfg.DisableBloom = true
+	m := New(cfg)
+	s := m.NewSampler()
+	s.Track(3, Scan, struct{}{})
+	s.Track(3, Read, struct{}{})
+	s.Track(3, Insert, struct{}{})
+	found := false
+	// Inspect via the store (single-threaded mode keeps it in m.local).
+	m.mergeMu.Lock()
+	if e := m.local.Ref(3); e != nil {
+		found = true
+		if e.stats.Reads != 2 || e.stats.Writes != 1 {
+			t.Fatalf("reads=%d writes=%d", e.stats.Reads, e.stats.Writes)
+		}
+	}
+	m.mergeMu.Unlock()
+	if !found {
+		t.Fatal("unit not tracked")
+	}
+}
+
+func TestEpochResetsCounters(t *testing.T) {
+	ix := newMockIndex(64)
+	cfg := ix.config(SingleThreaded, 1)
+	cfg.DisableBloom = true
+	cfg.MaxSampleSize = 64 // minimum: adapt quickly
+	m := New(cfg)
+	s := m.NewSampler()
+	for i := 0; i < 64; i++ {
+		s.Track(5, Read, struct{}{}) // fills a whole phase with unit 5
+	}
+	epoch := m.Epoch()
+	if epoch == 0 {
+		t.Fatal("no adaptation after a full sample")
+	}
+	// Track in the new epoch: counters must restart, not accumulate.
+	s.Track(5, Read, struct{}{})
+	m.mergeMu.Lock()
+	e := m.local.Ref(5)
+	if e == nil {
+		t.Fatal("unit evicted unexpectedly")
+	}
+	if e.stats.Reads != 1 {
+		t.Fatalf("stale counters survived the epoch: reads=%d", e.stats.Reads)
+	}
+	if e.stats.LastEpoch != epoch {
+		t.Fatalf("epoch not updated: %d vs %d", e.stats.LastEpoch, epoch)
+	}
+	m.mergeMu.Unlock()
+}
+
+func TestGSUpdateContextAndForget(t *testing.T) {
+	type ctx struct{ parent int }
+	ix := newMockIndex(8)
+	cfg := Config[int, ctx]{
+		Hash:         func(id int) uint64 { return hashmap.HashU64(uint64(id)) },
+		Units:        ix.units,
+		UsedMemory:   ix.usedMemory,
+		Heuristic:    func(int, *ctx, *Stats, Env) Action { return Action{} },
+		Migrate:      func(id int, _ ctx, _ Encoding) (int, bool) { return id, false },
+		Mode:         GS,
+		Workers:      2,
+		DisableBloom: true,
+	}
+	m := New(cfg)
+	s := m.NewSampler()
+	s.Track(1, Read, ctx{parent: 7})
+	m.UpdateContext(1, ctx{parent: 9})
+	m.UpdateContext(2, ctx{parent: 1}) // untracked: must not create
+	if m.TrackedUnits() != 1 {
+		t.Fatalf("tracked=%d", m.TrackedUnits())
+	}
+	m.Forget(1)
+	if m.TrackedUnits() != 0 {
+		t.Fatal("Forget in GS mode failed")
+	}
+}
+
+func TestTLSFlushIdempotent(t *testing.T) {
+	ix := newMockIndex(32)
+	cfg := ix.config(TLS, 2)
+	cfg.DisableBloom = true
+	m := New(cfg)
+	s := m.NewSampler()
+	s.Flush() // nothing buffered: no-op
+	s.Track(4, Read, struct{}{})
+	s.Flush()
+	s.Flush() // second flush must not double-count
+	if m.TrackedUnits() != 1 {
+		t.Fatalf("tracked=%d", m.TrackedUnits())
+	}
+}
+
+func TestSamplerPerGoroutineIndependence(t *testing.T) {
+	ix := newMockIndex(128)
+	cfg := ix.config(GS, 4)
+	cfg.AdaptiveSkip = false
+	cfg.InitialSkip = 9
+	m := New(cfg)
+	var wg sync.WaitGroup
+	counts := make([]int, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := m.NewSampler()
+			for i := 0; i < 1000; i++ {
+				if s.IsSample() {
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, c := range counts {
+		if c < 95 || c > 105 { // 1000 / (skip 9 + 1)
+			t.Fatalf("worker %d sampled %d of 1000 at skip 9", w, c)
+		}
+	}
+}
+
+func TestRandomizeSkipJitters(t *testing.T) {
+	ix := newMockIndex(64)
+	cfg := ix.config(SingleThreaded, 1)
+	cfg.AdaptiveSkip = false
+	cfg.InitialSkip = 20
+	cfg.RandomizeSkip = true
+	m := New(cfg)
+	s := m.NewSampler()
+	// Collect inter-sample gaps; with jitter they must vary but stay in
+	// roughly [skip/2, 3*skip/2], and the mean must stay near the skip.
+	gaps := map[int]int{}
+	gap := 0
+	total, count := 0, 0
+	for i := 0; i < 200_000; i++ {
+		if s.IsSample() {
+			if gap > 0 {
+				gaps[gap]++
+				total += gap
+				count++
+			}
+			gap = 0
+		} else {
+			gap++
+		}
+	}
+	if len(gaps) < 5 {
+		t.Fatalf("jitter produced only %d distinct gaps", len(gaps))
+	}
+	mean := float64(total) / float64(count)
+	if mean < 15 || mean > 26 {
+		t.Fatalf("jittered mean gap %.1f drifted from skip 20", mean)
+	}
+	for g := range gaps {
+		if g < 9 || g > 32 {
+			t.Fatalf("gap %d outside the jitter envelope", g)
+		}
+	}
+}
+
+func TestWeightedClassification(t *testing.T) {
+	var s Stats
+	s.Count(Read)
+	s.Count(Insert)
+	s.Count(Insert)
+	if s.WeightedFreq(1, 1) != 3 || s.WeightedFreq(10, 1) != 12 || s.WeightedFreq(1, 10) != 21 {
+		t.Fatalf("weighted freq wrong: %d %d %d", s.WeightedFreq(1, 1), s.WeightedFreq(10, 1), s.WeightedFreq(1, 10))
+	}
+	// A write-weighted manager must prefer the write-heavy unit when the
+	// budget allows only one expansion.
+	ix := newMockIndex(4)
+	cfg := ix.config(SingleThreaded, 1)
+	cfg.DisableBloom = true
+	cfg.MaxSampleSize = 64
+	cfg.MemoryBudget = 170 // k = (170-40)/90 = 1: exactly one expansion
+	cfg.WriteWeight = 100
+	m := New(cfg)
+	smp := m.NewSampler()
+	for i := 0; i < 32; i++ {
+		smp.Track(0, Read, struct{}{}) // read-heavy unit
+	}
+	for i := 0; i < 32; i++ {
+		if i%4 == 0 {
+			smp.Track(1, Insert, struct{}{}) // write-ish unit, fewer accesses
+		} else {
+			smp.Track(0, Read, struct{}{})
+		}
+	}
+	if !ix.isExpanded(1) {
+		t.Fatal("write-weighted unit not preferred")
+	}
+	if ix.isExpanded(0) {
+		t.Fatal("read unit expanded despite budget for one")
+	}
+}
+
+func TestCustomEpsilonShrinksSample(t *testing.T) {
+	ix := newMockIndex(10_000)
+	loose := ix.config(SingleThreaded, 1)
+	loose.Epsilon, loose.Delta = 0.2, 0.2
+	tight := ix.config(SingleThreaded, 1)
+	tight.Epsilon, tight.Delta = 0.02, 0.02
+	if New(loose).SampleSize() >= New(tight).SampleSize() {
+		t.Fatal("looser bounds must yield smaller samples")
+	}
+}

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func assertSortedUniqueU64(t *testing.T, keys []uint64) {
+	t.Helper()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("keys not strictly increasing at %d: %d <= %d", i, keys[i], keys[i-1])
+		}
+	}
+}
+
+func TestOSMProperties(t *testing.T) {
+	keys := OSM(50000, 1)
+	if len(keys) != 50000 {
+		t.Fatalf("len=%d", len(keys))
+	}
+	assertSortedUniqueU64(t, keys)
+	// Determinism.
+	again := OSM(50000, 1)
+	for i := range keys {
+		if keys[i] != again[i] {
+			t.Fatal("OSM not deterministic")
+		}
+	}
+	// Different seed differs.
+	other := OSM(50000, 2)
+	same := 0
+	for i := range keys {
+		if keys[i] == other[i] {
+			same++
+		}
+	}
+	if same > len(keys)/10 {
+		t.Fatalf("seeds too similar: %d identical", same)
+	}
+	// Clustering: median gap must be far below the mean gap.
+	gaps := make([]uint64, len(keys)-1)
+	var sum float64
+	for i := 1; i < len(keys); i++ {
+		gaps[i-1] = keys[i] - keys[i-1]
+		sum += float64(gaps[i-1])
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	median := float64(gaps[len(gaps)/2])
+	mean := sum / float64(len(gaps))
+	if median*10 > mean {
+		t.Fatalf("no clustering: median gap %.0f vs mean %.0f", median, mean)
+	}
+}
+
+func TestConsecutive(t *testing.T) {
+	keys := ConsecutiveU64(100, 5)
+	if keys[0] != 5 || keys[99] != 104 {
+		t.Fatalf("range [%d,%d]", keys[0], keys[99])
+	}
+	assertSortedUniqueU64(t, keys)
+}
+
+func TestUserIDs(t *testing.T) {
+	keys := UserIDs(30000, 3)
+	if len(keys) != 30000 {
+		t.Fatalf("len=%d", len(keys))
+	}
+	assertSortedUniqueU64(t, keys)
+}
+
+func TestEmails(t *testing.T) {
+	emails := Emails(20000, 4)
+	if len(emails) != 20000 {
+		t.Fatalf("len=%d", len(emails))
+	}
+	var total int
+	for i, e := range emails {
+		if i > 0 && emails[i] <= emails[i-1] {
+			t.Fatalf("emails not strictly sorted at %d: %q <= %q", i, emails[i], emails[i-1])
+		}
+		if !strings.Contains(e, "@") {
+			t.Fatalf("malformed email %q", e)
+		}
+		if strings.IndexByte(e, 0) >= 0 {
+			t.Fatalf("email contains NUL: %q", e)
+		}
+		total += len(e)
+	}
+	avg := float64(total) / float64(len(emails))
+	if avg < 15 || avg > 30 {
+		t.Fatalf("average length %.1f outside plausible range around 22", avg)
+	}
+	// Host reversal: many emails share a leading domain prefix.
+	gmail := 0
+	for _, e := range emails {
+		if strings.HasPrefix(e, "gmail.com@") {
+			gmail++
+		}
+	}
+	if gmail < len(emails)/100 {
+		t.Fatalf("domain clustering missing: %d gmail prefixes", gmail)
+	}
+}
+
+func TestYCSBKeys(t *testing.T) {
+	keys := YCSBKeys(10000, 9)
+	if len(keys) != 10000 {
+		t.Fatalf("len=%d", len(keys))
+	}
+	assertSortedUniqueU64(t, keys)
+}
+
+func TestKeyBytesOrderPreserving(t *testing.T) {
+	pairs := [][2]uint64{{0, 1}, {255, 256}, {1 << 32, 1<<32 + 1}, {1<<64 - 2, 1<<64 - 1}}
+	for _, p := range pairs {
+		a, b := KeyBytes(p[0]), KeyBytes(p[1])
+		if string(a) >= string(b) {
+			t.Fatalf("order not preserved for %d < %d", p[0], p[1])
+		}
+		if len(a) != 8 {
+			t.Fatal("key bytes must be 8 long")
+		}
+	}
+	if string(AppendKeyBytes(nil, 77)) != string(KeyBytes(77)) {
+		t.Fatal("AppendKeyBytes mismatch")
+	}
+}

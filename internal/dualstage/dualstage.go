@@ -1,0 +1,341 @@
+// Package dualstage implements the Dual-Stage hybrid index of Zhang et
+// al. (SIGMOD 2016), the baseline of the paper's Figure 17: a dynamic
+// stage (a regular B+-tree) absorbs all writes, a compact read-only static
+// stage holds the bulk of the data, and a Bloom filter in front of the
+// dynamic stage lets point lookups skip it when the key cannot be there.
+// When the dynamic stage exceeds a configured fraction of the data, it is
+// merged wholesale into the static stage — the expensive merge the
+// adaptive approach avoids.
+package dualstage
+
+import (
+	"math"
+	"sort"
+
+	"ahi/internal/bitutil"
+	"ahi/internal/bloom"
+	"ahi/internal/btree"
+	"ahi/internal/hashmap"
+)
+
+// StaticEncoding selects the read-only stage's layout.
+type StaticEncoding uint8
+
+const (
+	// Packed: two dense sorted arrays, plain binary search.
+	Packed StaticEncoding = iota
+	// Succinct: block-wise frame-of-reference with bit packing.
+	Succinct
+)
+
+// Config configures the index.
+type Config struct {
+	Static StaticEncoding
+	// MergeThreshold is the dynamic-stage share of all keys that triggers
+	// a merge (the paper's benchmark keeps the latest 5% dynamic).
+	MergeThreshold float64
+	// BloomBitsPerKey sizes the filter over dynamic keys (default 10).
+	BloomBitsPerKey int
+}
+
+// succinctBlock is one FOR-coded block of the static stage.
+const succinctBlockSize = 256
+
+type succinctBlock struct {
+	keys bitutil.FORArray
+	vals bitutil.FORArray
+}
+
+// staticStage is the immutable compact stage.
+type staticStage struct {
+	enc StaticEncoding
+	// Packed layout.
+	keys, vals []uint64
+	// Succinct layout.
+	mins   []uint64
+	blocks []succinctBlock
+	n      int
+}
+
+func newStatic(enc StaticEncoding, keys, vals []uint64) *staticStage {
+	s := &staticStage{enc: enc, n: len(keys)}
+	if enc == Packed {
+		s.keys = append([]uint64(nil), keys...)
+		s.vals = append([]uint64(nil), vals...)
+		return s
+	}
+	for i := 0; i < len(keys); i += succinctBlockSize {
+		end := i + succinctBlockSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		s.mins = append(s.mins, keys[i])
+		s.blocks = append(s.blocks, succinctBlock{
+			keys: bitutil.NewFORArray(keys[i:end]),
+			vals: bitutil.NewFORArray(vals[i:end]),
+		})
+	}
+	return s
+}
+
+func (s *staticStage) bytes() int64 {
+	if s.enc == Packed {
+		return int64(len(s.keys)*8 + len(s.vals)*8)
+	}
+	b := int64(len(s.mins) * 8)
+	for i := range s.blocks {
+		b += int64(s.blocks[i].keys.Bytes() + s.blocks[i].vals.Bytes())
+	}
+	return b
+}
+
+func (s *staticStage) lookup(k uint64) (uint64, bool) {
+	if s.enc == Packed {
+		i := sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= k })
+		if i < len(s.keys) && s.keys[i] == k {
+			return s.vals[i], true
+		}
+		return 0, false
+	}
+	b := sort.Search(len(s.mins), func(j int) bool { return s.mins[j] > k }) - 1
+	if b < 0 {
+		return 0, false
+	}
+	blk := &s.blocks[b]
+	i := blk.keys.Search(k)
+	if i < blk.keys.Len() && blk.keys.Get(i) == k {
+		return blk.vals.Get(i), true
+	}
+	return 0, false
+}
+
+// position returns the global rank of the first key >= k.
+func (s *staticStage) position(k uint64) int {
+	if s.enc == Packed {
+		return sort.Search(len(s.keys), func(j int) bool { return s.keys[j] >= k })
+	}
+	b := sort.Search(len(s.mins), func(j int) bool { return s.mins[j] > k }) - 1
+	if b < 0 {
+		return 0
+	}
+	return b*succinctBlockSize + s.blocks[b].keys.Search(k)
+}
+
+func (s *staticStage) at(pos int) (uint64, uint64) {
+	if s.enc == Packed {
+		return s.keys[pos], s.vals[pos]
+	}
+	b, i := pos/succinctBlockSize, pos%succinctBlockSize
+	return s.blocks[b].keys.Get(i), s.blocks[b].vals.Get(i)
+}
+
+// appendAll decodes the whole stage (merge path).
+func (s *staticStage) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
+	if s.enc == Packed {
+		return append(keys, s.keys...), append(vals, s.vals...)
+	}
+	for i := range s.blocks {
+		keys = s.blocks[i].keys.AppendTo(keys)
+		vals = s.blocks[i].vals.AppendTo(vals)
+	}
+	return keys, vals
+}
+
+// Index is the Dual-Stage hybrid index. Not safe for concurrent mutation.
+type Index struct {
+	cfg     Config
+	dynamic *btree.Tree
+	static  *staticStage
+	filter  *bloom.Filter
+	dynN    int
+	live    int
+	deletes map[uint64]struct{} // tombstones pending the next merge
+	merges  int
+}
+
+// New bulk-loads all initial data into the static stage.
+func New(cfg Config, keys, vals []uint64) *Index {
+	if cfg.MergeThreshold <= 0 || cfg.MergeThreshold >= 1 {
+		cfg.MergeThreshold = 0.05
+	}
+	if cfg.BloomBitsPerKey <= 0 {
+		cfg.BloomBitsPerKey = bloom.BitsPerKey
+	}
+	ix := &Index{
+		cfg:     cfg,
+		static:  newStatic(cfg.Static, keys, vals),
+		deletes: map[uint64]struct{}{},
+		live:    len(keys),
+	}
+	ix.resetDynamic(len(keys))
+	return ix
+}
+
+func (ix *Index) resetDynamic(total int) {
+	ix.dynamic = btree.New(btree.Config{DefaultEncoding: btree.EncGapped})
+	capacity := int(float64(total)*ix.cfg.MergeThreshold) + 16
+	ix.filter = bloom.New(capacity, ix.cfg.BloomBitsPerKey)
+	ix.dynN = 0
+}
+
+// Len returns the number of live keys.
+func (ix *Index) Len() int { return ix.live }
+
+// Merges returns how many dynamic→static merges have run.
+func (ix *Index) Merges() int { return ix.merges }
+
+// Bytes returns the combined footprint.
+func (ix *Index) Bytes() int64 {
+	return ix.static.bytes() + ix.dynamic.Bytes() + int64(ix.filter.Bytes())
+}
+
+// Lookup returns the value stored under k. The Bloom filter skips the
+// dynamic stage for keys that were never written there.
+func (ix *Index) Lookup(k uint64) (uint64, bool) {
+	if ix.filter.Contains(hashmap.HashU64(k)) {
+		if v, ok := ix.dynamic.Lookup(k); ok {
+			return v, true
+		}
+	}
+	if len(ix.deletes) > 0 {
+		if _, dead := ix.deletes[k]; dead {
+			return 0, false
+		}
+	}
+	return ix.static.lookup(k)
+}
+
+// Insert stores v under k in the dynamic stage and merges when the stage
+// outgrew its share.
+func (ix *Index) Insert(k, v uint64) {
+	_, wasTomb := ix.deletes[k]
+	delete(ix.deletes, k)
+	newInDyn := ix.dynamic.Insert(k, v)
+	ix.filter.Add(hashmap.HashU64(k))
+	if newInDyn {
+		ix.dynN++
+		if _, inStatic := ix.static.lookup(k); !inStatic || wasTomb {
+			ix.live++
+		}
+	} else if wasTomb {
+		ix.live++
+	}
+	if float64(ix.dynN) > ix.cfg.MergeThreshold*float64(ix.static.n+ix.dynN) {
+		ix.merge()
+	}
+}
+
+// Delete removes k (static copies are tombstoned until the next merge).
+func (ix *Index) Delete(k uint64) bool {
+	if _, dead := ix.deletes[k]; dead {
+		return false
+	}
+	_, inStatic := ix.static.lookup(k)
+	inDyn := ix.dynamic.Delete(k)
+	if inStatic {
+		ix.deletes[k] = struct{}{}
+	}
+	if inStatic || inDyn {
+		ix.live--
+		return true
+	}
+	return false
+}
+
+// Scan visits up to n pairs with key >= from in order, merging both
+// stages and honoring tombstones.
+func (ix *Index) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	// Pull n candidates from the dynamic stage (it holds few keys).
+	type kv struct{ k, v uint64 }
+	dyn := make([]kv, 0, min(n, 512))
+	ix.dynamic.Scan(from, n, func(k, v uint64) bool {
+		dyn = append(dyn, kv{k, v})
+		return true
+	})
+	di := 0
+	pos := ix.static.position(from)
+	visited := 0
+	for visited < n {
+		var k, v uint64
+		haveStatic := pos < ix.static.n
+		haveDyn := di < len(dyn)
+		switch {
+		case !haveStatic && !haveDyn:
+			return visited
+		case haveStatic && haveDyn:
+			sk, sv := ix.static.at(pos)
+			if dyn[di].k <= sk {
+				k, v = dyn[di].k, dyn[di].v
+				di++
+				if dyn[di-1].k == sk {
+					pos++ // dynamic shadows static
+				}
+			} else {
+				k, v = sk, sv
+				pos++
+			}
+		case haveStatic:
+			k, v = ix.static.at(pos)
+			pos++
+		default:
+			k, v = dyn[di].k, dyn[di].v
+			di++
+		}
+		if _, dead := ix.deletes[k]; dead {
+			continue
+		}
+		visited++
+		if !fn(k, v) {
+			return visited
+		}
+	}
+	return visited
+}
+
+// merge folds the dynamic stage and tombstones into a new static stage.
+func (ix *Index) merge() {
+	total := ix.static.n + ix.dynamic.Len()
+	keys := make([]uint64, 0, total)
+	vals := make([]uint64, 0, total)
+	sk, sv := ix.static.appendAll(nil, nil)
+	di := 0
+	type kv struct{ k, v uint64 }
+	dyn := make([]kv, 0, ix.dynamic.Len())
+	ix.dynamic.Scan(0, math.MaxInt, func(k, v uint64) bool {
+		dyn = append(dyn, kv{k, v})
+		return true
+	})
+	si := 0
+	for si < len(sk) || di < len(dyn) {
+		var k, v uint64
+		switch {
+		case si < len(sk) && di < len(dyn):
+			if dyn[di].k <= sk[si] {
+				k, v = dyn[di].k, dyn[di].v
+				if dyn[di].k == sk[si] {
+					si++
+				}
+				di++
+			} else {
+				k, v = sk[si], sv[si]
+				si++
+			}
+		case si < len(sk):
+			k, v = sk[si], sv[si]
+			si++
+		default:
+			k, v = dyn[di].k, dyn[di].v
+			di++
+		}
+		if _, dead := ix.deletes[k]; dead {
+			continue
+		}
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	ix.static = newStatic(ix.cfg.Static, keys, vals)
+	ix.deletes = map[uint64]struct{}{}
+	ix.live = len(keys)
+	ix.resetDynamic(len(keys))
+	ix.merges++
+}

@@ -1,0 +1,291 @@
+package dualstage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ahi/internal/dataset"
+)
+
+func fixture(t *testing.T, enc StaticEncoding, n int) (*Index, []uint64, []uint64) {
+	t.Helper()
+	keys := dataset.OSM(n, 3)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) * 7
+	}
+	return New(Config{Static: enc}, keys, vals), keys, vals
+}
+
+func TestLookupBothEncodings(t *testing.T) {
+	for _, enc := range []StaticEncoding{Packed, Succinct} {
+		ix, keys, vals := fixture(t, enc, 30000)
+		if ix.Len() != len(keys) {
+			t.Fatalf("Len=%d", ix.Len())
+		}
+		for i, k := range keys {
+			v, ok := ix.Lookup(k)
+			if !ok || v != vals[i] {
+				t.Fatalf("enc %d: Lookup(%d)=(%d,%v)", enc, k, v, ok)
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 10000; i++ {
+			k := rng.Uint64()
+			idx := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
+			if idx < len(keys) && keys[idx] == k {
+				continue
+			}
+			if _, ok := ix.Lookup(k); ok {
+				t.Fatalf("enc %d: phantom %d", enc, k)
+			}
+		}
+	}
+}
+
+func TestInsertAndMerge(t *testing.T) {
+	ix, keys, _ := fixture(t, Succinct, 20000)
+	rng := rand.New(rand.NewSource(5))
+	inserted := map[uint64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() | 1<<63 // disjoint from OSM keys (top bit clear there)
+		v := rng.Uint64()
+		ix.Insert(k, v)
+		inserted[k] = v
+	}
+	if ix.Merges() == 0 {
+		t.Fatal("5000 inserts into 20000 keys must trigger merges at 5%")
+	}
+	if ix.Len() != len(keys)+len(inserted) {
+		t.Fatalf("Len=%d want %d", ix.Len(), len(keys)+len(inserted))
+	}
+	for k, v := range inserted {
+		got, ok := ix.Lookup(k)
+		if !ok || got != v {
+			t.Fatalf("inserted key %d lost (merged=%d)", k, ix.Merges())
+		}
+	}
+	// Original keys survive merges.
+	for i := 0; i < len(keys); i += 101 {
+		if _, ok := ix.Lookup(keys[i]); !ok {
+			t.Fatalf("static key %d lost after merge", keys[i])
+		}
+	}
+}
+
+func TestUpdateOverwrites(t *testing.T) {
+	ix, keys, _ := fixture(t, Packed, 5000)
+	ix.Insert(keys[42], 99999)
+	if v, ok := ix.Lookup(keys[42]); !ok || v != 99999 {
+		t.Fatalf("update lost: %d %v", v, ok)
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("update changed Len to %d", ix.Len())
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	ix, keys, _ := fixture(t, Succinct, 5000)
+	if !ix.Delete(keys[7]) {
+		t.Fatal("delete failed")
+	}
+	if ix.Delete(keys[7]) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := ix.Lookup(keys[7]); ok {
+		t.Fatal("deleted key visible")
+	}
+	if ix.Len() != len(keys)-1 {
+		t.Fatalf("Len=%d", ix.Len())
+	}
+	// Re-insert after delete.
+	ix.Insert(keys[7], 123)
+	if v, ok := ix.Lookup(keys[7]); !ok || v != 123 {
+		t.Fatal("reinsert after delete failed")
+	}
+	if ix.Len() != len(keys) {
+		t.Fatalf("Len=%d after reinsert", ix.Len())
+	}
+	// Deleted keys vanish from scans and stay gone across a merge.
+	ix.Delete(keys[8])
+	found := false
+	ix.Scan(keys[8], 1, func(k, v uint64) bool {
+		found = k == keys[8]
+		return true
+	})
+	if found {
+		t.Fatal("tombstoned key scanned")
+	}
+	for i := 0; i < 1000; i++ {
+		ix.Insert(uint64(1)<<63|uint64(i), 1) // force merges
+	}
+	if _, ok := ix.Lookup(keys[8]); ok {
+		t.Fatal("tombstone lost in merge")
+	}
+}
+
+func TestScanMergesStages(t *testing.T) {
+	ix, keys, vals := fixture(t, Succinct, 10000)
+	// Interleave fresh dynamic keys between static ones.
+	extra := map[uint64]uint64{}
+	for i := 0; i < 200; i++ {
+		k := keys[i*37] + 1 // OSM gaps guarantee no collision most of the time
+		if _, exists := ix.Lookup(k); exists {
+			continue
+		}
+		ix.Insert(k, 5555)
+		extra[k] = 5555
+	}
+	// Full scan must be ordered and contain both stages.
+	var prev uint64
+	first := true
+	seen := 0
+	sawExtra := 0
+	ix.Scan(0, 1<<30, func(k, v uint64) bool {
+		if !first && k <= prev {
+			t.Fatalf("scan order violated: %d after %d", k, prev)
+		}
+		if _, ok := extra[k]; ok {
+			sawExtra++
+		}
+		prev, first = k, false
+		seen++
+		return true
+	})
+	if seen != ix.Len() {
+		t.Fatalf("scan visited %d of %d", seen, ix.Len())
+	}
+	if sawExtra != len(extra) {
+		t.Fatalf("scan missed dynamic keys: %d of %d", sawExtra, len(extra))
+	}
+	// Ranged scan correctness against reference.
+	start := keys[500]
+	var got []uint64
+	ix.Scan(start, 20, func(k, v uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 20 || got[0] < start {
+		t.Fatalf("ranged scan wrong: %v", got[:min(len(got), 3)])
+	}
+	_ = vals
+}
+
+func TestSuccinctSmallerThanPacked(t *testing.T) {
+	ixP, _, _ := fixture(t, Packed, 30000)
+	ixS, _, _ := fixture(t, Succinct, 30000)
+	if ixS.Bytes() >= ixP.Bytes() {
+		t.Fatalf("succinct static (%d) not smaller than packed (%d)", ixS.Bytes(), ixP.Bytes())
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	keys := dataset.OSM(5000, 9)
+	vals := make([]uint64, len(keys))
+	ref := map[uint64]uint64{}
+	for i, k := range keys {
+		vals[i] = uint64(i)
+		ref[k] = uint64(i)
+	}
+	ix := New(Config{Static: Succinct, MergeThreshold: 0.02}, keys, vals)
+	rng := rand.New(rand.NewSource(11))
+	for op := 0; op < 50000; op++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(3) == 0 {
+			k = rng.Uint64()>>16 | 1<<62 // fresh key space
+		}
+		switch rng.Intn(5) {
+		case 0, 1:
+			v := rng.Uint64()
+			ix.Insert(k, v)
+			ref[k] = v
+		case 2:
+			got := ix.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d)=%v want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		default:
+			got, ok := ix.Lookup(k)
+			want, wok := ref[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: Lookup(%d)=(%d,%v) want (%d,%v) merges=%d", op, k, got, ok, want, wok, ix.Merges())
+			}
+		}
+		if ix.Len() != len(ref) {
+			t.Fatalf("op %d: Len=%d want %d", op, ix.Len(), len(ref))
+		}
+	}
+}
+
+func BenchmarkDualStageLookup(b *testing.B) {
+	keys := dataset.OSM(100000, 1)
+	vals := make([]uint64, len(keys))
+	ix := New(Config{Static: Succinct}, keys, vals)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(keys[i%len(keys)])
+	}
+}
+
+func TestMergeCountAndShrink(t *testing.T) {
+	keys := dataset.OSM(10000, 21)
+	vals := make([]uint64, len(keys))
+	ix := New(Config{Static: Succinct, MergeThreshold: 0.01}, keys, vals)
+	before := ix.Merges()
+	for i := 0; i < 500; i++ {
+		ix.Insert(uint64(1)<<62|uint64(i)*7, 1)
+	}
+	if ix.Merges() <= before {
+		t.Fatal("1% threshold with 5% inserts must merge repeatedly")
+	}
+	// After a merge the dynamic stage restarts near-empty: size near the
+	// static footprint.
+	static := ix.static.bytes()
+	if ix.Bytes() > static+static/2 {
+		t.Fatalf("post-merge footprint inflated: %d vs static %d", ix.Bytes(), static)
+	}
+}
+
+func TestQuickDualStageMatchesMap(t *testing.T) {
+	fn := func(seedRaw uint16, opsRaw []uint16) bool {
+		keys := dataset.OSM(500, int64(seedRaw)+1)
+		vals := make([]uint64, len(keys))
+		ref := map[uint64]uint64{}
+		for i, k := range keys {
+			vals[i] = uint64(i)
+			ref[k] = uint64(i)
+		}
+		ix := New(Config{Static: Succinct, MergeThreshold: 0.05}, keys, vals)
+		for i, raw := range opsRaw {
+			k := keys[int(raw)%len(keys)]
+			switch raw % 3 {
+			case 0:
+				v := uint64(raw) + 1
+				ix.Insert(k, v)
+				ref[k] = v
+			case 1:
+				got := ix.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				got, ok := ix.Lookup(k)
+				want, wok := ref[k]
+				if ok != wok || (ok && got != want) {
+					return false
+				}
+			}
+			_ = i
+		}
+		return ix.Len() == len(ref)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package fst implements the Fast Succinct Trie of Zhang et al. (SIGMOD
+// 2018) as used by the paper's Hybrid Trie (§4.2): a static, pointer-free
+// trie over prefix-free byte-string keys. The hot upper levels use the
+// LOUDS-dense encoding (two 256-bit bitmaps per node, constant-time child
+// steps via rank), the remaining levels LOUDS-sparse (one explicit label
+// byte plus two bits per edge). Child positions are computed with
+// rank/select over the bit vectors of internal/bitutil instead of stored
+// pointers.
+//
+// Unlike SuRF (a filter), this FST stores complete keys and one uint64
+// value per key. Keys must be sorted, unique, and prefix-free (append a
+// terminator for variable-length keys; see art.Terminate).
+//
+// Node numbering is global BFS order: dense nodes first (0..DenseNodes-1),
+// then sparse nodes. The Hybrid Trie stores these numbers in tagged ART
+// handles and resumes lookups mid-trie via LookupFrom.
+package fst
+
+import (
+	"fmt"
+
+	"ahi/internal/bitutil"
+)
+
+// Config controls the dense/sparse split.
+type Config struct {
+	// DenseLevels forces the number of LOUDS-dense levels: 0 encodes the
+	// whole trie sparsely (the paper's FST-sparse variant), a large value
+	// densely (FST-dense). Negative selects automatically like SuRF: a
+	// level is dense while its dense encoding costs at most SizeRatio
+	// times its sparse encoding.
+	DenseLevels int
+	// SizeRatio is the auto-selection threshold (default 16, SuRF's R).
+	SizeRatio int
+}
+
+// AutoDense returns a Config with SuRF-style automatic level selection.
+func AutoDense() Config { return Config{DenseLevels: -1, SizeRatio: 16} }
+
+// FST is the immutable trie. Build it with New.
+type FST struct {
+	// Dense part.
+	dLabels   *bitutil.BitVector // nd*256 bits
+	dHasChild *bitutil.BitVector // nd*256 bits
+	dValues   []uint64
+	nd        int // dense node count
+	dEdges    int // total has-child edges in the dense part
+
+	// Sparse part.
+	sLabels   []byte
+	sHasChild *bitutil.BitVector
+	sLouds    *bitutil.BitVector
+	sValues   []uint64
+	ns        int // sparse node count
+
+	height  int
+	numKeys int
+}
+
+// levelData accumulates one BFS level during construction.
+type levelData struct {
+	labels   []byte
+	hasChild []bool
+	louds    []bool
+	values   []uint64 // aligned with leaf edges, in position order
+	nodes    int
+}
+
+// New builds an FST from sorted, unique, prefix-free keys and their
+// values. It panics on unsorted or prefix-violating input, because a
+// silently corrupt static index would poison every experiment above it.
+func New(cfg Config, keys [][]byte, vals []uint64) *FST {
+	if len(keys) != len(vals) {
+		panic("fst: keys/vals length mismatch")
+	}
+	for i := 1; i < len(keys); i++ {
+		if cmp := compareBytes(keys[i-1], keys[i]); cmp >= 0 {
+			panic(fmt.Sprintf("fst: keys not sorted/unique at %d", i))
+		}
+	}
+	if cfg.SizeRatio <= 0 {
+		cfg.SizeRatio = 16
+	}
+	f := &FST{numKeys: len(keys)}
+	if len(keys) == 0 {
+		var empty bitutil.Builder
+		f.dLabels = empty.Build()
+		var e2, e3, e4 bitutil.Builder
+		f.dHasChild = e2.Build()
+		f.sHasChild = e3.Build()
+		f.sLouds = e4.Build()
+		return f
+	}
+
+	levels := buildLevels(keys, vals)
+	f.height = len(levels)
+
+	// Pick the dense cutoff.
+	denseLevels := cfg.DenseLevels
+	if denseLevels < 0 {
+		denseLevels = 0
+		for _, lv := range levels {
+			denseBits := lv.nodes * 512
+			sparseBits := len(lv.labels) * 10
+			if sparseBits == 0 || denseBits > cfg.SizeRatio*sparseBits {
+				break
+			}
+			denseLevels++
+		}
+	}
+	if denseLevels > len(levels) {
+		denseLevels = len(levels)
+	}
+
+	// Flatten the dense part.
+	var dl, dh bitutil.Builder
+	for _, lv := range levels[:denseLevels] {
+		node := -1
+		for i, lab := range lv.labels {
+			if lv.louds[i] {
+				node++
+				dl.AppendN(false, 256)
+				dh.AppendN(false, 256)
+			}
+			base := (f.nd+node)*256 - (f.nd * 256) // offset within this builder
+			_ = base
+			pos := dl.Len() - 256 + int(lab)
+			dl.Set(pos)
+			if lv.hasChild[i] {
+				dh.Set(pos)
+			}
+		}
+		f.nd += lv.nodes
+		f.dValues = append(f.dValues, lv.values...)
+	}
+	f.dLabels = dl.Build()
+	f.dHasChild = dh.Build()
+	f.dEdges = f.dHasChild.Ones()
+
+	// Flatten the sparse part.
+	var sh, sl bitutil.Builder
+	for _, lv := range levels[denseLevels:] {
+		for i, lab := range lv.labels {
+			f.sLabels = append(f.sLabels, lab)
+			sh.Append(lv.hasChild[i])
+			sl.Append(lv.louds[i])
+		}
+		f.ns += lv.nodes
+		f.sValues = append(f.sValues, lv.values...)
+	}
+	f.sHasChild = sh.Build()
+	f.sLouds = sl.Build()
+	return f
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// buildLevels runs the BFS construction over the implied trie.
+func buildLevels(keys [][]byte, vals []uint64) []levelData {
+	type rng struct{ lo, hi, depth int }
+	queue := []rng{{0, len(keys), 0}}
+	var levels []levelData
+	for len(queue) > 0 {
+		var next []rng
+		lv := levelData{}
+		for _, r := range queue {
+			lv.nodes++
+			first := true
+			i := r.lo
+			for i < r.hi {
+				if r.depth >= len(keys[i]) {
+					panic(fmt.Sprintf("fst: key %d is a prefix of a later key (input not prefix-free)", i))
+				}
+				lab := keys[i][r.depth]
+				j := i + 1
+				for j < r.hi && r.depth < len(keys[j]) && keys[j][r.depth] == lab {
+					j++
+				}
+				leafEdge := j == i+1 && len(keys[i]) == r.depth+1
+				lv.labels = append(lv.labels, lab)
+				lv.louds = append(lv.louds, first)
+				lv.hasChild = append(lv.hasChild, !leafEdge)
+				if leafEdge {
+					lv.values = append(lv.values, vals[i])
+				} else {
+					next = append(next, rng{i, j, r.depth + 1})
+				}
+				first = false
+				i = j
+			}
+		}
+		levels = append(levels, lv)
+		queue = next
+	}
+	return levels
+}
+
+// Len returns the number of keys.
+func (f *FST) Len() int { return f.numKeys }
+
+// Height returns the number of trie levels.
+func (f *FST) Height() int { return f.height }
+
+// DenseNodes returns the number of LOUDS-dense nodes; node numbers below
+// this are dense.
+func (f *FST) DenseNodes() int { return f.nd }
+
+// SparseNodes returns the number of LOUDS-sparse nodes.
+func (f *FST) SparseNodes() int { return f.ns }
+
+// NumNodes returns the total node count.
+func (f *FST) NumNodes() int { return f.nd + f.ns }
+
+// Bytes returns the approximate heap footprint.
+func (f *FST) Bytes() int64 {
+	return int64(f.dLabels.Bytes() + f.dHasChild.Bytes() + len(f.dValues)*8 +
+		len(f.sLabels) + f.sHasChild.Bytes() + f.sLouds.Bytes() + len(f.sValues)*8)
+}
+
+// Root returns the root node number (0). Present for symmetry with the
+// Hybrid Trie's handle plumbing.
+func (f *FST) Root() uint32 { return 0 }
+
+// sparseRange returns the label positions [start, end) of sparse node s.
+func (f *FST) sparseRange(s int) (int, int) {
+	start := f.sLouds.Select1(s + 1)
+	end := f.sLouds.NextSet(start + 1)
+	if end < 0 {
+		end = len(f.sLabels)
+	}
+	return start, end
+}
+
+// step advances from node via label b. It returns the child node number
+// (when hasChild), the value (when a leaf edge), or found=false.
+func (f *FST) step(node int, b byte) (child int, val uint64, isLeaf, found bool) {
+	if node < f.nd {
+		pos := node*256 + int(b)
+		if !f.dLabels.Get(pos) {
+			return 0, 0, false, false
+		}
+		if f.dHasChild.Get(pos) {
+			return f.dHasChild.Rank1(pos + 1), 0, false, true
+		}
+		vi := f.dLabels.Rank1(pos) - f.dHasChild.Rank1(pos)
+		return 0, f.dValues[vi], true, true
+	}
+	s := node - f.nd
+	start, end := f.sparseRange(s)
+	for p := start; p < end; p++ {
+		if f.sLabels[p] == b {
+			if f.sHasChild.Get(p) {
+				return f.dEdges + f.sHasChild.Rank1(p+1), 0, false, true
+			}
+			return 0, f.sValues[p-f.sHasChild.Rank1(p)], true, true
+		}
+		if f.sLabels[p] > b {
+			break
+		}
+	}
+	return 0, 0, false, false
+}
+
+// Lookup returns the value stored under key.
+func (f *FST) Lookup(key []byte) (uint64, bool) {
+	return f.LookupFrom(0, key, 0)
+}
+
+// LookupFrom resumes a lookup at the given node, consuming key[depth:].
+// The Hybrid Trie calls this after traversing its ART levels.
+func (f *FST) LookupFrom(node uint32, key []byte, depth int) (uint64, bool) {
+	if f.numKeys == 0 {
+		return 0, false
+	}
+	n := int(node)
+	for d := depth; d < len(key); d++ {
+		child, val, isLeaf, found := f.step(n, key[d])
+		if !found {
+			return 0, false
+		}
+		if isLeaf {
+			if d == len(key)-1 {
+				return val, true
+			}
+			return 0, false
+		}
+		n = child
+	}
+	return 0, false
+}
+
+// Child is one outgoing edge of a node.
+type Child struct {
+	Label  byte
+	Node   uint32 // child node number (when !IsLeaf)
+	Val    uint64 // value (when IsLeaf)
+	IsLeaf bool
+}
+
+// Children enumerates a node's edges in label order — the FST→ART
+// expansion path of the Hybrid Trie ("labels stored within the FST node
+// must first be collected", §4.2.2).
+func (f *FST) Children(node uint32) []Child {
+	n := int(node)
+	var out []Child
+	if n < f.nd {
+		base := n * 256
+		for pos := f.dLabels.NextSet(base); pos >= 0 && pos < base+256; pos = f.dLabels.NextSet(pos + 1) {
+			b := byte(pos - base)
+			if f.dHasChild.Get(pos) {
+				out = append(out, Child{Label: b, Node: uint32(f.dHasChild.Rank1(pos + 1))})
+			} else {
+				vi := f.dLabels.Rank1(pos) - f.dHasChild.Rank1(pos)
+				out = append(out, Child{Label: b, Val: f.dValues[vi], IsLeaf: true})
+			}
+		}
+		return out
+	}
+	s := n - f.nd
+	start, end := f.sparseRange(s)
+	for p := start; p < end; p++ {
+		if f.sHasChild.Get(p) {
+			out = append(out, Child{Label: f.sLabels[p], Node: uint32(f.dEdges + f.sHasChild.Rank1(p+1))})
+		} else {
+			out = append(out, Child{Label: f.sLabels[p], Val: f.sValues[p-f.sHasChild.Rank1(p)], IsLeaf: true})
+		}
+	}
+	return out
+}
+
+// DescendPath walks toDepth bytes of key from the root and returns the
+// node reached, or ok=false if the walk leaves the trie or hits a leaf
+// edge first. The Hybrid Trie uses it to locate its cutoff-level nodes.
+func (f *FST) DescendPath(key []byte, toDepth int) (uint32, bool) {
+	if f.numKeys == 0 {
+		return 0, false
+	}
+	n := 0
+	for d := 0; d < toDepth; d++ {
+		if d >= len(key) {
+			return 0, false
+		}
+		child, _, isLeaf, found := f.step(n, key[d])
+		if !found || isLeaf {
+			return 0, false
+		}
+		n = child
+	}
+	return uint32(n), true
+}
+
+// NumChildren returns a node's fanout (labels including leaf edges).
+func (f *FST) NumChildren(node uint32) int {
+	n := int(node)
+	if n < f.nd {
+		return f.dLabels.Rank1((n+1)*256) - f.dLabels.Rank1(n*256)
+	}
+	start, end := f.sparseRange(n - f.nd)
+	return end - start
+}

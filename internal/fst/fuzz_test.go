@@ -1,0 +1,59 @@
+package fst
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+// FuzzFSTBuildAndLookup derives a sorted, unique, prefix-free key set from
+// the fuzz input, builds both dense and sparse FSTs, and verifies lookups,
+// misses and full iteration order.
+func FuzzFSTBuildAndLookup(f *testing.F) {
+	f.Add([]byte("hello world this is a trie"), uint8(2))
+	f.Add([]byte{1, 2, 3, 250, 251, 252, 9, 9, 9, 8}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, dense uint8) {
+		set := map[string]bool{}
+		for i := 0; i+3 <= len(raw); i += 3 {
+			k := bytes.ReplaceAll(raw[i:i+3], []byte{0}, []byte{11})
+			set[string(append(k, 0))] = true // terminator: prefix-free
+		}
+		if len(set) == 0 {
+			return
+		}
+		keys := make([][]byte, 0, len(set))
+		for k := range set {
+			keys = append(keys, []byte(k))
+		}
+		sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+		vals := make([]uint64, len(keys))
+		for i := range vals {
+			vals[i] = uint64(i) * 3
+		}
+		fst := New(Config{DenseLevels: int(dense % 5)}, keys, vals)
+		for i, k := range keys {
+			if v, ok := fst.Lookup(k); !ok || v != vals[i] {
+				t.Fatalf("Lookup(%x)=(%d,%v) want %d", k, v, ok, vals[i])
+			}
+			// Mutate one byte: must miss or match another stored key.
+			bad := append([]byte{}, k...)
+			bad[0] ^= 0x5a
+			if v, ok := fst.Lookup(bad); ok {
+				if !set[string(bad)] {
+					t.Fatalf("phantom key %x -> %d", bad, v)
+				}
+			}
+		}
+		it := NewIterator(fst)
+		i := 0
+		for ok := it.SeekFirst(); ok; ok = it.Next() {
+			if !bytes.Equal(it.Key(), keys[i]) || it.Value() != vals[i] {
+				t.Fatalf("iteration diverged at %d", i)
+			}
+			i++
+		}
+		if i != len(keys) {
+			t.Fatalf("iterated %d of %d", i, len(keys))
+		}
+	})
+}

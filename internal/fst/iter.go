@@ -1,0 +1,228 @@
+package fst
+
+// Iterator walks keys of an FST subtree in ascending order. It can be
+// rooted at any node (the Hybrid Trie stitches per-subtree iterators under
+// its ART levels); Key returns the byte suffix below the iterator's root.
+type Iterator struct {
+	f      *FST
+	root   int
+	frames []iterFrame
+	key    []byte // labels along the frame stack
+	val    uint64
+	valid  bool
+}
+
+// iterFrame is one level of the DFS: a node plus the cursor over its
+// edges. Dense frames iterate bit positions of dLabels within the node's
+// 256-bit block; sparse frames iterate label positions.
+type iterFrame struct {
+	node     int
+	pos, end int
+	dense    bool
+}
+
+// NewIterator returns an iterator over the whole trie.
+func NewIterator(f *FST) *Iterator { return NewIteratorAt(f, 0) }
+
+// NewIteratorAt returns an iterator over the subtree rooted at node.
+func NewIteratorAt(f *FST, node uint32) *Iterator {
+	return &Iterator{f: f, root: int(node)}
+}
+
+// frameFor opens a frame on node positioned at its first edge.
+func (it *Iterator) frameFor(node int) iterFrame {
+	f := it.f
+	if node < f.nd {
+		base := node * 256
+		pos := f.dLabels.NextSet(base)
+		return iterFrame{node: node, pos: pos, end: base + 256, dense: true}
+	}
+	start, end := f.sparseRange(node - f.nd)
+	return iterFrame{node: node, pos: start, end: end}
+}
+
+// label returns the current edge's label byte.
+func (fr *iterFrame) label(f *FST) byte {
+	if fr.dense {
+		return byte(fr.pos - fr.node*256)
+	}
+	return f.sLabels[fr.pos]
+}
+
+// edge resolves the current edge.
+func (fr *iterFrame) edge(f *FST) (child int, val uint64, isLeaf bool) {
+	if fr.dense {
+		if f.dHasChild.Get(fr.pos) {
+			return f.dHasChild.Rank1(fr.pos + 1), 0, false
+		}
+		vi := f.dLabels.Rank1(fr.pos) - f.dHasChild.Rank1(fr.pos)
+		return 0, f.dValues[vi], true
+	}
+	if f.sHasChild.Get(fr.pos) {
+		return f.dEdges + f.sHasChild.Rank1(fr.pos+1), 0, false
+	}
+	return 0, f.sValues[fr.pos-f.sHasChild.Rank1(fr.pos)], true
+}
+
+// exhausted reports whether the cursor ran past the node's edges.
+func (fr *iterFrame) exhausted() bool {
+	return fr.pos < 0 || fr.pos >= fr.end
+}
+
+// advance moves the cursor to the node's next edge. Advancing an already
+// exhausted dense frame must stay exhausted: restarting NextSet at bit 0
+// would wrap into another node's label block.
+func (fr *iterFrame) advance(f *FST) {
+	if fr.dense {
+		if fr.pos < 0 {
+			return
+		}
+		fr.pos = f.dLabels.NextSet(fr.pos + 1)
+		if fr.pos < 0 || fr.pos >= fr.end {
+			fr.pos = -1
+		}
+		return
+	}
+	fr.pos++
+}
+
+// push opens node and appends its first edge's label to the key.
+func (it *Iterator) push(node int) {
+	fr := it.frameFor(node)
+	it.frames = append(it.frames, fr)
+	it.key = append(it.key, 0)
+	it.syncLabel()
+}
+
+func (it *Iterator) syncLabel() {
+	top := &it.frames[len(it.frames)-1]
+	if !top.exhausted() {
+		it.key[len(it.key)-1] = top.label(it.f)
+	}
+}
+
+func (it *Iterator) pop() {
+	it.frames = it.frames[:len(it.frames)-1]
+	it.key = it.key[:len(it.key)-1]
+}
+
+// descendMin repeatedly takes the current edge downward until a leaf edge
+// is reached, then marks the iterator valid.
+func (it *Iterator) descendMin() {
+	for {
+		top := &it.frames[len(it.frames)-1]
+		if top.exhausted() {
+			it.nextUp()
+			return
+		}
+		child, val, isLeaf := top.edge(it.f)
+		if isLeaf {
+			it.val = val
+			it.valid = true
+			return
+		}
+		it.push(child)
+	}
+}
+
+// nextUp advances the deepest non-exhausted frame and descends again.
+func (it *Iterator) nextUp() {
+	for len(it.frames) > 0 {
+		top := &it.frames[len(it.frames)-1]
+		top.advance(it.f)
+		if !top.exhausted() {
+			it.syncLabel()
+			it.descendMin()
+			return
+		}
+		it.pop()
+	}
+	it.valid = false
+}
+
+// SeekFirst positions at the subtree's smallest key.
+func (it *Iterator) SeekFirst() bool {
+	it.reset()
+	if it.f.numKeys == 0 {
+		return false
+	}
+	it.push(it.root)
+	it.descendMin()
+	return it.valid
+}
+
+func (it *Iterator) reset() {
+	it.frames = it.frames[:0]
+	it.key = it.key[:0]
+	it.valid = false
+}
+
+// Seek positions at the first key (suffix, relative to the iterator root)
+// >= from.
+func (it *Iterator) Seek(from []byte) bool {
+	it.reset()
+	if it.f.numKeys == 0 {
+		return false
+	}
+	it.push(it.root)
+	for d := 0; ; d++ {
+		top := &it.frames[len(it.frames)-1]
+		if d >= len(from) {
+			// from exhausted: everything below is >= from.
+			it.descendMin()
+			return it.valid
+		}
+		// Advance the cursor to the first label >= from[d].
+		for !top.exhausted() && top.label(it.f) < from[d] {
+			top.advance(it.f)
+		}
+		if top.exhausted() {
+			it.nextUp()
+			return it.valid
+		}
+		it.syncLabel()
+		if top.label(it.f) > from[d] {
+			it.descendMin()
+			return it.valid
+		}
+		// Exact label match: descend.
+		child, val, isLeaf := top.edge(it.f)
+		if isLeaf {
+			if d == len(from)-1 {
+				it.val = val
+				it.valid = true
+				return true
+			}
+			// The leaf's key is a strict prefix of from, hence smaller:
+			// move to the next edge.
+			top.advance(it.f)
+			if top.exhausted() {
+				it.nextUp()
+			} else {
+				it.syncLabel()
+				it.descendMin()
+			}
+			return it.valid
+		}
+		it.push(child)
+	}
+}
+
+// Next advances to the following key.
+func (it *Iterator) Next() bool {
+	if !it.valid {
+		return false
+	}
+	it.nextUp()
+	return it.valid
+}
+
+// Valid reports whether the iterator is positioned on a key.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current key suffix (relative to the iterator's root).
+// The slice is reused by Next/Seek; copy it to retain.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() uint64 { return it.val }

@@ -1,0 +1,299 @@
+package hashmap
+
+import "sync"
+
+// cuckooSlots is the bucket associativity (4-way, as in libcuckoo).
+const cuckooSlots = 4
+
+// maxCuckooKicks bounds the eviction path length before a shard resizes.
+const maxCuckooKicks = 64
+
+type cuckooEntry[K comparable, V any] struct {
+	hash uint64
+	key  K
+	val  V
+	used bool
+}
+
+type cuckooBucket[K comparable, V any] struct {
+	slots [cuckooSlots]cuckooEntry[K, V]
+}
+
+// cuckooTable is a single-shard, non-thread-safe 4-way cuckoo hash table
+// with two derived bucket indexes per key.
+type cuckooTable[K comparable, V any] struct {
+	buckets []cuckooBucket[K, V]
+	mask    uint64
+	size    int
+}
+
+func newCuckooTable[K comparable, V any](capacity int) *cuckooTable[K, V] {
+	n := uint64(4)
+	for int(n)*cuckooSlots < capacity*2 {
+		n *= 2
+	}
+	return &cuckooTable[K, V]{buckets: make([]cuckooBucket[K, V], n), mask: n - 1}
+}
+
+func (t *cuckooTable[K, V]) idx(h uint64) (uint64, uint64) {
+	b1 := h & t.mask
+	// The alternate bucket is derived from the upper hash bits so that it
+	// is stable under key movement (libcuckoo's partial-key style).
+	b2 := (h >> 32) & t.mask
+	if b2 == b1 {
+		b2 = (b1 + 1) & t.mask
+	}
+	return b1, b2
+}
+
+func (t *cuckooTable[K, V]) ref(h uint64, k K) *V {
+	b1, b2 := t.idx(h)
+	for _, b := range [2]uint64{b1, b2} {
+		bk := &t.buckets[b]
+		for i := range bk.slots {
+			s := &bk.slots[i]
+			if s.used && s.hash == h && s.key == k {
+				return &s.val
+			}
+		}
+	}
+	return nil
+}
+
+// upsert returns the value slot for key k, growing on failure.
+func (t *cuckooTable[K, V]) upsert(h uint64, k K) (*V, bool) {
+	if p := t.ref(h, k); p != nil {
+		return p, false
+	}
+	for {
+		if p := t.insertNew(h, k); p != nil {
+			t.size++
+			return p, true
+		}
+		t.grow()
+	}
+}
+
+func (t *cuckooTable[K, V]) insertNew(h uint64, k K) *V {
+	b1, b2 := t.idx(h)
+	for _, b := range [2]uint64{b1, b2} {
+		bk := &t.buckets[b]
+		for i := range bk.slots {
+			if !bk.slots[i].used {
+				bk.slots[i] = cuckooEntry[K, V]{hash: h, key: k, used: true}
+				return &bk.slots[i].val
+			}
+		}
+	}
+	// Both buckets full: evict along a random-walk cuckoo path.
+	curHash, curKey := h, k
+	var curVal V
+	victim := b1
+	for kick := 0; kick < maxCuckooKicks; kick++ {
+		bk := &t.buckets[victim]
+		slot := &bk.slots[kick%cuckooSlots]
+		evHash, evKey, evVal := slot.hash, slot.key, slot.val
+		slot.hash, slot.key, slot.val = curHash, curKey, curVal
+		// The displaced entry moves to its alternate bucket.
+		e1, e2 := t.idx(evHash)
+		alt := e1
+		if victim == e1 {
+			alt = e2
+		}
+		abk := &t.buckets[alt]
+		for i := range abk.slots {
+			if !abk.slots[i].used {
+				abk.slots[i] = cuckooEntry[K, V]{hash: evHash, key: evKey, val: evVal, used: true}
+				return t.ref(h, k)
+			}
+		}
+		curHash, curKey, curVal = evHash, evKey, evVal
+		victim = alt
+	}
+	// Path too long: undo is unnecessary (the displaced chain is still all
+	// stored except the final carrier); re-insert the carrier after growth.
+	t.growInto(curHash, curKey, curVal)
+	return t.ref(h, k)
+}
+
+func (t *cuckooTable[K, V]) grow() {
+	old := t.buckets
+	t.buckets = make([]cuckooBucket[K, V], len(old)*2)
+	t.mask = uint64(len(t.buckets) - 1)
+	t.size = 0
+	for i := range old {
+		for s := range old[i].slots {
+			e := &old[i].slots[s]
+			if e.used {
+				p, _ := t.upsert(e.hash, e.key)
+				*p = e.val
+			}
+		}
+	}
+}
+
+// growInto grows the table and inserts the carried-over entry.
+func (t *cuckooTable[K, V]) growInto(h uint64, k K, v V) {
+	t.grow()
+	p, created := t.upsert(h, k)
+	*p = v
+	if created {
+		// size was bumped by upsert; the carrier was already counted by the
+		// caller's size++ after insertNew returns, so compensate here.
+		t.size--
+	}
+}
+
+func (t *cuckooTable[K, V]) delete(h uint64, k K) bool {
+	b1, b2 := t.idx(h)
+	for _, b := range [2]uint64{b1, b2} {
+		bk := &t.buckets[b]
+		for i := range bk.slots {
+			s := &bk.slots[i]
+			if s.used && s.hash == h && s.key == k {
+				*s = cuckooEntry[K, V]{}
+				t.size--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Cuckoo is the concurrent sample store used by the GS (global sampling)
+// strategy: a sharded, 4-way bucketized cuckoo hash map. Readers and
+// writers contend only within a shard; the adaptation phase locks all
+// shards (the paper's "the map gets locked globally to process each
+// sample") via Range.
+type Cuckoo[K comparable, V any] struct {
+	hash   func(K) uint64
+	shards []cuckooShard[K, V]
+	mask   uint64
+}
+
+type cuckooShard[K comparable, V any] struct {
+	mu    sync.Mutex
+	table *cuckooTable[K, V]
+	_     [40]byte // pad to a cache line to avoid false sharing
+}
+
+// NewCuckoo creates a concurrent map with the given total capacity spread
+// over shards (a power of two, at least 1).
+func NewCuckoo[K comparable, V any](hash func(K) uint64, capacity, shards int) *Cuckoo[K, V] {
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	c := &Cuckoo[K, V]{hash: hash, shards: make([]cuckooShard[K, V], n), mask: uint64(n - 1)}
+	per := capacity/n + 1
+	for i := range c.shards {
+		c.shards[i].table = newCuckooTable[K, V](per)
+	}
+	return c
+}
+
+func (c *Cuckoo[K, V]) shard(h uint64) *cuckooShard[K, V] {
+	// Shard by high bits; in-shard bucket indexes use low bits.
+	return &c.shards[(h>>48)&c.mask]
+}
+
+// Get returns the value stored under k.
+func (c *Cuckoo[K, V]) Get(k K) (V, bool) {
+	h := c.hash(k)
+	s := c.shard(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.table.ref(h, k); p != nil {
+		return *p, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores v under k.
+func (c *Cuckoo[K, V]) Put(k K, v V) {
+	h := c.hash(k)
+	s := c.shard(h)
+	s.mu.Lock()
+	p, _ := s.table.upsert(h, k)
+	*p = v
+	s.mu.Unlock()
+}
+
+// Upsert invokes f with the value slot for k under the shard lock.
+func (c *Cuckoo[K, V]) Upsert(k K, f func(v *V, created bool)) {
+	h := c.hash(k)
+	s := c.shard(h)
+	s.mu.Lock()
+	p, created := s.table.upsert(h, k)
+	f(p, created)
+	s.mu.Unlock()
+}
+
+// Delete removes k and reports whether it was present.
+func (c *Cuckoo[K, V]) Delete(k K) bool {
+	h := c.hash(k)
+	s := c.shard(h)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.delete(h, k)
+}
+
+// Len returns the entry count (consistent only when writers are quiet).
+func (c *Cuckoo[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.table.size
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Range calls f for every entry, locking one shard at a time. Mutating the
+// value through the pointer is allowed; inserting or deleting from within
+// f is not.
+func (c *Cuckoo[K, V]) Range(f func(k K, v *V) bool) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for b := range s.table.buckets {
+			for sl := range s.table.buckets[b].slots {
+				e := &s.table.buckets[b].slots[sl]
+				if e.used {
+					if !f(e.key, &e.val) {
+						s.mu.Unlock()
+						return
+					}
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Clear removes all entries.
+func (c *Cuckoo[K, V]) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for b := range s.table.buckets {
+			s.table.buckets[b] = cuckooBucket[K, V]{}
+		}
+		s.table.size = 0
+		s.mu.Unlock()
+	}
+}
+
+// Bytes approximates the heap footprint of all shard tables.
+func (c *Cuckoo[K, V]) Bytes() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.table.buckets) * cuckooSlots * bucketSize[K, V]()
+		s.mu.Unlock()
+	}
+	return total
+}

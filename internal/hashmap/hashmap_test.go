@@ -1,0 +1,312 @@
+package hashmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestHopscotchBasic(t *testing.T) {
+	m := NewHopscotch[uint64, int](HashU64, 8)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Put(1, 100)
+	m.Put(2, 200)
+	m.Put(1, 101)
+	if v, ok := m.Get(1); !ok || v != 101 {
+		t.Fatalf("Get(1)=%d,%v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	if !m.Delete(1) || m.Delete(1) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after delete=%d", m.Len())
+	}
+}
+
+func TestHopscotchAgainstGoMap(t *testing.T) {
+	m := NewHopscotch[uint64, uint64](HashU64, 4)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(77))
+	for op := 0; op < 200000; op++ {
+		k := uint64(rng.Intn(5000))
+		switch rng.Intn(4) {
+		case 0, 1: // put
+			v := rng.Uint64()
+			m.Put(k, v)
+			ref[k] = v
+		case 2: // delete
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d)=%v want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 3: // get
+			got, ok := m.Get(k)
+			want, wok := ref[k]
+			if ok != wok || got != want {
+				t.Fatalf("op %d: Get(%d)=(%d,%v) want (%d,%v)", op, k, got, ok, want, wok)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len=%d want %d", op, m.Len(), len(ref))
+		}
+	}
+	// Full sweep.
+	for k, want := range ref {
+		if got, ok := m.Get(k); !ok || got != want {
+			t.Fatalf("final Get(%d)=(%d,%v) want %d", k, got, ok, want)
+		}
+	}
+	count := 0
+	m.Range(func(k uint64, v *uint64) bool {
+		if ref[k] != *v {
+			t.Fatalf("Range mismatch at %d", k)
+		}
+		count++
+		return true
+	})
+	if count != len(ref) {
+		t.Fatalf("Range visited %d of %d", count, len(ref))
+	}
+}
+
+func TestHopscotchUpsert(t *testing.T) {
+	m := NewHopscotch[uint64, int](HashU64, 4)
+	m.Upsert(5, func(v *int, created bool) {
+		if !created {
+			t.Fatal("first upsert must create")
+		}
+		*v = 1
+	})
+	m.Upsert(5, func(v *int, created bool) {
+		if created {
+			t.Fatal("second upsert must not create")
+		}
+		*v++
+	})
+	if v, _ := m.Get(5); v != 2 {
+		t.Fatalf("v=%d", v)
+	}
+}
+
+func TestHopscotchAdversarialHash(t *testing.T) {
+	// All keys collide into a tiny set of home buckets: exercises
+	// displacement and forced growth.
+	badHash := func(k uint64) uint64 { return k % 3 }
+	m := NewHopscotch[uint64, uint64](badHash, 4)
+	for i := uint64(0); i < 500; i++ {
+		m.Put(i, i*7)
+	}
+	for i := uint64(0); i < 500; i++ {
+		if v, ok := m.Get(i); !ok || v != i*7 {
+			t.Fatalf("Get(%d)=(%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestHopscotchClear(t *testing.T) {
+	m := NewHopscotch[uint64, int](HashU64, 4)
+	for i := uint64(0); i < 100; i++ {
+		m.Put(i, int(i))
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("entry survived Clear")
+	}
+}
+
+func TestHopscotchQuick(t *testing.T) {
+	fn := func(keys []uint64) bool {
+		m := NewHopscotch[uint64, int](HashU64, 2)
+		ref := map[uint64]int{}
+		for i, k := range keys {
+			m.Put(k, i)
+			ref[k] = i
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			if got, ok := m.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCuckooBasic(t *testing.T) {
+	m := NewCuckoo[uint64, int](HashU64, 16, 4)
+	m.Put(1, 10)
+	m.Put(2, 20)
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1)=(%d,%v)", v, ok)
+	}
+	if !m.Delete(1) || m.Delete(1) {
+		t.Fatal("Delete semantics")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+}
+
+func TestCuckooAgainstGoMap(t *testing.T) {
+	m := NewCuckoo[uint64, uint64](HashU64, 8, 2)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 100000; op++ {
+		k := uint64(rng.Intn(3000))
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := rng.Uint64()
+			m.Put(k, v)
+			ref[k] = v
+		case 2:
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d)=%v want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 3:
+			got, ok := m.Get(k)
+			want, wok := ref[k]
+			if ok != wok || got != want {
+				t.Fatalf("op %d: Get(%d)=(%d,%v) want (%d,%v)", op, k, got, ok, want, wok)
+			}
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(ref))
+	}
+	seen := 0
+	m.Range(func(k uint64, v *uint64) bool {
+		if ref[k] != *v {
+			t.Fatalf("Range mismatch at %d", k)
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("Range visited %d of %d", seen, len(ref))
+	}
+}
+
+func TestCuckooEvictionPressure(t *testing.T) {
+	// Small initial capacity with many inserts forces kick chains and growth.
+	m := NewCuckoo[uint64, uint64](HashU64, 4, 1)
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len=%d want %d", m.Len(), n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d)=(%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestCuckooConcurrent(t *testing.T) {
+	m := NewCuckoo[uint64, uint64](HashU64, 1024, 16)
+	const workers = 8
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) << 32
+			for i := uint64(0); i < perWorker; i++ {
+				k := base | i
+				m.Upsert(k, func(v *uint64, created bool) { *v = k * 3 })
+				if i%3 == 0 {
+					if v, ok := m.Get(k); !ok || v != k*3 {
+						t.Errorf("worker %d: Get(%d) mismatch", w, k)
+						return
+					}
+				}
+				if i%7 == 0 {
+					m.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := workers * (perWorker - (perWorker+6)/7)
+	if m.Len() != want {
+		t.Fatalf("Len=%d want %d", m.Len(), want)
+	}
+}
+
+func TestCuckooUpsertCounter(t *testing.T) {
+	m := NewCuckoo[uint64, int](HashU64, 64, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				m.Upsert(42, func(v *int, _ bool) { *v++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if v, _ := m.Get(42); v != 80000 {
+		t.Fatalf("counter=%d want 80000", v)
+	}
+}
+
+func TestCuckooClear(t *testing.T) {
+	m := NewCuckoo[uint64, int](HashU64, 16, 2)
+	for i := uint64(0); i < 100; i++ {
+		m.Put(i, 1)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestHashStringDistinct(t *testing.T) {
+	if HashString("foo") == HashString("bar") {
+		t.Fatal("suspicious collision")
+	}
+	if HashString("") == 0 {
+		t.Fatal("empty string should hash to FNV offset basis")
+	}
+}
+
+func BenchmarkHopscotchUpsert(b *testing.B) {
+	m := NewHopscotch[uint64, uint64](HashU64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Upsert(uint64(i)%(1<<16), func(v *uint64, _ bool) { *v++ })
+	}
+}
+
+func BenchmarkCuckooUpsertParallel(b *testing.B) {
+	m := NewCuckoo[uint64, uint64](HashU64, 1<<16, 64)
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			m.Upsert(i%(1<<16), func(v *uint64, _ bool) { *v++ })
+		}
+	})
+}

@@ -1,0 +1,283 @@
+// Package hashmap provides the two sample stores of the paper's adaptation
+// manager (§3.1.3): a high-performance hopscotch hash map for
+// single-threaded sampling and a concurrent cuckoo hash map (4-way
+// bucketized, sharded) for parallel workloads. Both are written against
+// flat bucket arrays so tracking a sample does not allocate.
+package hashmap
+
+import "math/bits"
+
+// HashU64 is a splitmix64-style finalizer, the default hash for 64-bit
+// identifiers (node pointers are hashed via their numeric handle).
+func HashU64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashString is an FNV-1a hash for string identifiers.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hopRange is the neighbourhood size H of hopscotch hashing.
+const hopRange = 32
+
+type hopBucket[K comparable, V any] struct {
+	key      K
+	val      V
+	hop      uint32 // bit d: slot home+d holds an entry whose home is this bucket
+	occupied bool
+}
+
+type hopKV[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Hopscotch is a single-threaded hopscotch hash map. Every entry lives
+// within hopRange slots of its home bucket, so lookups touch at most one
+// neighbourhood bitmap plus the probed slots. Entries that cannot be
+// placed even after one growth step (possible only under a pathologically
+// clustered hash) land in a linearly scanned overflow area instead of
+// triggering unbounded growth.
+type Hopscotch[K comparable, V any] struct {
+	hash     func(K) uint64
+	buckets  []hopBucket[K, V]
+	overflow []hopKV[K, V]
+	mask     uint64 // home = hash & mask; len(buckets) = mask+1+hopRange-1
+	size     int
+}
+
+// NewHopscotch creates a map with at least the given capacity.
+func NewHopscotch[K comparable, V any](hash func(K) uint64, capacity int) *Hopscotch[K, V] {
+	n := uint64(16)
+	for n < uint64(capacity)*2 {
+		n *= 2
+	}
+	return &Hopscotch[K, V]{
+		hash:    hash,
+		buckets: make([]hopBucket[K, V], n+hopRange-1),
+		mask:    n - 1,
+	}
+}
+
+// Len returns the number of entries.
+func (m *Hopscotch[K, V]) Len() int { return m.size }
+
+// Bytes approximates the heap footprint of the bucket array.
+func (m *Hopscotch[K, V]) Bytes() int {
+	return (len(m.buckets) + len(m.overflow)) * bucketSize[K, V]()
+}
+
+func bucketSize[K comparable, V any]() int {
+	// A conservative structural estimate: key + value + bitmap + flag,
+	// rounded to alignment. Precise sizing would need unsafe.
+	return 8 + 8 + 4 + 4
+}
+
+// Get returns the value stored under k.
+func (m *Hopscotch[K, V]) Get(k K) (V, bool) {
+	if p := m.Ref(k); p != nil {
+		return *p, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Ref returns a pointer to the value stored under k, or nil. The pointer
+// is invalidated by the next Put/Delete/Upsert.
+func (m *Hopscotch[K, V]) Ref(k K) *V {
+	home := m.hash(k) & m.mask
+	for hop := m.buckets[home].hop; hop != 0; hop &= hop - 1 {
+		d := uint64(bits.TrailingZeros32(hop))
+		b := &m.buckets[home+d]
+		if b.occupied && b.key == k {
+			return &b.val
+		}
+	}
+	for i := range m.overflow {
+		if m.overflow[i].key == k {
+			return &m.overflow[i].val
+		}
+	}
+	return nil
+}
+
+// Put stores v under k, replacing any existing value.
+func (m *Hopscotch[K, V]) Put(k K, v V) {
+	m.Upsert(k, func(p *V, _ bool) { *p = v })
+}
+
+// Upsert invokes f with a pointer to the value stored under k, creating a
+// zero value first if the key is new. created reports whether the entry
+// was created by this call. This is the sampling hot path: one hash, one
+// neighbourhood scan, no allocation in the common case.
+func (m *Hopscotch[K, V]) Upsert(k K, f func(v *V, created bool)) {
+	if p := m.Ref(k); p != nil {
+		f(p, false)
+		return
+	}
+	f(m.insert(k), true)
+}
+
+// insert creates a zero-valued entry for a key known to be absent.
+func (m *Hopscotch[K, V]) insert(k K) *V {
+	if p := m.place(k); p != nil {
+		m.size++
+		return p
+	}
+	// Growing only helps when the table is actually loaded; a clustered
+	// hash fails placement at any size, and doubling for every such
+	// failure would balloon memory. Below 50% load, overflow directly.
+	if m.size >= int(m.mask+1)/2 {
+		m.grow()
+		if p := m.place(k); p != nil {
+			m.size++
+			return p
+		}
+	}
+	m.overflow = append(m.overflow, hopKV[K, V]{key: k})
+	m.size++
+	return &m.overflow[len(m.overflow)-1].val
+}
+
+// place finds or frees a slot within the neighbourhood of k's home bucket
+// and returns a pointer to its zeroed value, or nil if displacement fails.
+func (m *Hopscotch[K, V]) place(k K) *V {
+	home := m.hash(k) & m.mask
+	// Find the first free slot at or after home.
+	free := -1
+	for j := int(home); j < len(m.buckets); j++ {
+		if !m.buckets[j].occupied {
+			free = j
+			break
+		}
+	}
+	if free < 0 {
+		return nil
+	}
+	// Hopscotch displacement: move the free slot into the neighbourhood.
+	for free-int(home) >= hopRange {
+		moved := false
+		for b := free - hopRange + 1; b < free && !moved; b++ {
+			if b < 0 {
+				continue
+			}
+			for h := m.buckets[b].hop; h != 0; h &= h - 1 {
+				d := bits.TrailingZeros32(h)
+				slot := b + d
+				if slot >= free {
+					break // bits are scanned in increasing d
+				}
+				m.buckets[free].key = m.buckets[slot].key
+				m.buckets[free].val = m.buckets[slot].val
+				m.buckets[free].occupied = true
+				var zero hopBucket[K, V]
+				zero.hop = m.buckets[slot].hop
+				m.buckets[slot] = zero
+				m.buckets[b].hop &^= 1 << uint(d)
+				m.buckets[b].hop |= 1 << uint(free-b)
+				free = slot
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return nil
+		}
+	}
+	b := &m.buckets[free]
+	b.key = k
+	b.occupied = true
+	var zero V
+	b.val = zero
+	m.buckets[home].hop |= 1 << uint(free-int(home))
+	return &b.val
+}
+
+// Delete removes k and reports whether it was present.
+func (m *Hopscotch[K, V]) Delete(k K) bool {
+	home := m.hash(k) & m.mask
+	for h := m.buckets[home].hop; h != 0; h &= h - 1 {
+		d := bits.TrailingZeros32(h)
+		b := &m.buckets[home+uint64(d)]
+		if b.occupied && b.key == k {
+			var zero hopBucket[K, V]
+			zero.hop = b.hop
+			*b = zero
+			m.buckets[home].hop &^= 1 << uint(d)
+			m.size--
+			return true
+		}
+	}
+	for i := range m.overflow {
+		if m.overflow[i].key == k {
+			last := len(m.overflow) - 1
+			m.overflow[i] = m.overflow[last]
+			m.overflow = m.overflow[:last]
+			m.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls f for every entry until f returns false. The value pointer
+// may be mutated in place; keys must not be changed.
+func (m *Hopscotch[K, V]) Range(f func(k K, v *V) bool) {
+	for i := range m.buckets {
+		if m.buckets[i].occupied {
+			if !f(m.buckets[i].key, &m.buckets[i].val) {
+				return
+			}
+		}
+	}
+	for i := range m.overflow {
+		if !f(m.overflow[i].key, &m.overflow[i].val) {
+			return
+		}
+	}
+}
+
+// Clear removes all entries, keeping table capacity.
+func (m *Hopscotch[K, V]) Clear() {
+	for i := range m.buckets {
+		m.buckets[i] = hopBucket[K, V]{}
+	}
+	m.overflow = m.overflow[:0]
+	m.size = 0
+}
+
+func (m *Hopscotch[K, V]) grow() {
+	old := m.buckets
+	oldOverflow := m.overflow
+	n := (m.mask + 1) * 2
+	m.buckets = make([]hopBucket[K, V], n+hopRange-1)
+	m.overflow = nil
+	m.mask = n - 1
+	reinsert := func(k K, v V) {
+		p := m.place(k)
+		if p == nil {
+			m.overflow = append(m.overflow, hopKV[K, V]{key: k, val: v})
+			return
+		}
+		*p = v
+	}
+	for i := range old {
+		if old[i].occupied {
+			reinsert(old[i].key, old[i].val)
+		}
+	}
+	for i := range oldOverflow {
+		reinsert(oldOverflow[i].key, oldOverflow[i].val)
+	}
+}

@@ -1,0 +1,93 @@
+package hybridtrie
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"ahi/internal/art"
+	"ahi/internal/fst"
+)
+
+// FuzzHybridMigrations derives a key set from the input, builds the trie,
+// then replays a tape of lookups interleaved with expansions and
+// compactions of traversed boundary nodes, cross-checking every lookup
+// against a map and finally verifying full scan order.
+func FuzzHybridMigrations(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(2))
+	f.Add([]byte{1, 2, 3, 4, 250, 251, 252, 253, 9, 8, 7, 6, 5}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, cArtRaw uint8) {
+		if len(raw) < 8 {
+			return
+		}
+		cArt := int(cArtRaw%4) + 1
+		set := map[string]uint64{}
+		for i := 0; i+4 <= len(raw); i += 2 {
+			k := bytes.ReplaceAll(raw[i:i+4], []byte{0}, []byte{13})
+			set[string(append(k, 0))] = uint64(i)
+		}
+		if len(set) < 2 {
+			return
+		}
+		keys := make([][]byte, 0, len(set))
+		for k := range set {
+			keys = append(keys, []byte(k))
+		}
+		sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+		vals := make([]uint64, len(keys))
+		for i, k := range keys {
+			vals[i] = set[string(k)]
+		}
+		tr := Build(Config{CArt: cArt, FST: fst.Config{DenseLevels: int(cArtRaw % 3)}}, keys, vals)
+		tr.art.SetDeferFrees(true)
+		// Tape: lookups with interleaved migrations of traversed handles.
+		for step, b := range raw {
+			k := keys[int(b)%len(keys)]
+			var bv boundaryVisit
+			var prefix []byte
+			seen := false
+			v, ok := tr.lookup(k, func(x boundaryVisit) {
+				if !seen {
+					bv, seen = x, true
+					prefix = append([]byte{}, x.prefix...)
+				}
+			})
+			if !ok || v != set[string(k)] {
+				t.Fatalf("step %d: lookup(%x) = (%d,%v) want %d", step, k, v, ok, set[string(k)])
+			}
+			if seen {
+				switch step % 3 {
+				case 0:
+					if bv.handle.Kind() == art.KindFST {
+						tr.Expand(bv.handle, bv.parent, bv.label, prefix)
+					}
+				case 1:
+					switch bv.handle.Kind() {
+					case art.KindNode4, art.KindNode16, art.KindNode48, art.KindNode256:
+						if len(prefix) >= cArt { // only expanded nodes
+							tr.Compact(bv.handle, bv.parent, bv.label, prefix)
+							tr.art.FlushFrees()
+						}
+					}
+				}
+			}
+		}
+		// Everything still present and ordered.
+		for i, k := range keys {
+			if v, ok := tr.Lookup(k); !ok || v != vals[i] {
+				t.Fatalf("final lookup(%x) lost", k)
+			}
+		}
+		i := 0
+		tr.Scan(nil, len(keys)+1, func(k []byte, v uint64) bool {
+			if !bytes.Equal(k, keys[i]) {
+				t.Fatalf("scan order diverged at %d: %x vs %x", i, k, keys[i])
+			}
+			i++
+			return true
+		}, nil)
+		if i != len(keys) {
+			t.Fatalf("scan visited %d of %d", i, len(keys))
+		}
+	})
+}

@@ -1,0 +1,448 @@
+// Package hybridtrie implements the paper's Hybrid Trie (§4.2): a
+// level-wise combination of the Adaptive Radix Tree and the Fast Succinct
+// Trie. Levels 0..CArt-1 are ART; everything below is FST (whose own
+// dense/sparse split realizes the c_FST cutoff). Tagged ART handles embed
+// FST node numbers at the boundary, and the adaptation framework expands
+// hot FST nodes into ART nodes (vertical, branch-wise refinement) and
+// compacts cold expansions back to their FST node numbers.
+//
+// The FST is static and holds the complete key set, so expansions
+// duplicate a node's labels in ART form and compactions simply restore the
+// FST node number — exactly the paper's design, which leaves inserts to
+// future work (§4.2.2). Lookups and scans are supported.
+package hybridtrie
+
+import (
+	"bytes"
+	"fmt"
+
+	"ahi/internal/art"
+	"ahi/internal/fst"
+)
+
+// Encodings of the tracked units, consumed by the CSHF.
+const (
+	// EncFST is the compact encoding: the node lives only in the FST.
+	EncFST = 0
+	// EncART is the expanded encoding: an ART node shadows the FST node.
+	EncART = 1
+)
+
+// Config configures the build-time combination.
+type Config struct {
+	// CArt is the number of top levels represented by ART (the paper's
+	// c_ART cutoff; boundary handles sit at key depth CArt).
+	CArt int
+	// FST configures the dense/sparse split of the succinct part (c_FST).
+	FST fst.Config
+}
+
+// Trie is the Hybrid Trie. It is immutable in content; encodings migrate
+// at run-time. Not safe for concurrent mutation (the paper evaluates the
+// Hybrid Trie single-threaded).
+type Trie struct {
+	art  *art.Tree
+	fst  *fst.FST
+	cArt int
+
+	numKeys     int
+	artTopBytes int64 // ART footprint right after build (the static top)
+	expandedCnt int64
+	expansions  int64
+	compactions int64
+	maxKeyLen   int
+}
+
+// Build constructs the trie from sorted, unique, prefix-free keys. Keys
+// shorter than CArt live entirely in ART; each distinct CArt-byte prefix
+// with longer keys becomes a boundary handle pointing into the FST.
+func Build(cfg Config, keys [][]byte, vals []uint64) *Trie {
+	if cfg.CArt < 1 {
+		cfg.CArt = 1
+	}
+	t := &Trie{cArt: cfg.CArt, numKeys: len(keys)}
+	t.fst = fst.New(cfg.FST, keys, vals)
+	t.art = art.New()
+
+	markers := make(map[string]uint32)
+	for i := 0; i < len(keys); {
+		k := keys[i]
+		if t.maxKeyLen < len(k) {
+			t.maxKeyLen = len(k)
+		}
+		if len(k) <= cfg.CArt {
+			t.art.Insert(k, vals[i])
+			i++
+			continue
+		}
+		prefix := k[:cfg.CArt]
+		j := i + 1
+		for j < len(keys) && len(keys[j]) > cfg.CArt && bytes.Equal(keys[j][:cfg.CArt], prefix) {
+			if t.maxKeyLen < len(keys[j]) {
+				t.maxKeyLen = len(keys[j])
+			}
+			j++
+		}
+		node, ok := t.fst.DescendPath(prefix, cfg.CArt)
+		if !ok {
+			panic(fmt.Sprintf("hybridtrie: FST lacks path for prefix %q", prefix))
+		}
+		// Insert a marker leaf carrying the prefix; replaced below by a
+		// tagged FST handle.
+		t.art.Insert(prefix, uint64(node))
+		markers[string(prefix)] = node
+		i = j
+	}
+	t.replaceMarkers(t.art.Root(), markers, 0)
+	// Degenerate case: a single prefix group leaves the root as a marker
+	// leaf. Wrap it in a one-child node with the prefix as compressed
+	// path so traversal still consumes exactly CArt bytes before crossing
+	// into the FST.
+	if r := t.art.Root(); r.Kind() == art.KindLeaf {
+		if node, ok := markers[string(t.art.LeafKey(r))]; ok {
+			p := append([]byte{}, t.art.LeafKey(r)...)
+			t.art.Free(r)
+			nh := t.art.NewNode([]art.ChildEntry{{Label: p[len(p)-1], Child: art.MakeHandle(art.KindFST, uint64(node))}})
+			t.art.SetNodePrefix(nh, p[:len(p)-1])
+			t.art.SetRoot(nh)
+		}
+	}
+	t.artTopBytes = t.art.Bytes()
+	return t
+}
+
+// replaceMarkers swaps marker leaves for tagged FST handles. depth counts
+// the key bytes consumed to reach h. Lazy leaf expansion may hang a marker
+// leaf above the cutoff level; such handles are wrapped in a single-child
+// chain node spelling the remaining prefix bytes, so that every boundary
+// handle is crossed after consuming exactly CArt bytes — the depth the
+// FST resume (LookupFrom) and compaction (DescendPath) rely on.
+func (t *Trie) replaceMarkers(h art.Handle, markers map[string]uint32, depth int) {
+	switch h.Kind() {
+	case art.KindEmpty, art.KindLeaf, art.KindFST:
+		return
+	}
+	_, plen := t.art.Prefix(h)
+	childDepth := depth + plen + 1
+	for _, e := range t.art.Children(h) {
+		switch e.Child.Kind() {
+		case art.KindLeaf:
+			key := t.art.LeafKey(e.Child)
+			node, ok := markers[string(key)]
+			if !ok {
+				continue
+			}
+			fh := art.MakeHandle(art.KindFST, uint64(node))
+			if childDepth < len(key) {
+				// Shallow leaf: wrap in a chain consuming the rest.
+				nh := t.art.NewNode([]art.ChildEntry{{Label: key[len(key)-1], Child: fh}})
+				t.art.SetNodePrefix(nh, key[childDepth:len(key)-1])
+				fh = nh
+			}
+			t.art.SetChild(h, e.Label, fh)
+			t.art.Free(e.Child)
+		case art.KindNode4, art.KindNode16, art.KindNode48, art.KindNode256:
+			t.replaceMarkers(e.Child, markers, childDepth)
+		}
+	}
+}
+
+// Len returns the number of keys.
+func (t *Trie) Len() int { return t.numKeys }
+
+// CArt returns the ART/FST cutoff level.
+func (t *Trie) CArt() int { return t.cArt }
+
+// Bytes returns the combined footprint: the static FST plus the ART part
+// (top levels and expansions).
+func (t *Trie) Bytes() int64 { return t.art.Bytes() + t.fst.Bytes() }
+
+// FSTBytes returns the static succinct part's footprint.
+func (t *Trie) FSTBytes() int64 { return t.fst.Bytes() }
+
+// ARTBytes returns the ART part's footprint.
+func (t *Trie) ARTBytes() int64 { return t.art.Bytes() }
+
+// Expanded returns the number of currently expanded (ART-shadowed) nodes.
+func (t *Trie) Expanded() int64 { return t.expandedCnt }
+
+// Expansions and Compactions return cumulative migration counts (Fig. 20).
+func (t *Trie) Expansions() int64  { return t.expansions }
+func (t *Trie) Compactions() int64 { return t.compactions }
+
+// boundaryVisit reports one traversal step at or below the cutoff. prefix
+// spells the key bytes from the root to the handle (it aliases traversal
+// state: observers must copy to retain).
+type boundaryVisit struct {
+	handle art.Handle
+	parent art.Handle
+	label  byte
+	prefix []byte
+}
+
+// lookup walks the hybrid structure; visit (optional) observes every
+// handle crossed at depth >= cArt, mirroring Listing 2's tracking points.
+func (t *Trie) lookup(key []byte, visit func(boundaryVisit)) (uint64, bool) {
+	h := t.art.Root()
+	var parent art.Handle
+	var label byte
+	depth := 0
+	for {
+		switch h.Kind() {
+		case art.KindEmpty:
+			return 0, false
+		case art.KindLeaf:
+			if bytes.Equal(t.art.LeafKey(h), key) {
+				return t.art.LeafVal(h), true
+			}
+			return 0, false
+		case art.KindFST:
+			if visit != nil {
+				visit(boundaryVisit{handle: h, parent: parent, label: label, prefix: key[:depth]})
+			}
+			return t.fst.LookupFrom(uint32(h.Index()), key, depth)
+		}
+		// Inner ART node.
+		if visit != nil && depth >= t.cArt {
+			visit(boundaryVisit{handle: h, parent: parent, label: label, prefix: key[:depth]})
+		}
+		p, plen := t.art.Prefix(h)
+		if plen > 0 {
+			if depth+plen > len(key) || !bytes.Equal(key[depth:depth+plen], p) {
+				return 0, false
+			}
+			depth += plen
+		}
+		if depth >= len(key) {
+			return 0, false
+		}
+		parent, label = h, key[depth]
+		h = t.art.FindChild(h, key[depth])
+		depth++
+	}
+}
+
+// Lookup returns the value stored under key.
+func (t *Trie) Lookup(key []byte) (uint64, bool) { return t.lookup(key, nil) }
+
+// Scan visits up to n keys >= from in order; fn may stop early. onBoundary
+// (optional) observes boundary handles the scan enters.
+func (t *Trie) Scan(from []byte, n int, fn func(key []byte, val uint64) bool, onBoundary func(boundaryVisit)) int {
+	visited := 0
+	prefix := make([]byte, 0, t.maxKeyLen)
+	t.scanNode(t.art.Root(), prefix, from, n, &visited, fn, onBoundary, 0, 0)
+	return visited
+}
+
+// scanNode walks handle h whose path from the root spells prefix.
+// from == nil means no lower bound.
+func (t *Trie) scanNode(h art.Handle, prefix []byte, from []byte, n int, visited *int,
+	fn func([]byte, uint64) bool, onBoundary func(boundaryVisit), parent art.Handle, label byte) bool {
+	if h.IsEmpty() || *visited >= n {
+		return *visited < n
+	}
+	switch h.Kind() {
+	case art.KindLeaf:
+		k := t.art.LeafKey(h)
+		if from != nil && bytes.Compare(k, from) < 0 {
+			return true
+		}
+		*visited++
+		return fn(k, t.art.LeafVal(h)) && *visited < n
+	case art.KindFST:
+		if onBoundary != nil {
+			onBoundary(boundaryVisit{handle: h, parent: parent, label: label, prefix: prefix})
+		}
+		it := fst.NewIteratorAt(t.fst, uint32(h.Index()))
+		var ok bool
+		switch rel := relate(from, prefix); rel {
+		case relAll:
+			ok = it.SeekFirst()
+		case relSeek:
+			ok = it.Seek(from[len(prefix):])
+		default: // relSkip
+			return true
+		}
+		key := append([]byte{}, prefix...)
+		for ; ok && *visited < n; ok = it.Next() {
+			key = append(key[:len(prefix)], it.Key()...)
+			*visited++
+			if !fn(key, it.Value()) {
+				return false
+			}
+		}
+		return *visited < n
+	}
+	// Inner ART node: extend the prefix with the compressed path.
+	p, plen := t.art.Prefix(h)
+	if plen > 0 {
+		prefix = append(prefix, p...)
+	}
+	switch relate(from, prefix) {
+	case relSkip:
+		return true
+	case relAll:
+		from = nil
+	}
+	ok := t.art.EachChild(h, func(label byte, childH art.Handle) bool {
+		child := append(prefix, label)
+		sub := from
+		switch relate(from, child) {
+		case relSkip:
+			return true
+		case relAll:
+			sub = nil
+		}
+		return t.scanNode(childH, child, sub, n, visited, fn, onBoundary, h, label)
+	})
+	if !ok {
+		return false
+	}
+	return *visited < n
+}
+
+type relation int
+
+const (
+	relAll  relation = iota // every key under prefix is >= from
+	relSeek                 // from lies inside the prefix's subtree
+	relSkip                 // every key under prefix is < from
+)
+
+// relate classifies the subtree at path prefix against the lower bound.
+func relate(from, prefix []byte) relation {
+	if from == nil {
+		return relAll
+	}
+	if len(from) <= len(prefix) {
+		if bytes.Compare(from, prefix[:min(len(from), len(prefix))]) <= 0 {
+			return relAll
+		}
+		return relSkip
+	}
+	switch bytes.Compare(from[:len(prefix)], prefix) {
+	case -1:
+		return relAll
+	case 1:
+		return relSkip
+	}
+	return relSeek
+}
+
+// Expand migrates the FST node behind a boundary handle into an ART node
+// whose children are FST handles (or value leaves for keys terminating one
+// byte below). pathPrefix spells the key bytes from the root to the node.
+// It returns the new ART handle.
+func (t *Trie) Expand(h art.Handle, parent art.Handle, label byte, pathPrefix []byte) (art.Handle, bool) {
+	if h.Kind() != art.KindFST {
+		return h, false
+	}
+	// Verify the parent still references h (contexts can go stale).
+	if parent.IsEmpty() || t.art.FindChild(parent, label) != h {
+		if !(parent.IsEmpty() && t.art.Root() == h) {
+			return h, false
+		}
+	}
+	node := uint32(h.Index())
+	children := t.fst.Children(node)
+	if len(children) == 0 {
+		return h, false
+	}
+	entries := make([]art.ChildEntry, 0, len(children))
+	keyBuf := make([]byte, len(pathPrefix)+1)
+	copy(keyBuf, pathPrefix)
+	for _, c := range children {
+		if c.IsLeaf {
+			keyBuf[len(pathPrefix)] = c.Label
+			entries = append(entries, art.ChildEntry{Label: c.Label, Child: t.art.NewLeafHandle(keyBuf, c.Val)})
+		} else {
+			entries = append(entries, art.ChildEntry{Label: c.Label, Child: art.MakeHandle(art.KindFST, uint64(c.Node))})
+		}
+	}
+	nh := t.art.NewNode(entries)
+	if parent.IsEmpty() {
+		t.art.SetRoot(nh)
+	} else {
+		t.art.SetChild(parent, label, nh)
+	}
+	t.expandedCnt++
+	t.expansions++
+	return nh, true
+}
+
+// Compact undoes an expansion: the ART node (and any deeper expansions
+// under it) is freed and the parent points back at the FST node number,
+// recovered by descending the FST along pathPrefix. Migrating this way
+// "does not involve the construction of a new node" (§4.2.2) beyond the
+// descent, matching the paper's cheap compaction.
+func (t *Trie) Compact(h art.Handle, parent art.Handle, label byte, pathPrefix []byte) (art.Handle, bool) {
+	switch h.Kind() {
+	case art.KindNode4, art.KindNode16, art.KindNode48, art.KindNode256:
+	default:
+		return h, false
+	}
+	if parent.IsEmpty() || t.art.FindChild(parent, label) != h {
+		if !(parent.IsEmpty() && t.art.Root() == h) {
+			return h, false
+		}
+	}
+	node, ok := t.fst.DescendPath(pathPrefix, len(pathPrefix))
+	if !ok {
+		return h, false
+	}
+	// Count nested expansions being torn down.
+	t.expandedCnt -= int64(t.countExpanded(h))
+	fh := art.MakeHandle(art.KindFST, uint64(node))
+	if parent.IsEmpty() {
+		t.art.SetRoot(fh)
+	} else {
+		t.art.SetChild(parent, label, fh)
+	}
+	t.art.FreeSubtree(h)
+	t.compactions++
+	return fh, true
+}
+
+func (t *Trie) countExpanded(h art.Handle) int {
+	switch h.Kind() {
+	case art.KindNode4, art.KindNode16, art.KindNode48, art.KindNode256:
+	default:
+		return 0
+	}
+	n := 1
+	for _, e := range t.art.Children(h) {
+		n += t.countExpanded(e.Child)
+	}
+	return n
+}
+
+// ScanPrefix visits every key beginning with prefix, in order, up to n
+// (n < 0 means unbounded). It is a Scan that stops at the first key
+// outside the prefix.
+func (t *Trie) ScanPrefix(prefix []byte, n int, fn func(key []byte, val uint64) bool) int {
+	if n < 0 {
+		n = t.numKeys
+	}
+	visited := 0
+	t.Scan(prefix, n, func(k []byte, v uint64) bool {
+		if len(k) < len(prefix) || !bytes.Equal(k[:len(prefix)], prefix) {
+			return false
+		}
+		visited++
+		return fn(k, v)
+	}, nil)
+	return visited
+}
+
+// Validate cross-checks hybrid lookups against the underlying FST for a
+// sample of keys (test helper).
+func (t *Trie) Validate(keys [][]byte) error {
+	for _, k := range keys {
+		want, wok := t.fst.Lookup(k)
+		got, gok := t.Lookup(k)
+		if wok != gok || want != got {
+			return fmt.Errorf("hybrid/fst mismatch for %q: (%d,%v) vs (%d,%v)", k, got, gok, want, wok)
+		}
+	}
+	return nil
+}

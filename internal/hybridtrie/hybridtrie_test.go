@@ -1,0 +1,579 @@
+package hybridtrie
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ahi/internal/art"
+	"ahi/internal/dataset"
+	"ahi/internal/fst"
+	"ahi/internal/workload"
+)
+
+func u64key(k uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], k)
+	return b[:]
+}
+
+func u64keys(keys []uint64) [][]byte {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		out[i] = u64key(k)
+	}
+	return out
+}
+
+func seqVals(n int) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = uint64(i)
+	}
+	return v
+}
+
+func buildU64(t *testing.T, n int, cArt int, seed int64) (*Trie, []uint64) {
+	t.Helper()
+	keys := dataset.UserIDs(n, seed)
+	tr := Build(Config{CArt: cArt, FST: fst.AutoDense()}, u64keys(keys), seqVals(len(keys)))
+	return tr, keys
+}
+
+func TestLookupU64(t *testing.T) {
+	for _, cArt := range []int{1, 2, 4, 6} {
+		tr, keys := buildU64(t, 30000, cArt, 1)
+		if tr.Len() != len(keys) {
+			t.Fatalf("Len=%d", tr.Len())
+		}
+		for i, k := range keys {
+			v, ok := tr.Lookup(u64key(k))
+			if !ok || v != uint64(i) {
+				t.Fatalf("cArt=%d: Lookup(%d)=(%d,%v) want %d", cArt, k, v, ok, i)
+			}
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 10000; i++ {
+			k := rng.Uint64()
+			idx := sort.Search(len(keys), func(j int) bool { return keys[j] >= k })
+			if idx < len(keys) && keys[idx] == k {
+				continue
+			}
+			if _, ok := tr.Lookup(u64key(k)); ok {
+				t.Fatalf("cArt=%d: phantom %d", cArt, k)
+			}
+		}
+	}
+}
+
+func TestLookupEmails(t *testing.T) {
+	emails := dataset.Emails(15000, 3)
+	keys := make([][]byte, len(emails))
+	for i, e := range emails {
+		keys[i] = append([]byte(e), 0)
+	}
+	for _, cArt := range []int{4, 9} {
+		tr := Build(Config{CArt: cArt, FST: fst.AutoDense()}, keys, seqVals(len(keys)))
+		for i := range keys {
+			v, ok := tr.Lookup(keys[i])
+			if !ok || v != uint64(i) {
+				t.Fatalf("cArt=%d: Lookup(%q) failed", cArt, emails[i])
+			}
+		}
+		if _, ok := tr.Lookup(append([]byte("zzzz@none"), 0)); ok {
+			t.Fatal("phantom email")
+		}
+	}
+}
+
+func TestShortKeysLiveInART(t *testing.T) {
+	// Keys shorter than CArt stay entirely in ART.
+	keys := [][]byte{{1, 0}, {1, 1, 1, 1, 1, 1, 0}, {2, 0}, {2, 3, 4, 5, 6, 7, 0}}
+	tr := Build(Config{CArt: 4, FST: fst.AutoDense()}, keys, []uint64{10, 11, 12, 13})
+	for i, k := range keys {
+		v, ok := tr.Lookup(k)
+		if !ok || v != uint64(10+i) {
+			t.Fatalf("Lookup(%v)=(%d,%v)", k, v, ok)
+		}
+	}
+}
+
+func TestSinglePrefixGroupRootCase(t *testing.T) {
+	// All keys share the CArt prefix: the ART part degenerates to a
+	// single boundary chain.
+	var keys [][]byte
+	for i := 0; i < 200; i++ {
+		keys = append(keys, []byte{9, 9, 9, 9, byte(i), byte(i * 3), 0})
+	}
+	tr := Build(Config{CArt: 4, FST: fst.AutoDense()}, keys, seqVals(len(keys)))
+	for i, k := range keys {
+		v, ok := tr.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("Lookup(%v) failed", k)
+		}
+	}
+	if _, ok := tr.Lookup([]byte{9, 9, 9, 8, 0, 0, 0}); ok {
+		t.Fatal("phantom under wrong prefix")
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	tr, keys := buildU64(t, 20000, 4, 5)
+	var got []uint64
+	n := tr.Scan(nil, len(keys)+1, func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	}, nil)
+	if n != len(keys) {
+		t.Fatalf("full scan visited %d of %d", n, len(keys))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("scan order broken at %d", i)
+		}
+	}
+	// Ranged scans.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		start := rng.Intn(len(keys) - 60)
+		var g []uint64
+		tr.Scan(u64key(keys[start]), 50, func(k []byte, v uint64) bool {
+			g = append(g, binary.BigEndian.Uint64(k))
+			return true
+		}, nil)
+		if len(g) != 50 {
+			t.Fatalf("ranged scan got %d", len(g))
+		}
+		for i := range g {
+			if g[i] != keys[start+i] {
+				t.Fatalf("ranged scan mismatch at %d (trial %d)", i, trial)
+			}
+		}
+	}
+	// From a non-existent key.
+	probe := keys[100] + 1
+	idx := sort.Search(len(keys), func(j int) bool { return keys[j] >= probe })
+	var g []uint64
+	tr.Scan(u64key(probe), 3, func(k []byte, v uint64) bool {
+		g = append(g, binary.BigEndian.Uint64(k))
+		return true
+	}, nil)
+	if len(g) != 3 || g[0] != keys[idx] {
+		t.Fatalf("successor scan wrong: %v", g)
+	}
+}
+
+func TestExpandCompactRoundTrip(t *testing.T) {
+	tr, keys := buildU64(t, 20000, 2, 9)
+	sizeBefore := tr.Bytes()
+
+	// Grab a boundary handle via a traced lookup.
+	var bv boundaryVisit
+	var prefix []byte
+	k := u64key(keys[500])
+	tr.lookup(k, func(v boundaryVisit) {
+		if v.handle.Kind() == 6 { // art.KindFST
+			bv = v
+			prefix = append([]byte{}, v.prefix...)
+		}
+	})
+	if bv.handle.IsEmpty() {
+		t.Fatal("no boundary crossed")
+	}
+	nh, ok := tr.Expand(bv.handle, bv.parent, bv.label, prefix)
+	if !ok {
+		t.Fatal("expand failed")
+	}
+	if tr.Expanded() != 1 || tr.Expansions() != 1 {
+		t.Fatalf("counters: %d %d", tr.Expanded(), tr.Expansions())
+	}
+	if tr.Bytes() <= sizeBefore {
+		t.Fatal("expansion did not grow the index")
+	}
+	// All lookups still correct after expansion.
+	for i, kk := range keys {
+		if v, ok := tr.Lookup(u64key(kk)); !ok || v != uint64(i) {
+			t.Fatalf("post-expand lookup lost %d", kk)
+		}
+	}
+	// Scans still ordered across the expanded subtree.
+	cnt := 0
+	prev := uint64(0)
+	tr.Scan(nil, len(keys)+1, func(kb []byte, v uint64) bool {
+		k := binary.BigEndian.Uint64(kb)
+		if cnt > 0 && k <= prev {
+			t.Fatalf("scan order after expand broken")
+		}
+		prev = k
+		cnt++
+		return true
+	}, nil)
+	if cnt != len(keys) {
+		t.Fatalf("scan after expand visited %d", cnt)
+	}
+
+	// Compact back.
+	fh, ok := tr.Compact(nh, bv.parent, bv.label, prefix)
+	if !ok {
+		t.Fatal("compact failed")
+	}
+	if fh != bv.handle {
+		t.Fatalf("compaction restored different node: %v vs %v", fh, bv.handle)
+	}
+	if tr.Expanded() != 0 || tr.Compactions() != 1 {
+		t.Fatalf("counters after compact: %d %d", tr.Expanded(), tr.Compactions())
+	}
+	for i, kk := range keys {
+		if v, ok := tr.Lookup(u64key(kk)); !ok || v != uint64(i) {
+			t.Fatalf("post-compact lookup lost %d", kk)
+		}
+	}
+}
+
+func TestExpandRejectsStaleContext(t *testing.T) {
+	tr, keys := buildU64(t, 5000, 2, 11)
+	var bv boundaryVisit
+	var prefix []byte
+	tr.lookup(u64key(keys[0]), func(v boundaryVisit) {
+		bv = v
+		prefix = append([]byte{}, v.prefix...)
+	})
+	// Wrong label: parent does not reference the handle there.
+	if _, ok := tr.Expand(bv.handle, bv.parent, bv.label+1, prefix); ok {
+		t.Fatal("expand accepted stale context")
+	}
+	// Wrong kind.
+	if _, ok := tr.Expand(bv.parent, bv.parent, bv.label, prefix); ok {
+		t.Fatal("expand accepted non-FST handle")
+	}
+}
+
+func TestAdaptiveExpandsHotPrefixes(t *testing.T) {
+	keys := dataset.UserIDs(60000, 13)
+	cfg := AdaptiveConfig{
+		Trie:        Config{CArt: 2, FST: fst.AutoDense()},
+		InitialSkip: 4, MinSkip: 2, MaxSkip: 64,
+	}
+	a := BuildAdaptive(cfg, u64keys(keys), seqVals(len(keys)))
+	s := a.NewSession()
+	z := workload.NewZipf(len(keys), 1.2, 3)
+	for i := 0; i < 2_000_000; i++ {
+		j := z.Draw()
+		v, ok := s.Lookup(u64key(keys[j]))
+		if !ok || v != uint64(j) {
+			t.Fatalf("lookup lost %d", keys[j])
+		}
+	}
+	if a.Mgr.Adaptations() == 0 || a.Trie.Expansions() == 0 {
+		t.Fatalf("no adaptation activity: %d adapts, %d expansions", a.Mgr.Adaptations(), a.Trie.Expansions())
+	}
+	if a.Trie.Expanded() == 0 {
+		t.Fatal("nothing stayed expanded")
+	}
+	// Everything still correct.
+	for i := 0; i < len(keys); i += 37 {
+		if v, ok := a.Trie.Lookup(u64key(keys[i])); !ok || v != uint64(i) {
+			t.Fatalf("post-adaptation lookup lost %d", keys[i])
+		}
+	}
+	if err := a.Trie.Validate(u64keys(keys[:2000])); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptivePhaseShiftCompactsTrie(t *testing.T) {
+	keys := dataset.UserIDs(60000, 17)
+	cfg := AdaptiveConfig{
+		Trie:        Config{CArt: 2, FST: fst.AutoDense()},
+		InitialSkip: 4, MinSkip: 2, MaxSkip: 32,
+	}
+	a := BuildAdaptive(cfg, u64keys(keys), seqVals(len(keys)))
+	s := a.NewSession()
+	rng := rand.New(rand.NewSource(5))
+	hot := len(keys) / 50
+	for i := 0; i < 1_500_000; i++ {
+		s.Lookup(u64key(keys[rng.Intn(hot)]))
+	}
+	exp1 := a.Trie.Expanded()
+	if exp1 == 0 {
+		t.Fatal("phase 1 expanded nothing")
+	}
+	lo := len(keys) - hot
+	for i := 0; i < 5_000_000; i++ {
+		s.Lookup(u64key(keys[lo+rng.Intn(hot)]))
+	}
+	if a.Trie.Compactions() == 0 {
+		t.Fatal("phase shift triggered no compactions")
+	}
+	// Correctness after heavy migration churn.
+	for i := 0; i < len(keys); i += 53 {
+		if v, ok := a.Trie.Lookup(u64key(keys[i])); !ok || v != uint64(i) {
+			t.Fatalf("lookup lost %d after churn", keys[i])
+		}
+	}
+	var prev uint64
+	cnt := 0
+	a.Trie.Scan(nil, len(keys)+1, func(kb []byte, v uint64) bool {
+		k := binary.BigEndian.Uint64(kb)
+		if cnt > 0 && k <= prev {
+			t.Fatal("scan order broken after churn")
+		}
+		prev = k
+		cnt++
+		return true
+	}, nil)
+	if cnt != len(keys) {
+		t.Fatalf("scan after churn visited %d of %d", cnt, len(keys))
+	}
+}
+
+func TestAdaptiveScansTrackAndExpand(t *testing.T) {
+	keys := dataset.UserIDs(40000, 19)
+	cfg := AdaptiveConfig{
+		Trie:        Config{CArt: 2, FST: fst.AutoDense()},
+		InitialSkip: 2, MinSkip: 1, MaxSkip: 16,
+	}
+	a := BuildAdaptive(cfg, u64keys(keys), seqVals(len(keys)))
+	s := a.NewSession()
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 400_000; i++ {
+		j := rng.Intn(300)
+		s.Scan(u64key(keys[j]), 20, func(k []byte, v uint64) bool { return true })
+	}
+	if a.Trie.Expansions() == 0 {
+		t.Fatal("scan-only workload expanded nothing")
+	}
+}
+
+func TestAdaptiveBudget(t *testing.T) {
+	keys := dataset.UserIDs(50000, 29)
+	base := Build(Config{CArt: 2, FST: fst.AutoDense()}, u64keys(keys), seqVals(len(keys)))
+	budget := base.Bytes() + base.Bytes()/20 // 5% headroom over the compact build
+	cfg := AdaptiveConfig{
+		Trie:         Config{CArt: 2, FST: fst.AutoDense()},
+		MemoryBudget: budget,
+		InitialSkip:  4, MinSkip: 2, MaxSkip: 64,
+	}
+	a := BuildAdaptive(cfg, u64keys(keys), seqVals(len(keys)))
+	s := a.NewSession()
+	z := workload.NewZipf(len(keys), 1.1, 31)
+	for i := 0; i < 2_000_000; i++ {
+		s.Lookup(u64key(keys[z.Draw()]))
+	}
+	if used := a.Trie.Bytes(); used > budget+budget/20 {
+		t.Fatalf("budget blown: %d > %d", used, budget)
+	}
+	if a.Trie.Expansions() == 0 {
+		t.Fatal("budget so tight nothing expanded")
+	}
+}
+
+func TestTrainedTrie(t *testing.T) {
+	keys := dataset.UserIDs(40000, 37)
+	cfg := AdaptiveConfig{Trie: Config{CArt: 2, FST: fst.AutoDense()}}
+	a := BuildAdaptive(cfg, u64keys(keys), seqVals(len(keys)))
+	// Predict: first 1000 keys hot.
+	var tk [][]byte
+	var tf []uint64
+	for i := 0; i < 1000; i++ {
+		tk = append(tk, u64key(keys[i]))
+		tf = append(tf, uint64(1000-i))
+	}
+	migs := a.Train(tk, tf)
+	if migs == 0 {
+		t.Fatal("training expanded nothing")
+	}
+	if a.Trie.Expanded() == 0 {
+		t.Fatal("no expanded nodes after training")
+	}
+	for i := 0; i < len(keys); i += 41 {
+		if v, ok := a.Trie.Lookup(u64key(keys[i])); !ok || v != uint64(i) {
+			t.Fatalf("post-training lookup lost %d", keys[i])
+		}
+	}
+}
+
+func TestHybridMatchesFSTEverywhere(t *testing.T) {
+	emails := dataset.Emails(8000, 41)
+	keys := make([][]byte, len(emails))
+	for i, e := range emails {
+		keys[i] = append([]byte(e), 0)
+	}
+	tr := Build(Config{CArt: 6, FST: fst.Config{DenseLevels: 2}}, keys, seqVals(len(keys)))
+	if err := tr.Validate(keys); err != nil {
+		t.Fatal(err)
+	}
+	// Also probe mutated keys.
+	rng := rand.New(rand.NewSource(2))
+	probes := make([][]byte, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		p := append([]byte{}, keys[rng.Intn(len(keys))]...)
+		p[rng.Intn(len(p)-1)] ^= byte(1 + rng.Intn(255))
+		probes = append(probes, p)
+	}
+	if err := tr.Validate(probes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	emails := dataset.Emails(10000, 51)
+	keys := make([][]byte, len(emails))
+	for i, e := range emails {
+		keys[i] = append([]byte(e), 0)
+	}
+	tr := Build(Config{CArt: 6, FST: fst.AutoDense()}, keys, seqVals(len(keys)))
+	prefix := []byte("gmail.com@")
+	want := 0
+	for _, e := range emails {
+		if len(e) >= len(prefix) && e[:len(prefix)] == string(prefix) {
+			want++
+		}
+	}
+	got := tr.ScanPrefix(prefix, -1, func(k []byte, v uint64) bool { return true })
+	if got != want {
+		t.Fatalf("ScanPrefix found %d of %d", got, want)
+	}
+	// Bounded.
+	if n := tr.ScanPrefix(prefix, 5, func(k []byte, v uint64) bool { return true }); n != 5 {
+		t.Fatalf("bounded prefix scan %d", n)
+	}
+	// Absent prefix.
+	if n := tr.ScanPrefix([]byte("zzzz@"), -1, func(k []byte, v uint64) bool { return true }); n != 0 {
+		t.Fatalf("phantom prefix scan %d", n)
+	}
+}
+
+func TestAdaptiveRelativeBudget(t *testing.T) {
+	keys := dataset.UserIDs(30000, 53)
+	a := BuildAdaptive(AdaptiveConfig{
+		Trie:           Config{CArt: 2, FST: fst.AutoDense()},
+		RelativeBudget: 0.5,
+		InitialSkip:    4, MinSkip: 2, MaxSkip: 32,
+	}, u64keys(keys), seqVals(len(keys)))
+	s := a.NewSession()
+	z := workload.NewZipf(len(keys), 1.2, 7)
+	for i := 0; i < 1_000_000; i++ {
+		s.Lookup(u64key(keys[z.Draw()]))
+	}
+	if a.Trie.Expansions() == 0 {
+		t.Fatal("relative budget blocked all expansions")
+	}
+	// Relative budgets are estimates over the expansion average; allow
+	// generous slack but require boundedness.
+	if a.Trie.Bytes() > a.Trie.FSTBytes()*3 {
+		t.Fatalf("relative budget unbounded: %d vs FST %d", a.Trie.Bytes(), a.Trie.FSTBytes())
+	}
+}
+
+func TestRelate(t *testing.T) {
+	cases := []struct {
+		from, prefix string
+		want         relation
+	}{
+		{"", "abc", relAll},
+		{"ab", "abc", relAll},
+		{"abc", "abc", relAll},
+		{"abd", "abc", relSkip},
+		{"abcd", "abc", relSeek},
+		{"abb", "abc", relAll},
+		{"b", "abc", relSkip},
+		{"a", "abc", relAll},
+	}
+	for _, c := range cases {
+		if got := relate([]byte(c.from), []byte(c.prefix)); got != c.want {
+			t.Fatalf("relate(%q,%q)=%v want %v", c.from, c.prefix, got, c.want)
+		}
+	}
+	if relate(nil, []byte("x")) != relAll {
+		t.Fatal("nil from must be relAll")
+	}
+}
+
+func TestSizeOrderingARTvsHybridvsFST(t *testing.T) {
+	// Table 2 / Figure 19 direction: FST < Hybrid(initial) << ART.
+	keys := dataset.UserIDs(50000, 43)
+	bk := u64keys(keys)
+	vals := seqVals(len(keys))
+	f := fst.New(fst.AutoDense(), bk, vals)
+	tr := Build(Config{CArt: 2, FST: fst.AutoDense()}, bk, vals)
+	// A pure ART for comparison.
+	at := newPureART(bk, vals)
+	if !(f.Bytes() <= tr.Bytes()) {
+		t.Fatalf("hybrid (%d) smaller than FST (%d)?", tr.Bytes(), f.Bytes())
+	}
+	if !(tr.Bytes() < at) {
+		t.Fatalf("hybrid (%d) not smaller than ART (%d)", tr.Bytes(), at)
+	}
+	// The hybrid's ART top should be a small fraction of the total.
+	if tr.ARTBytes()*2 > tr.Bytes() {
+		t.Fatalf("ART top too large: %d of %d", tr.ARTBytes(), tr.Bytes())
+	}
+}
+
+func newPureART(keys [][]byte, vals []uint64) int64 {
+	a := art.New()
+	for i := range keys {
+		a.Insert(keys[i], vals[i])
+	}
+	return a.Bytes()
+}
+
+func TestQuickHybridAgainstSortedSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(3000)
+		set := map[uint64]bool{}
+		for len(set) < n {
+			set[rng.Uint64()>>uint(rng.Intn(32))] = true
+		}
+		var keys []uint64
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		cArt := 1 + rng.Intn(5)
+		tr := Build(Config{CArt: cArt, FST: fst.Config{DenseLevels: rng.Intn(4)}}, u64keys(keys), seqVals(len(keys)))
+		for i, k := range keys {
+			if v, ok := tr.Lookup(u64key(k)); !ok || v != uint64(i) {
+				t.Fatalf("trial %d cArt %d: lost %d", trial, cArt, k)
+			}
+		}
+		// Ordered scan equivalence.
+		var got []uint64
+		tr.Scan(nil, n+1, func(kb []byte, v uint64) bool {
+			got = append(got, binary.BigEndian.Uint64(kb))
+			return true
+		}, nil)
+		if len(got) != n {
+			t.Fatalf("trial %d: scan %d of %d", trial, len(got), n)
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				t.Fatalf("trial %d: scan order", trial)
+			}
+		}
+	}
+}
+
+func TestBoundaryPrefixBytes(t *testing.T) {
+	tr, keys := buildU64(t, 10000, 3, 47)
+	k := u64key(keys[42])
+	var prefixes [][]byte
+	tr.lookup(k, func(v boundaryVisit) {
+		prefixes = append(prefixes, append([]byte{}, v.prefix...))
+	})
+	if len(prefixes) == 0 {
+		t.Fatal("no boundary visits")
+	}
+	for _, p := range prefixes {
+		if !bytes.HasPrefix(k, p) {
+			t.Fatalf("visit prefix %v not a prefix of key %v", p, k)
+		}
+		if len(p) < 3 {
+			t.Fatalf("boundary above cArt: %v", p)
+		}
+	}
+}

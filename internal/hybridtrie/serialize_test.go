@@ -1,0 +1,67 @@
+package hybridtrie
+
+import (
+	"bytes"
+	"testing"
+
+	"ahi/internal/dataset"
+	"ahi/internal/fst"
+)
+
+func TestTrieSerializeRoundTrip(t *testing.T) {
+	keys := dataset.UserIDs(30000, 61)
+	bk := u64keys(keys)
+	tr := Build(Config{CArt: 2, FST: fst.AutoDense()}, bk, seqVals(len(keys)))
+	// Expand a couple of subtrees so the saved trie carries migrations.
+	for _, idx := range []int{0, len(keys) / 2} {
+		var bv boundaryVisit
+		var prefix []byte
+		tr.lookup(bk[idx], func(v boundaryVisit) {
+			if v.handle.Kind() == 6 && prefix == nil {
+				bv = v
+				prefix = append([]byte{}, v.prefix...)
+			}
+		})
+		if prefix != nil {
+			tr.Expand(bv.handle, bv.parent, bv.label, prefix)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadTrie(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != tr.Len() || g.CArt() != tr.CArt() || g.Expanded() != tr.Expanded() {
+		t.Fatal("metadata mismatch")
+	}
+	for i, k := range bk {
+		if v, ok := g.Lookup(k); !ok || v != uint64(i) {
+			t.Fatalf("key %x lost after load", k)
+		}
+	}
+	// Scans and further migrations still work.
+	n := g.Scan(nil, 100, func(k []byte, v uint64) bool { return true }, nil)
+	if n != 100 {
+		t.Fatalf("scan on loaded trie visited %d", n)
+	}
+	if err := g.Validate(bk[:1000]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrieSerializeRejectsCorrupt(t *testing.T) {
+	tr := Build(Config{CArt: 1, FST: fst.AutoDense()},
+		[][]byte{{1, 0}, {2, 0}}, []uint64{1, 2})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte{}, buf.Bytes()...)
+	bad[0] ^= 0x10
+	if _, err := ReadTrie(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}

@@ -1,0 +1,175 @@
+// Package stats provides the measurement plumbing of the evaluation:
+// latency recorders, fixed-interval time series (the paper plots one point
+// per 1M queries), percentile summaries, and the space/performance cost
+// function C = P·S^r of Zhang et al. used in Figures 13 and 17.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Recorder accumulates operation latencies cheaply: a running sum and
+// count plus a bounded reservoir for percentiles.
+type Recorder struct {
+	sum       time.Duration
+	count     int64
+	reservoir []time.Duration
+	cap       int
+	seen      int64
+	rng       uint64
+}
+
+// NewRecorder creates a recorder with a reservoir of the given size.
+func NewRecorder(reservoirSize int) *Recorder {
+	if reservoirSize < 1 {
+		reservoirSize = 1
+	}
+	return &Recorder{cap: reservoirSize, rng: 0x9e3779b97f4a7c15}
+}
+
+// Observe records one latency.
+func (r *Recorder) Observe(d time.Duration) {
+	r.sum += d
+	r.count++
+	r.seen++
+	if len(r.reservoir) < r.cap {
+		r.reservoir = append(r.reservoir, d)
+		return
+	}
+	// Vitter's Algorithm R with a cheap xorshift.
+	r.rng ^= r.rng << 13
+	r.rng ^= r.rng >> 7
+	r.rng ^= r.rng << 17
+	if idx := r.rng % uint64(r.seen); idx < uint64(r.cap) {
+		r.reservoir[idx] = d
+	}
+}
+
+// Count returns the number of observations.
+func (r *Recorder) Count() int64 { return r.count }
+
+// Mean returns the average latency, or 0 when empty.
+func (r *Recorder) Mean() time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return time.Duration(int64(r.sum) / r.count)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) from the reservoir.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	if len(r.reservoir) == 0 {
+		return 0
+	}
+	tmp := append([]time.Duration(nil), r.reservoir...)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(math.Ceil(p/100*float64(len(tmp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// Reset clears all observations.
+func (r *Recorder) Reset() {
+	r.sum, r.count, r.seen = 0, 0, 0
+	r.reservoir = r.reservoir[:0]
+}
+
+// Point is one interval of a time series: mean latency and index size after
+// `Ops` cumulative operations.
+type Point struct {
+	Ops        int64
+	MeanNs     float64
+	IndexBytes int64
+	Extra      map[string]float64
+}
+
+// TimeSeries buckets observations into fixed-size operation intervals,
+// mirroring the paper's "intervals of 1M queries" plots.
+type TimeSeries struct {
+	Interval int64
+	points   []Point
+	curSum   time.Duration
+	curN     int64
+	total    int64
+}
+
+// NewTimeSeries creates a series with the given operations-per-point
+// interval.
+func NewTimeSeries(interval int64) *TimeSeries {
+	if interval < 1 {
+		interval = 1
+	}
+	return &TimeSeries{Interval: interval}
+}
+
+// Observe records one operation latency; when the interval fills, a point
+// is emitted with the supplied current index size.
+func (ts *TimeSeries) Observe(d time.Duration, indexBytes func() int64) {
+	ts.curSum += d
+	ts.curN++
+	ts.total++
+	if ts.curN == ts.Interval {
+		ts.flush(indexBytes())
+	}
+}
+
+func (ts *TimeSeries) flush(indexBytes int64) {
+	if ts.curN == 0 {
+		return
+	}
+	ts.points = append(ts.points, Point{
+		Ops:        ts.total,
+		MeanNs:     float64(ts.curSum.Nanoseconds()) / float64(ts.curN),
+		IndexBytes: indexBytes,
+	})
+	ts.curSum, ts.curN = 0, 0
+}
+
+// Finish flushes any partial interval.
+func (ts *TimeSeries) Finish(indexBytes int64) { ts.flush(indexBytes) }
+
+// Points returns the emitted points.
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// Annotate attaches a named value to the most recent point (used for
+// migration counts per interval in Figure 20).
+func (ts *TimeSeries) Annotate(key string, v float64) {
+	if len(ts.points) == 0 {
+		return
+	}
+	p := &ts.points[len(ts.points)-1]
+	if p.Extra == nil {
+		p.Extra = map[string]float64{}
+	}
+	p.Extra[key] += v
+}
+
+// Cost evaluates the space/performance cost function C = P · S^r of Zhang
+// et al. (2018): P is a latency (performance, lower is better), S a size in
+// bytes, and r the relative importance of space. r = 1 weighs both equally;
+// r < 1 favours performance, r > 1 favours space.
+func Cost(latencyNs float64, sizeBytes int64, r float64) float64 {
+	return latencyNs * math.Pow(float64(sizeBytes), r)
+}
+
+// HumanBytes formats a byte count for tables ("2.36GB" style).
+func HumanBytes(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.2f%cB", float64(b)/float64(div), "KMGTPE"[exp])
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRecorderMeanAndCount(t *testing.T) {
+	r := NewRecorder(100)
+	for i := 1; i <= 10; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if r.Count() != 10 {
+		t.Fatalf("Count=%d", r.Count())
+	}
+	if got := r.Mean(); got != 5500*time.Nanosecond {
+		t.Fatalf("Mean=%v", got)
+	}
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestRecorderPercentile(t *testing.T) {
+	r := NewRecorder(1000)
+	for i := 1; i <= 1000; i++ {
+		r.Observe(time.Duration(i))
+	}
+	if p := r.Percentile(50); p < 480 || p > 520 {
+		t.Fatalf("p50=%v", p)
+	}
+	if p := r.Percentile(100); p != 1000 {
+		t.Fatalf("p100=%v", p)
+	}
+	if p := r.Percentile(0); p != 1 {
+		t.Fatalf("p0=%v", p)
+	}
+}
+
+func TestRecorderReservoirBounded(t *testing.T) {
+	r := NewRecorder(64)
+	for i := 0; i < 10000; i++ {
+		r.Observe(time.Duration(i))
+	}
+	if len(r.reservoir) != 64 {
+		t.Fatalf("reservoir grew to %d", len(r.reservoir))
+	}
+	if r.Count() != 10000 {
+		t.Fatalf("Count=%d", r.Count())
+	}
+}
+
+func TestTimeSeriesIntervals(t *testing.T) {
+	ts := NewTimeSeries(10)
+	size := int64(100)
+	for i := 0; i < 35; i++ {
+		ts.Observe(time.Duration(i), func() int64 { return size })
+	}
+	ts.Finish(size)
+	pts := ts.Points()
+	if len(pts) != 4 {
+		t.Fatalf("points=%d want 4", len(pts))
+	}
+	if pts[0].Ops != 10 || pts[3].Ops != 35 {
+		t.Fatalf("ops %d %d", pts[0].Ops, pts[3].Ops)
+	}
+	// First interval mean of 0..9 = 4.5 ns.
+	if pts[0].MeanNs != 4.5 {
+		t.Fatalf("mean=%v", pts[0].MeanNs)
+	}
+	if pts[0].IndexBytes != 100 {
+		t.Fatalf("size=%d", pts[0].IndexBytes)
+	}
+}
+
+func TestTimeSeriesAnnotate(t *testing.T) {
+	ts := NewTimeSeries(1)
+	ts.Annotate("x", 1) // no points yet: must not panic
+	ts.Observe(time.Nanosecond, func() int64 { return 0 })
+	ts.Annotate("migrations", 3)
+	ts.Annotate("migrations", 2)
+	if got := ts.Points()[0].Extra["migrations"]; got != 5 {
+		t.Fatalf("annotation=%v", got)
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	// Smaller and faster must always cost less at any r > 0.
+	if !(Cost(100, 1000, 1) < Cost(200, 2000, 1)) {
+		t.Fatal("cost not monotone")
+	}
+	// r = 0 ignores space entirely.
+	if Cost(100, 1, 0) != Cost(100, 1<<40, 0) {
+		t.Fatal("r=0 must ignore size")
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:         "512B",
+		2048:        "2.00KB",
+		2536 << 20:  "2.48GB",
+		1 << 40:     "1.00TB",
+		3 * 1 << 10: "3.00KB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d)=%q want %q", in, got, want)
+		}
+	}
+}
+
+func TestReservoirIsRepresentative(t *testing.T) {
+	// Feed a known uniform range; the reservoir median must land near the
+	// population median (Vitter's Algorithm R property).
+	r := NewRecorder(256)
+	for i := 1; i <= 100_000; i++ {
+		r.Observe(time.Duration(i))
+	}
+	p50 := float64(r.Percentile(50))
+	if p50 < 30_000 || p50 > 70_000 {
+		t.Fatalf("reservoir p50 %v far from population median", p50)
+	}
+}

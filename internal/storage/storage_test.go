@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func sampleLeaf(n int, seed int64) ([]uint64, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	base := uint64(1 << 40)
+	for i := range keys {
+		base += uint64(rng.Intn(4096) + 1)
+		keys[i] = base
+		vals[i] = uint64(rng.Intn(1 << 20))
+	}
+	return keys, vals
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	keys, vals := sampleLeaf(179, 1)
+	img := EncodeLeaf(keys, vals)
+	gotK, gotV, err := DecodeLeaf(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if gotK[i] != keys[i] || gotV[i] != vals[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeLeaf([]byte{1, 2}); err == nil {
+		t.Fatal("short image accepted")
+	}
+	img := EncodeLeaf([]uint64{1}, []uint64{2})
+	if _, _, err := DecodeLeaf(img[:len(img)-1]); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestCompressionShrinksLeafImages(t *testing.T) {
+	keys, vals := sampleLeaf(179, 2)
+	raw := EncodeLeaf(keys, vals)
+	comp := Compress(raw)
+	// The paper reports up to 47% reduction for 70%-occupied leaves;
+	// clustered keys compress well under flate too.
+	if float64(len(comp)) > 0.85*float64(len(raw)) {
+		t.Fatalf("compression too weak: %d -> %d", len(raw), len(comp))
+	}
+	out, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(raw) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDeviceOrdering(t *testing.T) {
+	// Figure 3's premise: DRAM << PMEM << NVMe << SATA for random access.
+	size := 4096
+	var prev time.Duration
+	for i := len(Devices) - 1; i >= 0; i-- { // DRAM..SATA
+		at := Devices[i].AccessTime(size, false)
+		if at <= prev {
+			t.Fatalf("device ordering violated at %s", Devices[i].Name)
+		}
+		prev = at
+	}
+}
+
+func TestAccessTimeIncludesTransfer(t *testing.T) {
+	small := DRAM.AccessTime(64, false)
+	large := DRAM.AccessTime(1<<20, false)
+	if large <= small {
+		t.Fatal("transfer term missing")
+	}
+}
+
+func TestMeasureAccessShape(t *testing.T) {
+	keys, vals := sampleLeaf(179, 3)
+	raw := EncodeLeaf(keys, vals)
+	// Compressed images must be smaller and carry CPU cost.
+	rc := MeasureAccess(DRAM, raw, true, false)
+	ru := MeasureAccess(DRAM, raw, false, false)
+	if rc.Bytes >= ru.Bytes {
+		t.Fatalf("compressed image not smaller: %d vs %d", rc.Bytes, ru.Bytes)
+	}
+	if rc.CPUTime == 0 {
+		t.Fatal("compressed access must pay CPU")
+	}
+	if ru.CPUTime != 0 {
+		t.Fatal("uncompressed access must not pay CPU")
+	}
+	// In-memory compressed access is far faster than uncompressed SATA IO
+	// (the figure's core argument for keeping compressed data in DRAM).
+	sata := MeasureAccess(SATASSD, raw, false, false)
+	if rc.Total >= sata.Total {
+		t.Fatalf("DRAM+decompress (%v) should beat SATA (%v)", rc.Total, sata.Total)
+	}
+}
+
+func TestMeasureAccessWritePath(t *testing.T) {
+	keys, vals := sampleLeaf(179, 5)
+	raw := EncodeLeaf(keys, vals)
+	wc := MeasureAccess(NVMeSSD, raw, true, true)
+	wu := MeasureAccess(NVMeSSD, raw, false, true)
+	if wc.CPUTime == 0 {
+		t.Fatal("compressed write must pay compression CPU")
+	}
+	if wc.Bytes >= wu.Bytes {
+		t.Fatal("compressed write should transfer fewer bytes")
+	}
+	// Write latencies include the device term.
+	if wc.DeviceTime <= 0 || wu.DeviceTime <= 0 {
+		t.Fatal("device time missing")
+	}
+}

@@ -1,0 +1,188 @@
+// Package topk implements the error-bounded top-k machinery of the paper's
+// §2 and the single-pass heap classifier of §3.1.4: the sample-size formula
+// (Equation 1) and a bounded min-heap that labels the k most frequent
+// tracked units as hot in O(u·(1+log k)) for u unique samples.
+package topk
+
+import "math"
+
+// DefaultEpsilon and DefaultDelta are the paper's chosen operating point
+// (ε = δ = 5%), the "reasonable trade-off between sample size and accuracy".
+const (
+	DefaultEpsilon = 0.05
+	DefaultDelta   = 0.05
+)
+
+// SampleSize evaluates Equation (1):
+//
+//	|S| = ceil( 2/ε² · ln( (2n + k(n−k)) / δ ) )
+//
+// where n is the number of distinct items (leaf nodes), k the number of
+// top items to identify, ε the tolerated classification error and δ the
+// failure probability. The paper's typesetting leaves the parenthesization
+// of the logarithm's argument ambiguous; this reading reproduces the
+// qualitative behaviour of the paper's Figure 2 (quadratic growth in 1/ε,
+// mild growth in k) and is documented as an interpretation in DESIGN.md.
+func SampleSize(n, k int, eps, delta float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	if eps <= 0 {
+		eps = DefaultEpsilon
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = DefaultDelta
+	}
+	arg := (2*float64(n) + float64(k)*float64(n-k)) / delta
+	if arg < math.E {
+		arg = math.E
+	}
+	s := 2 / (eps * eps) * math.Log(arg)
+	return int(math.Ceil(s))
+}
+
+// Entry is one candidate for the top-k classification: an opaque item
+// index (the caller maps it back to its tracked unit) and its priority,
+// by default the sum of sampled read and write counters.
+type Entry struct {
+	Item     int
+	Priority uint64
+}
+
+// Classifier is a bounded min-heap over Entry priorities. Offer pushes a
+// candidate; once the heap holds k entries, a new candidate displaces the
+// current minimum only if it is strictly more frequent. Displaced items
+// are reported so the caller can mark them cold again, exactly as the
+// paper describes ("when nodes are displaced from the priority queue, they
+// are marked cold again").
+type Classifier struct {
+	heap []Entry
+	k    int
+	// counters for the Figure 6 experiment
+	inserts  int
+	removals int
+}
+
+// NewClassifier creates a classifier for the top k items. k <= 0 yields a
+// classifier that rejects everything (memory budget already exhausted).
+func NewClassifier(k int) *Classifier {
+	if k < 0 {
+		k = 0
+	}
+	return &Classifier{k: k, heap: make([]Entry, 0, min(k, 4096))}
+}
+
+// K returns the configured capacity.
+func (c *Classifier) K() int { return c.k }
+
+// Len returns the number of currently hot entries.
+func (c *Classifier) Len() int { return len(c.heap) }
+
+// Stats returns the number of heap inserts and removals performed, the
+// quantities plotted in the paper's Figure 6.
+func (c *Classifier) Stats() (inserts, removals int) { return c.inserts, c.removals }
+
+// Offer submits a candidate. It returns (displaced, true) when an earlier
+// entry fell out of the top-k, (Entry{}, false) otherwise. When the
+// candidate itself does not qualify, it is returned as displaced.
+func (c *Classifier) Offer(e Entry) (displaced Entry, evicted bool) {
+	if c.k == 0 {
+		return e, true
+	}
+	if len(c.heap) < c.k {
+		c.heap = append(c.heap, e)
+		c.siftUp(len(c.heap) - 1)
+		c.inserts++
+		return Entry{}, false
+	}
+	if e.Priority <= c.heap[0].Priority {
+		return e, true
+	}
+	displaced = c.heap[0]
+	c.heap[0] = e
+	c.siftDown(0)
+	c.inserts++
+	c.removals++
+	return displaced, true
+}
+
+// Hot returns the current top-k entries in arbitrary (heap) order. The
+// slice aliases internal storage and is only valid until the next Offer.
+func (c *Classifier) Hot() []Entry { return c.heap }
+
+// Threshold returns the smallest priority currently classified hot, or 0
+// when the heap is not yet full.
+func (c *Classifier) Threshold() uint64 {
+	if len(c.heap) < c.k || len(c.heap) == 0 {
+		return 0
+	}
+	return c.heap[0].Priority
+}
+
+// Reset empties the classifier, keeping capacity.
+func (c *Classifier) Reset(k int) {
+	if k < 0 {
+		k = 0
+	}
+	c.k = k
+	c.heap = c.heap[:0]
+	c.inserts, c.removals = 0, 0
+}
+
+func (c *Classifier) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.heap[parent].Priority <= c.heap[i].Priority {
+			return
+		}
+		c.heap[parent], c.heap[i] = c.heap[i], c.heap[parent]
+		i = parent
+	}
+}
+
+func (c *Classifier) siftDown(i int) {
+	n := len(c.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && c.heap[l].Priority < c.heap[smallest].Priority {
+			smallest = l
+		}
+		if r < n && c.heap[r].Priority < c.heap[smallest].Priority {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		c.heap[i], c.heap[smallest] = c.heap[smallest], c.heap[i]
+		i = smallest
+	}
+}
+
+// BudgetK approximates the number of tracked units that can be expanded
+// without exceeding the memory budget (paper §3, "Sample-based
+// Classification"): with nc compressed units of mc bytes each and nu
+// uncompressed units of mu bytes, k = (mb − (nc·mc + nu·mu)) / (mu − mc).
+// The result is clamped to [0, nc+nu].
+func BudgetK(budget, nc, mc, nu, mu int64) int {
+	if mu <= mc {
+		return int(nc + nu)
+	}
+	k := (budget - (nc*mc + nu*mu)) / (mu - mc)
+	// Already-expanded units stay countable against the budget: every
+	// uncompressed unit occupies one of the expandable slots.
+	k += nu
+	if k < 0 {
+		k = 0
+	}
+	if k > nc+nu {
+		k = nc + nu
+	}
+	return int(k)
+}

@@ -1,0 +1,308 @@
+// Package workload implements the query-distribution machinery of the
+// paper's §5.1: Zipfian, Normal, Lognormal and Uniform key selectors, the
+// hot-set selector used for the custom YCSB configuration, the dbbench-style
+// prefix-random generator, and declarative specifications of the workloads
+// W1.1–W6.2 from Table 3.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist selects indexes in [0, N) according to some distribution. Draw must
+// be safe for use from a single goroutine; concurrent benchmarks hold one
+// Dist per worker.
+type Dist interface {
+	// Draw returns the next index in [0, N).
+	Draw() int
+	// N returns the index-space size.
+	N() int
+}
+
+// Uniform selects indexes uniformly.
+type Uniform struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniform creates a uniform selector over [0, n).
+func NewUniform(n int, seed int64) *Uniform {
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Draw implements Dist.
+func (u *Uniform) Draw() int { return u.rng.Intn(u.n) }
+
+// N implements Dist.
+func (u *Uniform) N() int { return u.n }
+
+// Zipf selects indexes with a Zipfian distribution of parameter alpha over
+// ranks 0..n-1: P(rank r) ∝ 1/(r+1)^alpha. Rank 0 is index 0, so hot keys
+// are clustered at the low end of the (sorted) key space — this is what
+// produces the node-level skew the adaptive indexes exploit, and it matches
+// the CDF shapes of the paper's Figure 11.
+//
+// Unlike math/rand.Zipf (which requires s > 1), this implementation
+// supports any alpha > 0 — the skew sweep of Figure 14 needs the whole
+// range (0, 1.6]. Sampling inverts the CDF: the head of the harmonic
+// prefix sums is tabulated exactly and binary-searched, the tail is
+// inverted analytically via the Euler–Maclaurin integral approximation.
+type Zipf struct {
+	rng    *rand.Rand
+	n      int
+	alpha  float64
+	prefix []float64 // prefix[i] = H_{i+1} = sum_{j=1..i+1} j^-alpha
+	hn     float64   // H_n
+	m      int       // tabulated head size
+}
+
+// zipfHeadSize bounds the exact prefix table (64 Ki ranks = 512 KiB).
+const zipfHeadSize = 1 << 16
+
+// NewZipf creates a Zipfian selector over [0, n) with skew alpha.
+func NewZipf(n int, alpha float64, seed int64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if alpha <= 0 {
+		alpha = 1e-9
+	}
+	m := n
+	if m > zipfHeadSize {
+		m = zipfHeadSize
+	}
+	z := &Zipf{rng: rand.New(rand.NewSource(seed)), n: n, alpha: alpha, m: m}
+	z.prefix = make([]float64, m)
+	sum := 0.0
+	for i := 0; i < m; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		z.prefix[i] = sum
+	}
+	z.hn = sum
+	if n > m {
+		// Midpoint-corrected integral for sum_{j=m+1..n} j^-alpha.
+		z.hn += integralPow(float64(m)+0.5, float64(n)+0.5, alpha)
+	}
+	return z
+}
+
+// integralPow evaluates ∫_a^b x^-theta dx.
+func integralPow(a, b, theta float64) float64 {
+	if theta == 1 {
+		return math.Log(b / a)
+	}
+	return (math.Pow(b, 1-theta) - math.Pow(a, 1-theta)) / (1 - theta)
+}
+
+// Draw implements Dist.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64() * z.hn
+	if u <= z.prefix[z.m-1] {
+		// First index i with H_{i+1} >= u.
+		lo, hi := 0, z.m
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if z.prefix[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	// Tail: solve H_m + ∫_{m+0.5}^{r+0.5} x^-a dx = u for r.
+	rem := u - z.prefix[z.m-1]
+	a := float64(z.m) + 0.5
+	var r float64
+	if z.alpha == 1 {
+		r = a*math.Exp(rem) - 0.5
+	} else {
+		v := math.Pow(a, 1-z.alpha) + rem*(1-z.alpha)
+		if v <= 0 {
+			return z.n - 1
+		}
+		r = math.Pow(v, 1/(1-z.alpha)) - 0.5
+	}
+	idx := int(r)
+	if idx < z.m {
+		idx = z.m
+	}
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+// N implements Dist.
+func (z *Zipf) N() int { return z.n }
+
+// Alpha returns the skew parameter.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Normal selects indexes by drawing from N(mu, sigma) over the unit
+// interval and scaling to [0, n); out-of-range draws are clamped. The
+// paper uses mu = 0.5, sigma = 0.03.
+type Normal struct {
+	rng       *rand.Rand
+	n         int
+	mu, sigma float64
+}
+
+// NewNormal creates a normal selector.
+func NewNormal(n int, mu, sigma float64, seed int64) *Normal {
+	return &Normal{rng: rand.New(rand.NewSource(seed)), n: n, mu: mu, sigma: sigma}
+}
+
+// Draw implements Dist.
+func (g *Normal) Draw() int {
+	x := g.rng.NormFloat64()*g.sigma + g.mu
+	idx := int(x * float64(g.n))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= g.n {
+		idx = g.n - 1
+	}
+	return idx
+}
+
+// N implements Dist.
+func (g *Normal) N() int { return g.n }
+
+// Lognormal selects indexes by drawing exp(N(mu, sigma)) and scaling so the
+// bulk of the mass lands in the lower part of the key space. The paper uses
+// mu = 0, sigma = 0.1 — a tight peak around 1.0 — which we scale by
+// mapping the [exp(mu-4sigma), exp(mu+4sigma)] range onto [0, n).
+type Lognormal struct {
+	rng       *rand.Rand
+	n         int
+	mu, sigma float64
+	lo, span  float64
+}
+
+// NewLognormal creates a lognormal selector.
+func NewLognormal(n int, mu, sigma float64, seed int64) *Lognormal {
+	lo := math.Exp(mu - 4*sigma)
+	hi := math.Exp(mu + 4*sigma)
+	return &Lognormal{
+		rng: rand.New(rand.NewSource(seed)),
+		n:   n, mu: mu, sigma: sigma,
+		lo: lo, span: hi - lo,
+	}
+}
+
+// Draw implements Dist.
+func (l *Lognormal) Draw() int {
+	x := math.Exp(l.rng.NormFloat64()*l.sigma + l.mu)
+	idx := int((x - l.lo) / l.span * float64(l.n))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= l.n {
+		idx = l.n - 1
+	}
+	return idx
+}
+
+// N implements Dist.
+func (l *Lognormal) N() int { return l.n }
+
+// LognormalRank selects item ranks directly from exp(N(mu, sigma))·scale:
+// unlike Lognormal (which spreads the distribution across the whole key
+// space), the hot mass concentrates on a few hundred ranks regardless of
+// n — the regime of the paper's Figure 2, where the top-1000 of 1M items
+// carry ~70% of all accesses.
+type LognormalRank struct {
+	rng       *rand.Rand
+	n         int
+	mu, sigma float64
+	scale     float64
+	min       float64
+}
+
+// NewLognormalRank creates a rank-concentrated lognormal selector.
+func NewLognormalRank(n int, mu, sigma, scale float64, seed int64) *LognormalRank {
+	return &LognormalRank{
+		rng: rand.New(rand.NewSource(seed)),
+		n:   n, mu: mu, sigma: sigma, scale: scale,
+		min: math.Exp(mu-4*sigma) * scale,
+	}
+}
+
+// Draw implements Dist.
+func (l *LognormalRank) Draw() int {
+	x := math.Exp(l.rng.NormFloat64()*l.sigma+l.mu) * l.scale
+	idx := int(x - l.min)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= l.n {
+		idx = l.n - 1
+	}
+	return idx
+}
+
+// N implements Dist.
+func (l *LognormalRank) N() int { return l.n }
+
+// HotSet directs hotFrac of the draws uniformly into a contiguous hot range
+// covering hotSize of the key space and the rest uniformly everywhere —
+// the paper's "custom read-only YCSB configuration with a hot set size of
+// 1% of the dataset" (W4).
+type HotSet struct {
+	rng              *rand.Rand
+	n                int
+	hotStart, hotLen int
+	hotFrac          float64
+}
+
+// NewHotSet creates a hot-set selector. hotSize and hotFrac are fractions
+// in (0, 1]; the hot range starts at hotStart (an index).
+func NewHotSet(n int, hotStart int, hotSize, hotFrac float64, seed int64) *HotSet {
+	hotLen := int(float64(n) * hotSize)
+	if hotLen < 1 {
+		hotLen = 1
+	}
+	if hotStart+hotLen > n {
+		hotStart = n - hotLen
+	}
+	if hotStart < 0 {
+		hotStart = 0
+	}
+	return &HotSet{
+		rng: rand.New(rand.NewSource(seed)),
+		n:   n, hotStart: hotStart, hotLen: hotLen, hotFrac: hotFrac,
+	}
+}
+
+// Draw implements Dist.
+func (h *HotSet) Draw() int {
+	if h.rng.Float64() < h.hotFrac {
+		return h.hotStart + h.rng.Intn(h.hotLen)
+	}
+	return h.rng.Intn(h.n)
+}
+
+// N implements Dist.
+func (h *HotSet) N() int { return h.n }
+
+// CDF empirically estimates the cumulative distribution of a Dist by
+// drawing samples; used by tests and by the Figure 11 rendering.
+func CDF(d Dist, samples, buckets int) []float64 {
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		b := d.Draw() * buckets / d.N()
+		if b >= buckets {
+			b = buckets - 1
+		}
+		counts[b]++
+	}
+	cdf := make([]float64, buckets)
+	cum := 0
+	for i, c := range counts {
+		cum += c
+		cdf[i] = float64(cum) / float64(samples)
+	}
+	return cdf
+}

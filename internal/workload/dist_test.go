@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func inRange(t *testing.T, d Dist, draws int) {
+	t.Helper()
+	for i := 0; i < draws; i++ {
+		v := d.Draw()
+		if v < 0 || v >= d.N() {
+			t.Fatalf("draw %d out of range [0,%d)", v, d.N())
+		}
+	}
+}
+
+func TestUniformRangeAndSpread(t *testing.T) {
+	u := NewUniform(1000, 1)
+	inRange(t, u, 10000)
+	cdf := CDF(u, 100000, 10)
+	for i, c := range cdf {
+		want := float64(i+1) / 10
+		if math.Abs(c-want) > 0.02 {
+			t.Fatalf("uniform CDF bucket %d = %.3f want %.3f", i, c, want)
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	// Higher alpha must concentrate more mass on the first buckets.
+	const n = 1_000_000
+	mass := func(alpha float64) float64 {
+		z := NewZipf(n, alpha, 42)
+		hits := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if z.Draw() < n/100 { // top 1% of the key space
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	m05, m10, m15 := mass(0.5), mass(1.0), mass(1.5)
+	if !(m05 < m10 && m10 < m15) {
+		t.Fatalf("zipf mass not monotone in alpha: %.3f %.3f %.3f", m05, m10, m15)
+	}
+	if m15 < 0.9 {
+		t.Fatalf("alpha=1.5 should be extremely skewed, got %.3f in top 1%%", m15)
+	}
+	if m10 < 0.4 || m10 > 0.95 {
+		t.Fatalf("alpha=1.0 top-1%% mass implausible: %.3f", m10)
+	}
+}
+
+func TestZipfRankProbabilities(t *testing.T) {
+	// Empirical rank frequencies must follow ~1/(r+1)^alpha.
+	z := NewZipf(1000, 1.0, 7)
+	counts := make([]int, 1000)
+	const draws = 2_000_000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	// P(0)/P(9) should be about 10^1 = 10.
+	ratio := float64(counts[0]) / float64(counts[9])
+	if ratio < 7 || ratio > 13 {
+		t.Fatalf("rank0/rank9 ratio = %.2f want ~10", ratio)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[3] {
+		t.Fatal("rank frequencies not decreasing")
+	}
+}
+
+func TestZipfTailReachable(t *testing.T) {
+	z := NewZipf(200_000, 0.2, 3) // nearly uniform: tail must be hit
+	maxSeen := 0
+	for i := 0; i < 100000; i++ {
+		if v := z.Draw(); v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if maxSeen < 150_000 {
+		t.Fatalf("tail never sampled: max=%d", maxSeen)
+	}
+	inRange(t, z, 10000)
+}
+
+func TestZipfAlphaOne(t *testing.T) {
+	z := NewZipf(500_000, 1.0, 9)
+	inRange(t, z, 20000)
+	if z.Alpha() != 1.0 {
+		t.Fatal("alpha accessor")
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(1, 1.2, 1)
+	for i := 0; i < 100; i++ {
+		if z.Draw() != 0 {
+			t.Fatal("n=1 must always draw 0")
+		}
+	}
+	z0 := NewZipf(100, 0, 1) // alpha clamped to ~0: near-uniform
+	inRange(t, z0, 1000)
+}
+
+func TestNormalConcentration(t *testing.T) {
+	g := NewNormal(100000, 0.5, 0.03, 5)
+	inRange(t, g, 10000)
+	within := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := g.Draw()
+		if v >= 44000 && v < 56000 { // mu ± 2 sigma
+			within++
+		}
+	}
+	if frac := float64(within) / draws; frac < 0.90 {
+		t.Fatalf("normal not concentrated: %.3f within 2 sigma", frac)
+	}
+}
+
+func TestLognormalShape(t *testing.T) {
+	l := NewLognormal(100000, 0, 0.1, 6)
+	inRange(t, l, 10000)
+	cdf := CDF(l, 100000, 10)
+	// The mass is concentrated (skewed), not uniform.
+	spread := cdf[9] - cdf[0]
+	maxBucket := cdf[0]
+	for i := 1; i < 10; i++ {
+		if d := cdf[i] - cdf[i-1]; d > maxBucket {
+			maxBucket = d
+		}
+	}
+	if maxBucket < 0.3 {
+		t.Fatalf("lognormal should concentrate >30%% in one decile, got %.3f (spread %.3f)", maxBucket, spread)
+	}
+}
+
+func TestHotSetFractions(t *testing.T) {
+	h := NewHotSet(100000, 0, 0.01, 0.99, 8)
+	inRange(t, h, 10000)
+	hot := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if h.Draw() < 1000 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.95 {
+		t.Fatalf("hot fraction %.3f want >= 0.95", frac)
+	}
+}
+
+func TestHotSetClamping(t *testing.T) {
+	h := NewHotSet(100, 99, 0.5, 1.0, 1)
+	inRange(t, h, 1000)
+}
+
+func TestPrefixRandomPhases(t *testing.T) {
+	p := NewPrefixRandom(100000, PrefixRandomConfig{Groups: 100, HotGroups: 5, Phases: 2, HotFraction: 0.95, Seed: 3})
+	inRange(t, p, 10000)
+	hot0 := map[int]bool{}
+	for _, g := range p.HotGroups(0) {
+		hot0[g] = true
+	}
+	for _, g := range p.HotGroups(1) {
+		if hot0[g] {
+			t.Fatalf("phase hot sets overlap at group %d", g)
+		}
+	}
+	// Phase 0 draws should land mostly in phase-0 hot groups.
+	count := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := p.Draw()
+		g := v / 1000
+		if hot0[g] {
+			count++
+		}
+	}
+	if frac := float64(count) / draws; frac < 0.9 {
+		t.Fatalf("phase-0 hot mass %.3f", frac)
+	}
+	// Switch phase: mass must move away.
+	p.SetPhase(1)
+	count = 0
+	for i := 0; i < draws; i++ {
+		if hot0[p.Draw()/1000] {
+			count++
+		}
+	}
+	if frac := float64(count) / draws; frac > 0.2 {
+		t.Fatalf("after phase switch, old hot mass still %.3f", frac)
+	}
+	if p.Phase() != 1 {
+		t.Fatal("Phase accessor")
+	}
+	p.SetPhase(99)
+	if p.Phase() != 1 {
+		t.Fatal("SetPhase must clamp")
+	}
+}
+
+func TestPrefixRandomGroupRange(t *testing.T) {
+	p := NewPrefixRandom(1000, PrefixRandomConfig{Groups: 10, HotGroups: 2, Phases: 1, Seed: 1})
+	lo, hi := p.GroupRange(3)
+	if lo != 300 || hi != 400 {
+		t.Fatalf("GroupRange(3)=[%d,%d)", lo, hi)
+	}
+}
+
+func TestGeneratorMixFractions(t *testing.T) {
+	g := NewGenerator(W11, 100000, 17)
+	var reads, scans, inserts int
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpRead:
+			reads++
+		case OpScan:
+			scans++
+			if op.ScanLen < 10 || op.ScanLen > 50 {
+				t.Fatalf("scan length %d outside [10,50]", op.ScanLen)
+			}
+		case OpInsert:
+			inserts++
+		}
+		if op.Index < 0 || op.Index >= 100000 {
+			t.Fatalf("index %d out of range", op.Index)
+		}
+	}
+	if f := float64(reads) / draws; math.Abs(f-0.49) > 0.02 {
+		t.Fatalf("read fraction %.3f", f)
+	}
+	if f := float64(inserts) / draws; math.Abs(f-0.02) > 0.005 {
+		t.Fatalf("insert fraction %.3f", f)
+	}
+}
+
+func TestGeneratorAllSpecs(t *testing.T) {
+	for name, spec := range Specs {
+		g := NewGenerator(spec, 10000, 3)
+		for i := 0; i < 2000; i++ {
+			op := g.Next()
+			if op.Index < 0 || op.Index >= 10000 {
+				t.Fatalf("%s: index out of range", name)
+			}
+			if op.Kind == OpScan && op.ScanLen < 1 {
+				t.Fatalf("%s: scan without length", name)
+			}
+		}
+	}
+}
+
+func TestGeneratorW4ScanLengths(t *testing.T) {
+	g := NewGenerator(W4, 10000, 5)
+	for i := 0; i < 5000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan && (op.ScanLen < 100 || op.ScanLen > 250) {
+			t.Fatalf("W4 scan length %d outside [100,250]", op.ScanLen)
+		}
+	}
+}
+
+func TestGeneratorFillAndPhase(t *testing.T) {
+	g := NewGenerator(W3, 50000, 11)
+	ops := g.Fill(make([]Op, 1000))
+	if len(ops) != 1000 {
+		t.Fatal("Fill length")
+	}
+	g.SetPhase(1) // must not panic; W3 has a PrefixRandom dist
+	g2 := NewGenerator(W11, 100, 1)
+	g2.SetPhase(1) // no prefix dist: no-op
+}
+
+func TestCDFMonotone(t *testing.T) {
+	z := NewZipf(10000, 1.2, 2)
+	cdf := CDF(z, 50000, 20)
+	prev := 0.0
+	for i, c := range cdf {
+		if c < prev {
+			t.Fatalf("CDF decreasing at %d", i)
+		}
+		prev = c
+	}
+	if math.Abs(cdf[19]-1.0) > 1e-9 {
+		t.Fatalf("CDF must end at 1, got %v", cdf[19])
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	z := NewZipf(10_000_000, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Draw()
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := NewGenerator(W11, 10_000_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PrefixRandom reproduces the dbbench "prefix-random" characteristic that
+// Cao et al. extracted from Facebook's RocksDB workloads and that the paper
+// uses as W3: keys are grouped into ranges by their most significant prefix
+// bits, a small fraction of ranges is hot, and accesses are uniform within
+// a range. Figure 20 runs two phases with disjoint hot prefix ranges; the
+// Phase field switches the hot assignment.
+type PrefixRandom struct {
+	rng *rand.Rand
+	n   int
+	// ranges[i] = [start, end) index range of the i-th prefix group.
+	starts []int
+	// hotPerPhase[p] lists the hot group ids of phase p.
+	hotPerPhase [][]int
+	phase       int
+	hotFrac     float64 // fraction of queries hitting a hot range
+}
+
+// PrefixRandomConfig configures the generator.
+type PrefixRandomConfig struct {
+	// Groups is the number of prefix ranges the key space is split into
+	// (the paper defines ranges by the 44 most significant key bits; over a
+	// sorted key array this is equivalent to contiguous index ranges).
+	Groups int
+	// HotGroups is the number of simultaneously hot ranges per phase.
+	HotGroups int
+	// Phases is the number of disjoint hot assignments to prepare.
+	Phases int
+	// HotFraction is the probability a query targets a hot range.
+	HotFraction float64
+	Seed        int64
+}
+
+// NewPrefixRandom creates a generator over [0, n).
+func NewPrefixRandom(n int, cfg PrefixRandomConfig) *PrefixRandom {
+	if cfg.Groups < 1 {
+		cfg.Groups = 64
+	}
+	if cfg.Groups > n {
+		cfg.Groups = n
+	}
+	if cfg.HotGroups < 1 {
+		cfg.HotGroups = cfg.Groups / 16
+		if cfg.HotGroups < 1 {
+			cfg.HotGroups = 1
+		}
+	}
+	if cfg.Phases < 1 {
+		cfg.Phases = 1
+	}
+	if cfg.HotFraction <= 0 || cfg.HotFraction > 1 {
+		cfg.HotFraction = 0.95
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &PrefixRandom{rng: rng, n: n, hotFrac: cfg.HotFraction}
+	p.starts = make([]int, cfg.Groups+1)
+	for i := 0; i <= cfg.Groups; i++ {
+		p.starts[i] = i * n / cfg.Groups
+	}
+	// Assign disjoint hot groups to phases.
+	perm := rng.Perm(cfg.Groups)
+	need := cfg.HotGroups * cfg.Phases
+	if need > cfg.Groups {
+		// Reuse with offsets when there are not enough groups; phases then
+		// overlap, which only weakens (never breaks) the phase-shift signal.
+		for len(perm) < need {
+			perm = append(perm, rng.Perm(cfg.Groups)...)
+		}
+	}
+	p.hotPerPhase = make([][]int, cfg.Phases)
+	for ph := 0; ph < cfg.Phases; ph++ {
+		hot := append([]int(nil), perm[ph*cfg.HotGroups:(ph+1)*cfg.HotGroups]...)
+		sort.Ints(hot)
+		p.hotPerPhase[ph] = hot
+	}
+	return p
+}
+
+// SetPhase switches the active hot assignment (clamped to valid range).
+func (p *PrefixRandom) SetPhase(phase int) {
+	if phase < 0 {
+		phase = 0
+	}
+	if phase >= len(p.hotPerPhase) {
+		phase = len(p.hotPerPhase) - 1
+	}
+	p.phase = phase
+}
+
+// Phase returns the active phase.
+func (p *PrefixRandom) Phase() int { return p.phase }
+
+// HotGroups returns the hot group ids of the given phase.
+func (p *PrefixRandom) HotGroups(phase int) []int { return p.hotPerPhase[phase] }
+
+// GroupRange returns the index range [start, end) of group g.
+func (p *PrefixRandom) GroupRange(g int) (int, int) { return p.starts[g], p.starts[g+1] }
+
+// Draw implements Dist.
+func (p *PrefixRandom) Draw() int {
+	var g int
+	hot := p.hotPerPhase[p.phase]
+	if p.rng.Float64() < p.hotFrac {
+		g = hot[p.rng.Intn(len(hot))]
+	} else {
+		g = p.rng.Intn(len(p.starts) - 1)
+	}
+	lo, hi := p.starts[g], p.starts[g+1]
+	if hi <= lo {
+		return lo
+	}
+	return lo + p.rng.Intn(hi-lo)
+}
+
+// N implements Dist.
+func (p *PrefixRandom) N() int { return p.n }

@@ -1,0 +1,184 @@
+package workload
+
+import "math/rand"
+
+// OpKind is the query type of one generated operation.
+type OpKind uint8
+
+// Operation kinds, matching the read/scan/insert columns of Table 3.
+const (
+	OpRead OpKind = iota
+	OpScan
+	OpInsert
+)
+
+// Op is one generated index operation. Index selects a key from the
+// dataset's sorted key array; for scans, ScanLen keys are read starting at
+// Index; for inserts, the key is derived from Index (dataset-specific).
+type Op struct {
+	Index   int
+	ScanLen int
+	Kind    OpKind
+}
+
+// DistKind names a key-selection distribution in a Spec.
+type DistKind uint8
+
+// Distribution kinds of Table 3.
+const (
+	DistUniform DistKind = iota
+	DistZipfian
+	DistNormal
+	DistLognormal
+	DistPrefixRandom
+	DistHotSet
+)
+
+// Mix is one (fraction, kind, distribution) row of a workload.
+type Mix struct {
+	Frac float64
+	Kind OpKind
+	Dist DistKind
+}
+
+// Spec declares a workload in the style of the paper's Table 3.
+type Spec struct {
+	Name string
+	Mix  []Mix
+	// ScanMin/ScanMax bound the uniformly distributed scan length
+	// ([10, 50] for most workloads, [100, 250] for W4).
+	ScanMin, ScanMax int
+	// Zipf skew (paper: a ∈ [1, 1.5]); used by Zipfian mixes.
+	ZipfAlpha float64
+	// Normal / Lognormal parameters.
+	NormalMu, NormalSigma float64
+	LogMu, LogSigma       float64
+	// HotSet parameters (W4).
+	HotSize, HotFrac float64
+	// PrefixRandom parameters (W3).
+	Prefix PrefixRandomConfig
+}
+
+// The workloads of Table 3. Fractions follow the paper; distribution
+// parameters use the defaults of §5.1 (Zipf a = 1, Normal(0.5, 0.03),
+// Lognormal(0, 0.1), scan length U[10,50] / U[100,250] for W4).
+var (
+	W11 = Spec{Name: "W1.1", ZipfAlpha: 1, ScanMin: 10, ScanMax: 50,
+		NormalMu: 0.5, NormalSigma: 0.03, LogMu: 0, LogSigma: 0.1,
+		Mix: []Mix{{0.49, OpRead, DistZipfian}, {0.49, OpScan, DistZipfian}, {0.02, OpInsert, DistZipfian}}}
+	W12 = Spec{Name: "W1.2", ZipfAlpha: 1, ScanMin: 10, ScanMax: 50,
+		NormalMu: 0.5, NormalSigma: 0.03, LogMu: 0, LogSigma: 0.1,
+		Mix: []Mix{{0.49, OpRead, DistNormal}, {0.49, OpScan, DistNormal}, {0.02, OpInsert, DistZipfian}}}
+	W13 = Spec{Name: "W1.3", ZipfAlpha: 1, ScanMin: 10, ScanMax: 50,
+		NormalMu: 0.5, NormalSigma: 0.03, LogMu: 0, LogSigma: 0.1,
+		Mix: []Mix{{0.49, OpRead, DistLognormal}, {0.49, OpScan, DistLognormal}, {0.02, OpInsert, DistLognormal}}}
+	// The W2 row of Table 3 is garbled in the available paper text ("94%
+	// Uniform / 20% Lognormal / 56% Lognormal" cannot sum to 1); we keep
+	// the documented intent — uniform-dominated reads with lognormal scans
+	// and inserts — and normalize the mix. See DESIGN.md.
+	W2 = Spec{Name: "W2", ZipfAlpha: 1, ScanMin: 10, ScanMax: 50,
+		LogMu: 0, LogSigma: 0.1,
+		Mix: []Mix{{0.94, OpRead, DistUniform}, {0.02, OpScan, DistLognormal}, {0.04, OpInsert, DistLognormal}}}
+	W3 = Spec{Name: "W3", ScanMin: 10, ScanMax: 50,
+		Prefix: PrefixRandomConfig{Groups: 128, HotGroups: 8, Phases: 2, HotFraction: 0.95},
+		Mix:    []Mix{{1.0, OpRead, DistPrefixRandom}}}
+	W4 = Spec{Name: "W4", ZipfAlpha: 1, ScanMin: 100, ScanMax: 250,
+		HotSize: 0.01, HotFrac: 0.99,
+		Mix: []Mix{{0.75, OpRead, DistZipfian}, {0.25, OpScan, DistZipfian}}}
+	W51 = Spec{Name: "W5.1", ZipfAlpha: 1, ScanMin: 10, ScanMax: 50,
+		Mix: []Mix{{0.20, OpRead, DistZipfian}, {0.80, OpInsert, DistZipfian}}}
+	W52 = Spec{Name: "W5.2", ZipfAlpha: 1, ScanMin: 10, ScanMax: 50,
+		Mix: []Mix{{0.20, OpRead, DistZipfian}, {0.80, OpScan, DistZipfian}}}
+	W61 = Spec{Name: "W6.1", ZipfAlpha: 1,
+		Mix: []Mix{{1.0, OpRead, DistZipfian}}}
+	W62 = Spec{Name: "W6.2", ZipfAlpha: 1, ScanMin: 10, ScanMax: 50,
+		Mix: []Mix{{1.0, OpScan, DistZipfian}}}
+)
+
+// Specs lists all Table 3 workloads by name.
+var Specs = map[string]Spec{
+	"W1.1": W11, "W1.2": W12, "W1.3": W13, "W2": W2, "W3": W3,
+	"W4": W4, "W5.1": W51, "W5.2": W52, "W6.1": W61, "W6.2": W62,
+}
+
+// Generator turns a Spec into a stream of Ops over an n-key index.
+type Generator struct {
+	spec   Spec
+	rng    *rand.Rand
+	dists  []Dist
+	cum    []float64 // cumulative mix fractions, normalized
+	prefix *PrefixRandom
+}
+
+// NewGenerator builds a generator for spec over n keys. Concurrent workers
+// should each create their own generator with distinct seeds.
+func NewGenerator(spec Spec, n int, seed int64) *Generator {
+	g := &Generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	total := 0.0
+	for _, m := range spec.Mix {
+		total += m.Frac
+	}
+	cum := 0.0
+	for i, m := range spec.Mix {
+		g.dists = append(g.dists, g.makeDist(m.Dist, n, seed+int64(i)*7919+1))
+		cum += m.Frac / total
+		g.cum = append(g.cum, cum)
+	}
+	return g
+}
+
+func (g *Generator) makeDist(k DistKind, n int, seed int64) Dist {
+	switch k {
+	case DistZipfian:
+		return NewZipf(n, g.spec.ZipfAlpha, seed)
+	case DistNormal:
+		return NewNormal(n, g.spec.NormalMu, g.spec.NormalSigma, seed)
+	case DistLognormal:
+		return NewLognormal(n, g.spec.LogMu, g.spec.LogSigma, seed)
+	case DistPrefixRandom:
+		if g.prefix == nil {
+			g.prefix = NewPrefixRandom(n, g.spec.Prefix)
+		}
+		return g.prefix
+	case DistHotSet:
+		return NewHotSet(n, 0, g.spec.HotSize, g.spec.HotFrac, seed)
+	default:
+		return NewUniform(n, seed)
+	}
+}
+
+// SetPhase forwards a phase switch to an embedded PrefixRandom dist (W3).
+func (g *Generator) SetPhase(p int) {
+	if g.prefix != nil {
+		g.prefix.SetPhase(p)
+	}
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	u := g.rng.Float64()
+	i := 0
+	for i < len(g.cum)-1 && u > g.cum[i] {
+		i++
+	}
+	m := g.spec.Mix[i]
+	op := Op{Kind: m.Kind, Index: g.dists[i].Draw()}
+	if m.Kind == OpScan {
+		lo, hi := g.spec.ScanMin, g.spec.ScanMax
+		if hi <= lo {
+			op.ScanLen = max(lo, 1)
+		} else {
+			op.ScanLen = lo + g.rng.Intn(hi-lo+1)
+		}
+	}
+	return op
+}
+
+// Fill generates len(dst) operations into dst (amortizes interface calls in
+// benchmark loops) and returns dst.
+func (g *Generator) Fill(dst []Op) []Op {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return dst
+}

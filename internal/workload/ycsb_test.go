@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYCSBSpecsGenerate(t *testing.T) {
+	for letter, spec := range YCSBSpecs {
+		g := NewGenerator(spec, 50_000, 7)
+		var reads, scans, writes int
+		const draws = 50_000
+		for i := 0; i < draws; i++ {
+			op := g.Next()
+			if op.Index < 0 || op.Index >= 50_000 {
+				t.Fatalf("YCSB-%s: index out of range", letter)
+			}
+			switch op.Kind {
+			case OpRead:
+				reads++
+			case OpScan:
+				scans++
+				if op.ScanLen < 1 || op.ScanLen > 100 {
+					t.Fatalf("YCSB-%s: scan length %d", letter, op.ScanLen)
+				}
+			case OpInsert:
+				writes++
+			}
+		}
+		check := func(name string, got int, want float64) {
+			t.Helper()
+			if f := float64(got) / draws; math.Abs(f-want) > 0.02 {
+				t.Fatalf("YCSB-%s %s fraction %.3f want %.2f", letter, name, f, want)
+			}
+		}
+		switch letter {
+		case "A", "F":
+			check("read", reads, 0.50)
+			check("write", writes, 0.50)
+		case "B", "D":
+			check("read", reads, 0.95)
+			check("write", writes, 0.05)
+		case "C":
+			check("read", reads, 1.0)
+		case "E":
+			check("scan", scans, 0.95)
+			check("write", writes, 0.05)
+		}
+	}
+}
+
+func TestYCSBZipfSkew(t *testing.T) {
+	g := NewGenerator(YCSBC, 100_000, 3)
+	hot := 0
+	const draws = 50_000
+	for i := 0; i < draws; i++ {
+		if g.Next().Index < 1000 { // top 1%
+			hot++
+		}
+	}
+	if f := float64(hot) / draws; f < 0.3 {
+		t.Fatalf("YCSB zipf(0.99) top-1%% mass too low: %.3f", f)
+	}
+}
