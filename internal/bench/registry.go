@@ -103,6 +103,7 @@ func Registry(repoRoot string, csv bool) map[string]Experiment {
 	add(wrap("abl-eager", "ablation: eager expand", func(sc Scale) Table { _, t := RunAblationEagerExpand(sc); return t }))
 	add(wrap("abl-history", "ablation: history byte", func(sc Scale) Table { _, t := RunAblationHistory(sc); return t }))
 	add(wrap("abl-decentral", "ablation: centralized vs decentralized tracking", func(sc Scale) Table { _, t := RunAblationDecentralized(sc); return t }))
+	add(wrap("micro", "microbenchmarks: rank/select, migration pipeline", func(sc Scale) Table { _, t := RunMicro(sc); return t }))
 	add(wrap("ext-ycsb", "extension: YCSB core workloads A-F", func(sc Scale) Table { _, t := RunYCSB(sc); return t }))
 	add(wrap("ext-paging", "extension: paging under a DRAM ceiling", func(sc Scale) Table { _, t := RunPaging(sc); return t }))
 	return reg

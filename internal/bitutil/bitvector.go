@@ -48,67 +48,129 @@ func (b *Builder) Build() *BitVector {
 	return newBitVector(b.words, b.n)
 }
 
-// BitVector is an immutable bit vector with O(1) Rank1 and near-O(1)
-// Select1. The rank directory stores one cumulative 64-bit count per
-// 512-bit superblock plus packed 9-bit offsets per word (stored as bytes of
-// a uint64 here for simplicity: a rank9-style layout). Select keeps a
-// sampled position every selectSample ones and scans forward.
+// BitVector is an immutable bit vector with O(1) Rank1/Rank0 and
+// near-O(1) Select1/Select0.
+//
+// The rank directory is rank9-style: one cumulative 64-bit count per
+// 512-bit superblock (superRank) plus, per superblock, seven 9-bit
+// cumulative word offsets packed into a single uint64 (subRank), so a
+// rank probe is two array reads and one popcount — no word loop.
+//
+// The select directories sample the exact position of every
+// selectSample-th one (select1Samp) and zero (select0Samp). A select
+// probe jumps to the sampled position and scans at most scanBudget
+// sequential words; blocks sparser than the budget fall back to a
+// binary search of the superblock directory bounded by the next sample,
+// then pick the word from the packed sub-block counts. Either way the
+// probe ends with a branch-free broadword in-word select — near-O(1)
+// instead of the former linear word scan. The directories cost
+// 8 bytes per 512 payload bits (rank) plus 4 bytes per sampled
+// one/zero (select), all rebuilt rather than serialized.
 type BitVector struct {
-	words      []uint64
-	superRank  []uint64 // cumulative ones before each 8-word superblock
-	selectSamp []uint32 // position of every selectSample-th one
-	n          int
-	ones       int
+	words       []uint64
+	superRank   []uint64 // cumulative ones before each 8-word superblock
+	subRank     []uint64 // 7 packed 9-bit in-superblock cumulative counts
+	select1Samp []uint32 // position of the (s*selectSample+1)-th one
+	select0Samp []uint32 // position of the (s*selectSample+1)-th zero
+	n           int
+	ones        int
 }
 
 const (
 	wordsPerSuper = 8
-	selectSample  = 512
+	selectSample  = 128
+	subShift      = 9     // bits per packed sub-block count
+	subMask       = 0x1FF // 9-bit mask
 )
 
 func newBitVector(words []uint64, n int) *BitVector {
 	v := &BitVector{words: words, n: n}
 	nSuper := (len(words) + wordsPerSuper - 1) / wordsPerSuper
 	v.superRank = make([]uint64, nSuper+1)
-	ones := 0
+	v.subRank = make([]uint64, nSuper)
+	ones, zeros := 0, 0
 	for s := 0; s < nSuper; s++ {
 		v.superRank[s] = uint64(ones)
 		end := (s + 1) * wordsPerSuper
 		if end > len(words) {
 			end = len(words)
 		}
+		inSuper := 0
+		var packed uint64
 		for w := s * wordsPerSuper; w < end; w++ {
-			ones += bits.OnesCount64(words[w])
+			if j := w - s*wordsPerSuper; j > 0 {
+				packed |= uint64(inSuper) << uint((j-1)*subShift)
+			}
+			word := words[w]
+			c := bits.OnesCount64(word)
+			// Sample positions: the (k*selectSample+1)-th one/zero for
+			// each k crossed inside this word. Zeros beyond bit n-1 in
+			// the final word are phantoms, but they can only follow the
+			// last real zero, so sampling stops before reaching them
+			// (total real zeros bound the sample count).
+			for t := (ones/selectSample)*selectSample + 1; t <= ones+c; t += selectSample {
+				if t > ones {
+					v.select1Samp = append(v.select1Samp, uint32(w*64+selectInWord(word, t-ones)))
+				}
+			}
+			zc := 64 - c
+			if w == len(words)-1 {
+				zc -= len(words)*64 - n // drop phantom tail zeros
+				if zc < 0 {
+					zc = 0
+				}
+			}
+			for t := (zeros/selectSample)*selectSample + 1; t <= zeros+zc; t += selectSample {
+				if t > zeros {
+					v.select0Samp = append(v.select0Samp, uint32(w*64+selectInWord(^word, t-zeros)))
+				}
+			}
+			ones += c
+			zeros += zc
+			inSuper += c
 		}
+		v.subRank[s] = packed
 	}
 	v.superRank[nSuper] = uint64(ones)
 	v.ones = ones
-	// Select samples.
-	v.selectSamp = make([]uint32, 0, ones/selectSample+1)
-	seen := 0
-	for w, word := range words {
-		c := bits.OnesCount64(word)
-		for seen/selectSample != (seen+c)/selectSample {
-			// The ((seen/selectSample)+1)*selectSample-th one lies in this word.
-			target := (seen/selectSample + 1) * selectSample
-			rem := target - seen // rem-th one inside word (1-based)
-			pos := w*64 + selectInWord(word, rem)
-			v.selectSamp = append(v.selectSamp, uint32(pos))
-			seen += c
-			c = 0 // loop exit: the remaining ones of this word were counted
-			break
-		}
-		seen += c
-	}
 	return v
 }
 
-// selectInWord returns the bit index of the k-th (1-based) set bit of w.
-func selectInWord(w uint64, k int) int {
-	for i := 1; i < k; i++ {
-		w &= w - 1
+// selectByteTable[b*8+j] is the position of the (j+1)-th set bit of byte b.
+var selectByteTable [256 * 8]uint8
+
+func init() {
+	for b := 0; b < 256; b++ {
+		j := 0
+		for i := 0; i < 8; i++ {
+			if b&(1<<uint(i)) != 0 {
+				selectByteTable[b*8+j] = uint8(i)
+				j++
+			}
+		}
 	}
-	return bits.TrailingZeros64(w)
+}
+
+const (
+	l8 = 0x0101010101010101
+	h8 = 0x8080808080808080
+)
+
+// selectInWord returns the bit index of the k-th (1-based) set bit of w.
+// The caller guarantees w has at least k set bits. Broadword (SWAR)
+// byte-wise prefix popcounts locate the byte without a loop; a 2 KiB
+// table finishes inside the byte.
+func selectInWord(w uint64, k int) int {
+	// Byte-wise popcounts, then inclusive prefix sums in each byte lane.
+	s := w - (w>>1)&0x5555555555555555
+	s = s&0x3333333333333333 + (s>>2)&0x3333333333333333
+	s = (s + s>>4) & 0x0f0f0f0f0f0f0f0f
+	cum := s * l8
+	// Count byte lanes whose inclusive sum is < k: lane flags via SWAR
+	// compare (both operands < 128), then horizontal add.
+	byteIdx := int(((uint64(k-1)*l8|h8)-cum)&h8>>7*l8>>56) * 8
+	prev := int(cum << 8 >> uint(byteIdx) & 0xff)
+	return byteIdx + int(selectByteTable[int(w>>uint(byteIdx)&0xff)*8+k-1-prev])
 }
 
 // Len returns the number of bits.
@@ -117,9 +179,13 @@ func (v *BitVector) Len() int { return v.n }
 // Ones returns the total number of set bits.
 func (v *BitVector) Ones() int { return v.ones }
 
+// Zeros returns the total number of unset bits.
+func (v *BitVector) Zeros() int { return v.n - v.ones }
+
 // Bytes returns the approximate heap footprint.
 func (v *BitVector) Bytes() int {
-	return len(v.words)*8 + len(v.superRank)*8 + len(v.selectSamp)*4
+	return len(v.words)*8 + len(v.superRank)*8 + len(v.subRank)*8 +
+		len(v.select1Samp)*4 + len(v.select0Samp)*4
 }
 
 // Get reports bit i.
@@ -136,54 +202,144 @@ func (v *BitVector) Rank1(i int) int {
 	word := i / 64
 	super := word / wordsPerSuper
 	r := int(v.superRank[super])
-	for w := super * wordsPerSuper; w < word; w++ {
-		r += bits.OnesCount64(v.words[w])
+	if j := word % wordsPerSuper; j > 0 {
+		r += int(v.subRank[super] >> uint((j-1)*subShift) & subMask)
 	}
 	return r + bits.OnesCount64(v.words[word]&(1<<uint(i%64)-1))
 }
 
 // Rank0 returns the number of zero bits in [0, i).
 func (v *BitVector) Rank0(i int) int {
+	if i <= 0 {
+		return 0
+	}
 	if i >= v.n {
 		return v.n - v.ones
 	}
 	return i - v.Rank1(i)
 }
 
+// superOnes returns the ones strictly before superblock s.
+func (v *BitVector) superOnes(s int) int { return int(v.superRank[s]) }
+
+// superZeros returns the zeros strictly before superblock s, counting the
+// phantom tail of the last word as zeros (harmless for select: phantoms
+// sit strictly after every real zero).
+func (v *BitVector) superZeros(s int) int {
+	return s*wordsPerSuper*64 - int(v.superRank[s])
+}
+
+// scanBudget is how many words a select probe scans sequentially past its
+// sample before switching to the superblock directory. Dense blocks finish
+// inside the budget; sparse blocks binary-search instead of walking.
+const scanBudget = 8
+
 // Select1 returns the position of the k-th (1-based) set bit, or -1 if
-// k exceeds the number of ones.
+// k is out of range.
 func (v *BitVector) Select1(k int) int {
 	if k <= 0 || k > v.ones {
 		return -1
 	}
-	// Start from the nearest sample, then hop superblocks, then words.
-	startWord := 0
-	count := 0
-	if s := k/selectSample - 1; s >= 0 && s < len(v.selectSamp) {
-		pos := int(v.selectSamp[s])
-		startWord = pos / 64
-		count = (s + 1) * selectSample
-		// count ones strictly before startWord: subtract ones within word up to pos inclusive
-		count -= bits.OnesCount64(v.words[startWord] & (^uint64(0) >> (63 - uint(pos%64))))
+	// The sample is the exact position of the (s*selectSample+1)-th one;
+	// r-1 more ones remain at strictly later positions.
+	s := (k - 1) / selectSample
+	p := int(v.select1Samp[s])
+	r := k - s*selectSample
+	if r == 1 {
+		return p
 	}
-	// Hop superblock boundaries where possible.
-	super := startWord/wordsPerSuper + 1
-	for super < len(v.superRank)-1 && int(v.superRank[super]) < k {
-		prev := super * wordsPerSuper
-		if int(v.superRank[super]) >= count {
-			startWord = prev
-			count = int(v.superRank[super])
+	w := p / 64
+	cur := v.words[w] & (^uint64(0) << uint(p%64))
+	for i := 0; i < scanBudget; i++ {
+		c := bits.OnesCount64(cur)
+		if r <= c {
+			return w*64 + selectInWord(cur, r)
 		}
-		super++
+		r -= c
+		w++
+		cur = v.words[w]
 	}
-	for w := startWord; w < len(v.words); w++ {
-		c := bits.OnesCount64(v.words[w])
-		if count+c >= k {
-			return w*64 + selectInWord(v.words[w], k-count)
+	// Sparse block: binary-search the superblock directory between here
+	// and the next sample, then pick the word from the packed sub-counts.
+	lo := w / wordsPerSuper
+	hi := len(v.superRank) - 1
+	if s+1 < len(v.select1Samp) {
+		if h := int(v.select1Samp[s+1])/64/wordsPerSuper + 1; h < hi {
+			hi = h
 		}
-		count += c
 	}
-	return -1
+	for lo < hi-1 {
+		mid := int(uint(lo+hi) >> 1)
+		if v.superOnes(mid) < k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	r = k - v.superOnes(lo) // 1-based rank within superblock lo
+	base := lo * wordsPerSuper
+	word, before := base, 0
+	sub := v.subRank[lo]
+	for j := 1; j < wordsPerSuper && base+j < len(v.words); j++ {
+		c := int(sub >> uint((j-1)*subShift) & subMask)
+		if c >= r {
+			break
+		}
+		word, before = base+j, c
+	}
+	return word*64 + selectInWord(v.words[word], r-before)
+}
+
+// Select0 returns the position of the k-th (1-based) zero bit, or -1 if
+// k is out of range.
+func (v *BitVector) Select0(k int) int {
+	if k <= 0 || k > v.n-v.ones {
+		return -1
+	}
+	s := (k - 1) / selectSample
+	p := int(v.select0Samp[s])
+	r := k - s*selectSample
+	if r == 1 {
+		return p
+	}
+	w := p / 64
+	cur := ^v.words[w] & (^uint64(0) << uint(p%64))
+	for i := 0; i < scanBudget; i++ {
+		c := bits.OnesCount64(cur)
+		if r <= c {
+			return w*64 + selectInWord(cur, r)
+		}
+		r -= c
+		w++
+		cur = ^v.words[w]
+	}
+	lo := w / wordsPerSuper
+	hi := len(v.superRank) - 1
+	if s+1 < len(v.select0Samp) {
+		if h := int(v.select0Samp[s+1])/64/wordsPerSuper + 1; h < hi {
+			hi = h
+		}
+	}
+	for lo < hi-1 {
+		mid := int(uint(lo+hi) >> 1)
+		if v.superZeros(mid) < k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	r = k - v.superZeros(lo)
+	base := lo * wordsPerSuper
+	word, before := base, 0
+	sub := v.subRank[lo]
+	for j := 1; j < wordsPerSuper && base+j < len(v.words); j++ {
+		c := j*64 - int(sub>>uint((j-1)*subShift)&subMask) // zeros before word j
+		if c >= r {
+			break
+		}
+		word, before = base+j, c
+	}
+	return word*64 + selectInWord(^v.words[word], r-before)
 }
 
 // NextSet returns the position of the first set bit at or after i, or -1.

@@ -11,7 +11,9 @@ type FORArray struct {
 }
 
 // NewFORArray encodes vals. The input need not be sorted; the frame is the
-// minimum value. An empty input is valid.
+// minimum value. An empty input is valid. The deltas are packed directly
+// from the input — no intermediate delta slice is materialized, so
+// re-encoding a leaf allocates only the packed words themselves.
 func NewFORArray(vals []uint64) FORArray {
 	if len(vals) == 0 {
 		return FORArray{}
@@ -26,11 +28,14 @@ func NewFORArray(vals []uint64) FORArray {
 		}
 	}
 	width := BitsFor(max - min)
-	deltas := make([]uint64, len(vals))
-	for i, v := range vals {
-		deltas[i] = v - min
+	f := FORArray{min: min, deltas: PackedArray{n: len(vals), width: width}}
+	if width > 0 {
+		f.deltas.words = make([]uint64, (len(vals)*int(width)+63)/64)
+		for i, v := range vals {
+			f.deltas.set(i, v-min)
+		}
 	}
-	return FORArray{min: min, deltas: NewPackedArray(deltas, width)}
+	return f
 }
 
 // Len returns the number of elements.

@@ -1,0 +1,107 @@
+package bitutil
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzBitVectorRankSelect cross-checks the rank/select directories against
+// naive scans on fuzzer-chosen bit patterns. The word payload is taken
+// directly from the fuzz input so the engine can steer density, runs of
+// ones/zeros, and sample-boundary alignments; tailBits trims the final
+// word to exercise the phantom-zero handling of Select0.
+func FuzzBitVectorRankSelect(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0xaa}, uint8(3))
+	f.Add([]byte{0x01}, uint8(63))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f}, uint8(10))
+	f.Fuzz(func(t *testing.T, raw []byte, tailBits uint8) {
+		if len(raw) > 1<<14 {
+			raw = raw[:1<<14]
+		}
+		var b Builder
+		for _, by := range raw {
+			b.AppendWord(uint64(by), 8)
+		}
+		n := b.Len() - int(tailBits)%64
+		if n < 0 {
+			n = 0
+		}
+		// Rebuild at the trimmed length so the final word is partial.
+		var tb Builder
+		for i := 0; i < n; i++ {
+			tb.Append(b.Get(i))
+		}
+		v := tb.Build()
+
+		ones := 0
+		for i := 0; i < n; i++ {
+			if v.Get(i) != b.Get(i) {
+				t.Fatalf("Get(%d) mismatch", i)
+			}
+			if v.Rank1(i) != ones {
+				t.Fatalf("Rank1(%d)=%d want %d", i, v.Rank1(i), ones)
+			}
+			if v.Rank0(i) != i-ones {
+				t.Fatalf("Rank0(%d)=%d want %d", i, v.Rank0(i), i-ones)
+			}
+			if b.Get(i) {
+				ones++
+			}
+		}
+		if v.Ones() != ones || v.Zeros() != n-ones {
+			t.Fatalf("Ones=%d Zeros=%d want %d %d", v.Ones(), v.Zeros(), ones, n-ones)
+		}
+
+		// Every one and zero must be found by its select; inverses hold.
+		seen1, seen0 := 0, 0
+		for i := 0; i < n; i++ {
+			if v.Get(i) {
+				seen1++
+				if got := v.Select1(seen1); got != i {
+					t.Fatalf("Select1(%d)=%d want %d", seen1, got, i)
+				}
+			} else {
+				seen0++
+				if got := v.Select0(seen0); got != i {
+					t.Fatalf("Select0(%d)=%d want %d", seen0, got, i)
+				}
+			}
+		}
+		for _, k := range []int{0, -1, v.Ones() + 1} {
+			if v.Select1(k) != -1 {
+				t.Fatalf("Select1(%d) != -1", k)
+			}
+		}
+		for _, k := range []int{0, -3, v.Zeros() + 1} {
+			if v.Select0(k) != -1 {
+				t.Fatalf("Select0(%d) != -1", k)
+			}
+		}
+	})
+}
+
+// FuzzSelectInWord checks the broadword in-word select against bit clearing.
+func FuzzSelectInWord(f *testing.F) {
+	f.Add(uint64(1), uint8(1))
+	f.Add(^uint64(0), uint8(64))
+	f.Add(uint64(0x8000000000000001), uint8(2))
+	f.Fuzz(func(t *testing.T, w uint64, k uint8) {
+		c := bits.OnesCount64(w)
+		kk := int(k)
+		if c == 0 || kk < 1 {
+			return
+		}
+		if kk > c {
+			kk = c
+		}
+		x := w
+		for i := 1; i < kk; i++ {
+			x &= x - 1
+		}
+		want := bits.TrailingZeros64(x)
+		if got := selectInWord(w, kk); got != want {
+			t.Fatalf("selectInWord(%#x,%d)=%d want %d", w, kk, got, want)
+		}
+	})
+}

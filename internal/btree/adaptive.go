@@ -31,6 +31,13 @@ type AdaptiveConfig struct {
 	// Concurrency mode of the sample store (§3.1.5).
 	Mode    core.ConcurrencyMode
 	Workers int
+	// AsyncMigrations moves leaf re-encodings off the critical path: the
+	// adaptation phase enqueues them to a worker pool instead of migrating
+	// inline (safe here — MigrateLeaf locks the leaf and identity is
+	// stable). Call Close to flush the pipeline when retiring the tree.
+	AsyncMigrations  bool
+	MigrationWorkers int // pipeline pool size (default 2)
+	MigrationQueue   int // pipeline queue depth (default 256)
 	// NoEagerExpand disables the eager expand-on-insert policy (ablation;
 	// writes then re-encode leaves in place, preserving their encoding).
 	NoEagerExpand bool
@@ -90,6 +97,10 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 		Mode:           cfg.Mode,
 		Workers:        cfg.Workers,
 		OnAdapt:        cfg.OnAdapt,
+
+		AsyncMigrations:  cfg.AsyncMigrations,
+		MigrationWorkers: cfg.MigrationWorkers,
+		MigrationQueue:   cfg.MigrationQueue,
 	}
 	a.Mgr = core.New(mcfg)
 	// Keep tracked contexts fresh across splits (§4.1.4: "in case a leaf
@@ -175,6 +186,14 @@ func (a *Adaptive) heuristic(l *Leaf, _ *LeafCtx, st *core.Stats, env core.Env) 
 func (a *Adaptive) migrate(l *Leaf, _ LeafCtx, target core.Encoding) (*Leaf, bool) {
 	return l, a.Tree.MigrateLeaf(l, target)
 }
+
+// DrainMigrations blocks until every queued asynchronous migration has
+// been applied. No-op without AsyncMigrations.
+func (a *Adaptive) DrainMigrations() { a.Mgr.DrainMigrations() }
+
+// Close flushes and stops the asynchronous migration pipeline. Safe to
+// call multiple times, and a no-op without AsyncMigrations.
+func (a *Adaptive) Close() { a.Mgr.Close() }
 
 // Session is a per-goroutine handle that performs tracked index
 // operations: the embedded sampler holds the thread-local skip counter and

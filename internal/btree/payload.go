@@ -1,6 +1,8 @@
 package btree
 
 import (
+	"sync"
+
 	"ahi/internal/bitutil"
 	"ahi/internal/core"
 )
@@ -198,6 +200,31 @@ func (p *packed) remove(i int) payload {
 	return p
 }
 
+// --- Scratch ----------------------------------------------------------
+
+// kvScratch is a reusable pair of decode buffers for leaf re-encoding.
+// Every payload constructor (newGapped, newPacked, bitutil.NewFORArray)
+// copies its input, so the buffers can return to the pool as soon as the
+// new payload is built — migrations and succinct writes then allocate
+// only the encoded payload, not the transient decoded form. One extra
+// slot beyond LeafCap absorbs the insert-then-split order of operations.
+type kvScratch struct {
+	keys, vals []uint64
+}
+
+var kvPool = sync.Pool{New: func() any {
+	return &kvScratch{
+		keys: make([]uint64, 0, LeafCap+1),
+		vals: make([]uint64, 0, LeafCap+1),
+	}
+}}
+
+// putKV stores the (possibly re-grown) buffers back into the pool.
+func putKV(sc *kvScratch, keys, vals []uint64) {
+	sc.keys, sc.vals = keys[:0], vals[:0]
+	kvPool.Put(sc)
+}
+
 // --- Succinct ---------------------------------------------------------
 
 // succinct combines frame-of-reference coding with bit packing for both
@@ -228,24 +255,31 @@ func (s *succinct) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
 }
 
 func (s *succinct) insert(k, v uint64) payload {
-	keys, vals := s.appendAll(nil, nil)
-	g := gapped{keys: keys, vals: vals}
+	sc := kvPool.Get().(*kvScratch)
+	g := gapped{keys: s.keys.AppendTo(sc.keys[:0]), vals: s.vals.AppendTo(sc.vals[:0])}
 	g.insert(k, v)
-	return newSuccinct(g.keys, g.vals)
+	np := newSuccinct(g.keys, g.vals)
+	putKV(sc, g.keys, g.vals)
+	return np
 }
 
 func (s *succinct) update(i int, v uint64) {
 	// Re-encode with the new value; FOR arrays are immutable.
-	vals := s.vals.AppendTo(nil)
+	sc := kvPool.Get().(*kvScratch)
+	vals := s.vals.AppendTo(sc.vals[:0])
 	vals[i] = v
 	s.vals = bitutil.NewFORArray(vals)
+	putKV(sc, sc.keys, vals)
 }
 
 func (s *succinct) remove(i int) payload {
-	keys, vals := s.appendAll(nil, nil)
+	sc := kvPool.Get().(*kvScratch)
+	keys, vals := s.appendAll(sc.keys[:0], sc.vals[:0])
 	copy(keys[i:], keys[i+1:])
 	copy(vals[i:], vals[i+1:])
-	return newSuccinct(keys[:len(keys)-1], vals[:len(vals)-1])
+	np := newSuccinct(keys[:len(keys)-1], vals[:len(vals)-1])
+	putKV(sc, keys, vals)
+	return np
 }
 
 // encodePayload builds a payload of the requested encoding from sorted
@@ -262,11 +296,16 @@ func encodePayload(enc core.Encoding, keys, vals []uint64) payload {
 }
 
 // reencode migrates a payload to the target encoding; it returns the input
-// unchanged when the encoding already matches.
+// unchanged when the encoding already matches. The decode goes through the
+// pooled scratch buffers, so concurrent pipeline migrations share a small
+// set of transient buffers instead of allocating one per re-encode.
 func reencode(p payload, target core.Encoding) payload {
 	if p.encoding() == target {
 		return p
 	}
-	keys, vals := p.appendAll(nil, nil)
-	return encodePayload(target, keys, vals)
+	sc := kvPool.Get().(*kvScratch)
+	keys, vals := p.appendAll(sc.keys[:0], sc.vals[:0])
+	np := encodePayload(target, keys, vals)
+	putKV(sc, keys, vals)
+	return np
 }

@@ -20,13 +20,19 @@ type candidate[ID comparable, Ctx any] struct {
 // adapt runs Phase II (§3.1.4): classify, apply the CSHF and migrations,
 // then adapt skip length and sample size, and open the next epoch.
 func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
+	// Apply identity changes recorded by asynchronous migrations since the
+	// previous phase, so candidates are collected under current keys.
+	m.applyRekeys()
+
 	units := m.cfg.Units()
 	k := m.budgetK(units)
 
 	// 1. Collect current-epoch candidates and classify in a single pass.
 	//    Stale-epoch entries are cold by definition and are still
-	//    evaluated (their heuristic may compact or evict them).
-	var cands []candidate[ID, Ctx]
+	//    evaluated (their heuristic may compact or evict them). The
+	//    candidate and hot-mark buffers persist across epochs (adapt runs
+	//    exclusively); entries are overwritten each phase.
+	cands := m.candScratch[:0]
 	cls := topk.NewClassifier(k)
 	collect := func(id ID, e *entry[Ctx]) bool {
 		cands = append(cands, candidate[ID, Ctx]{id: id, ctx: e.ctx, stats: e.stats})
@@ -39,9 +45,13 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		m.local.Range(collect)
 		m.mergeMu.Unlock()
 	}
-	// Single pass over the candidates: offer current-epoch entries to the
-	// bounded heap; displaced ones stay cold.
-	hotMark := make([]bool, len(cands))
+	var hotMark []bool
+	if cap(m.hotScratch) >= len(cands) {
+		hotMark = m.hotScratch[:len(cands)]
+		clear(hotMark)
+	} else {
+		hotMark = make([]bool, len(cands))
+	}
 	for i := range cands {
 		if cands[i].stats.LastEpoch != epoch {
 			continue // not sampled this phase: cold without a heap visit
@@ -62,10 +72,14 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		}
 	}
 
-	// 2. Evaluate the CSHF for every tracked unit and apply migrations.
+	// 2. Evaluate the CSHF for every tracked unit and apply migrations —
+	//    inline by default, or handed to the pipeline's worker pool when
+	//    AsyncMigrations is on (inline fallback when the queue is full).
+	//    Evicting migrations always run inline: their tracking entry is
+	//    deleted here, so a later re-key would have nothing to move.
 	budget := m.budget(units)
 	env := Env{Epoch: epoch}
-	migrations, evictions := 0, 0
+	migrations, queued, evictions := 0, 0, 0
 	for i := range cands {
 		c := &cands[i]
 		c.stats.PushClassification(c.hot)
@@ -78,7 +92,10 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		act := m.cfg.Heuristic(c.id, &c.ctx, &c.stats, env)
 		newID := c.id
 		if act.Migrate {
-			if id2, ok := m.cfg.Migrate(c.id, c.ctx, act.Target); ok {
+			if m.pipe != nil && !act.Evict &&
+				m.pipe.enqueue(migrationJob[ID, Ctx]{id: c.id, ctx: c.ctx, target: act.Target}) {
+				queued++
+			} else if id2, ok := m.cfg.Migrate(c.id, c.ctx, act.Target); ok {
 				newID = id2
 				migrations++
 			}
@@ -90,12 +107,16 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 	}
 	m.totalMigrations.Add(int64(migrations))
 	m.totalAdapts.Add(1)
+	m.candScratch = cands[:0]
+	m.hotScratch = hotMark[:0]
 
 	// 3. Adapt sampling parameters (§3.1.4): migration churn over the
 	//    sampled accesses steers the skip length within [MinSkip, MaxSkip].
 	sampled := m.sampled.Load()
 	if m.cfg.AdaptiveSkip && sampled > 0 {
-		share := float64(migrations) / float64(sampled)
+		// Queued migrations count as churn: the decision was made this
+		// phase even if the re-encoding executes asynchronously.
+		share := float64(migrations+queued) / float64(sampled)
 		skip := m.globalSkip.Load()
 		switch {
 		case share > 0.30:
@@ -127,6 +148,7 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 			SampledTotal:  sampled,
 			Hot:           hotCount,
 			Migrations:    migrations,
+			Queued:        queued,
 			Evicted:       evictions,
 			NewSkip:       int(m.globalSkip.Load()),
 			NewSampleSize: newSize,

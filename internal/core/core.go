@@ -180,7 +180,10 @@ type AdaptInfo struct {
 	UniqueSamples int
 	SampledTotal  int64
 	Hot           int
+	// Migrations counts re-encodings performed inline during the phase;
+	// Queued counts those handed to the asynchronous pipeline instead.
 	Migrations    int
+	Queued        int
 	Evicted       int
 	NewSkip       int
 	NewSampleSize int

@@ -75,6 +75,19 @@ type Config[ID comparable, Ctx any] struct {
 	Mode    ConcurrencyMode
 	Workers int
 
+	// AsyncMigrations moves encoding migrations off the critical path:
+	// adapt() enqueues them into a bounded queue drained by a worker pool
+	// instead of re-encoding inline, so the sampler that triggers a phase
+	// returns after classification. Requires Migrate to be safe against
+	// concurrent foreground access and concurrent Migrate calls; when the
+	// queue is full, adapt() falls back to inline migration. Call
+	// Manager.Close to flush the pipeline when retiring the index.
+	AsyncMigrations bool
+	// MigrationWorkers sizes the pipeline's worker pool (default 2).
+	MigrationWorkers int
+	// MigrationQueue bounds the pipeline's queue (default 256 actions).
+	MigrationQueue int
+
 	// OnAdapt, if set, observes every completed adaptation phase.
 	OnAdapt func(AdaptInfo)
 }
@@ -110,6 +123,12 @@ func (c *Config[ID, Ctx]) setDefaults() {
 	if c.WriteWeight == 0 {
 		c.WriteWeight = 1
 	}
+	if c.MigrationWorkers <= 0 {
+		c.MigrationWorkers = 2
+	}
+	if c.MigrationQueue <= 0 {
+		c.MigrationQueue = 256
+	}
 }
 
 // entry is the per-unit record in the sample stores: aggregated statistics
@@ -139,6 +158,14 @@ type Manager[ID comparable, Ctx any] struct {
 	// GS store.
 	shared *hashmap.Cuckoo[ID, entry[Ctx]]
 
+	// Off-critical-path migration pipeline (nil unless AsyncMigrations).
+	pipe *migrationPipeline[ID, Ctx]
+
+	// Phase II scratch, reused across epochs. adapt() runs exclusively
+	// (the adapting CAS), so plain fields are safe.
+	candScratch []candidate[ID, Ctx]
+	hotScratch  []bool
+
 	// Aggregate counters.
 	totalMigrations atomic.Int64
 	totalAdapts     atomic.Int64
@@ -160,6 +187,9 @@ func New[ID comparable, Ctx any](cfg Config[ID, Ctx]) *Manager[ID, Ctx] {
 		m.shared = hashmap.NewCuckoo[ID, entry[Ctx]](cfg.Hash, 4096, cfg.Workers*4)
 	default:
 		m.local = hashmap.NewHopscotch[ID, entry[Ctx]](cfg.Hash, 1024)
+	}
+	if cfg.AsyncMigrations {
+		m.pipe = newMigrationPipeline(m, cfg.MigrationWorkers, cfg.MigrationQueue)
 	}
 	return m
 }

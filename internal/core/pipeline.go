@@ -1,0 +1,193 @@
+package core
+
+import "sync"
+
+// This file implements the off-critical-path migration pipeline: when
+// Config.AsyncMigrations is set, Phase II (adapt) no longer re-encodes
+// nodes inline. It pushes migration actions into a bounded queue and
+// returns; a fixed pool of worker goroutines drains the queue and runs
+// the index's Migrate callback concurrently with foreground traffic.
+//
+// Two invariants keep this safe:
+//
+//  1. The sample-store entry is written back (history, identity) inline
+//     by adapt() before the job is enqueued, so the store never waits on
+//     a worker. When a migration changes the unit's identity (the Hybrid
+//     Trie's compactions do; B+-tree leaves are stable), the worker
+//     records an (old, new) re-key that the next adapt() applies before
+//     collecting candidates — workers never touch the sample stores,
+//     which are unsynchronized in SingleThreaded mode.
+//
+//  2. The queue is bounded and lossless: when it is full (or the
+//     pipeline is closing), adapt() falls back to migrating inline, so
+//     backpressure degrades to the old behaviour instead of dropping
+//     reorganization work.
+//
+// Requirements on the index: Migrate must be safe to call concurrently
+// with foreground reads/writes and with other Migrate calls (the Hybrid
+// B+-tree's MigrateLeaf qualifies — it takes the leaf's write lock).
+// Indexes whose migrations mutate shared structure without locks (the
+// single-threaded Hybrid Trie) must keep AsyncMigrations off.
+
+// migrationJob is one deferred encoding migration.
+type migrationJob[ID comparable, Ctx any] struct {
+	id     ID
+	ctx    Ctx
+	target Encoding
+}
+
+// rekeyPair records an identity change performed by a worker.
+type rekeyPair[ID comparable] struct{ old, new ID }
+
+// migrationPipeline is the bounded worker pool behind AsyncMigrations.
+type migrationPipeline[ID comparable, Ctx any] struct {
+	m     *Manager[ID, Ctx]
+	queue chan migrationJob[ID, Ctx]
+
+	mu     sync.Mutex // guards queue sends vs. close, and rekeys
+	closed bool
+	rekeys []rekeyPair[ID]
+
+	wg       sync.WaitGroup // running workers
+	inflight sync.WaitGroup // queued or executing jobs
+}
+
+func newMigrationPipeline[ID comparable, Ctx any](m *Manager[ID, Ctx], workers, depth int) *migrationPipeline[ID, Ctx] {
+	p := &migrationPipeline[ID, Ctx]{m: m, queue: make(chan migrationJob[ID, Ctx], depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *migrationPipeline[ID, Ctx]) run() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		newID, ok := p.m.cfg.Migrate(job.id, job.ctx, job.target)
+		if ok {
+			p.m.totalMigrations.Add(1)
+			if newID != job.id {
+				p.mu.Lock()
+				p.rekeys = append(p.rekeys, rekeyPair[ID]{old: job.id, new: newID})
+				p.mu.Unlock()
+			}
+		}
+		p.inflight.Done()
+	}
+}
+
+// enqueue hands a migration to the pool; false means the queue is full or
+// the pipeline closed, and the caller must migrate inline.
+func (p *migrationPipeline[ID, Ctx]) enqueue(job migrationJob[ID, Ctx]) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- job:
+		p.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// takeRekeys returns and clears the accumulated identity changes.
+func (p *migrationPipeline[ID, Ctx]) takeRekeys() []rekeyPair[ID] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.rekeys
+	p.rekeys = nil
+	return r
+}
+
+// drain blocks until every queued job has executed.
+func (p *migrationPipeline[ID, Ctx]) drain() { p.inflight.Wait() }
+
+// close flushes remaining jobs and stops the workers.
+func (p *migrationPipeline[ID, Ctx]) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.queue)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// applyRekeys moves sample-store entries whose identity changed under an
+// asynchronous migration to their new key. Runs inside adapt()'s
+// exclusivity (the adapting CAS), so the hopscotch stores are safe to
+// touch here even in SingleThreaded mode.
+func (m *Manager[ID, Ctx]) applyRekeys() {
+	if m.pipe == nil {
+		return
+	}
+	for _, rk := range m.pipe.takeRekeys() {
+		if rk.old == rk.new {
+			continue
+		}
+		if m.shared != nil {
+			e, ok := m.shared.Get(rk.old)
+			if !ok {
+				continue // evicted or forgotten meanwhile: stay gone
+			}
+			m.shared.Delete(rk.old)
+			m.shared.Upsert(rk.new, func(dst *entry[Ctx], created bool) {
+				if created {
+					*dst = e
+				}
+			})
+			continue
+		}
+		m.mergeMu.Lock()
+		if e := m.local.Ref(rk.old); e != nil {
+			cp := *e
+			m.local.Delete(rk.old)
+			m.local.Upsert(rk.new, func(dst *entry[Ctx], created bool) {
+				if created {
+					*dst = cp
+				}
+			})
+		}
+		m.mergeMu.Unlock()
+	}
+}
+
+// DrainMigrations blocks until every migration queued so far has been
+// applied. No-op without AsyncMigrations. Foreground samplers may keep
+// enqueueing while this waits; it returns once the jobs present at call
+// time (and any racing additions) have executed.
+func (m *Manager[ID, Ctx]) DrainMigrations() {
+	if m.pipe != nil {
+		m.pipe.drain()
+	}
+}
+
+// QueuedMigrations reports how many migrations are waiting in the
+// pipeline's queue right now (0 without AsyncMigrations).
+func (m *Manager[ID, Ctx]) QueuedMigrations() int {
+	if m.pipe == nil {
+		return 0
+	}
+	return len(m.pipe.queue)
+}
+
+// Close flushes the migration pipeline — remaining queued migrations are
+// executed — and stops its workers, then applies any pending identity
+// re-keys. Safe to call multiple times; a Manager without AsyncMigrations
+// needs no Close (it is a no-op there).
+func (m *Manager[ID, Ctx]) Close() {
+	if m.pipe == nil {
+		return
+	}
+	m.pipe.close()
+	// Workers are stopped: adapt() cannot race this final re-key sweep as
+	// long as the caller has quiesced its samplers, and if it has not, the
+	// next adapt() applies whatever this sweep missed.
+	m.applyRekeys()
+}

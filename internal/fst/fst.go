@@ -18,6 +18,7 @@ package fst
 
 import (
 	"fmt"
+	"sync"
 
 	"ahi/internal/bitutil"
 )
@@ -66,6 +67,23 @@ type levelData struct {
 	nodes    int
 }
 
+// rng is one pending key range in the BFS construction: keys[lo:hi] share
+// a prefix of length depth and form one trie node.
+type rng struct{ lo, hi, depth int }
+
+// buildScratch holds the transient state of New — the BFS range queues and
+// the per-level accumulation buffers. Nothing in it survives construction
+// (the flattening loops copy every label, bit and value into the FST), so
+// the backing arrays are pooled: the Hybrid Trie rebuilds subtries on
+// every compaction, and repeated builds reuse buffers instead of growing
+// them from nil each time.
+type buildScratch struct {
+	queue, next []rng
+	levels      []levelData
+}
+
+var buildPool = sync.Pool{New: func() any { return new(buildScratch) }}
+
 // New builds an FST from sorted, unique, prefix-free keys and their
 // values. It panics on unsorted or prefix-violating input, because a
 // silently corrupt static index would poison every experiment above it.
@@ -92,7 +110,8 @@ func New(cfg Config, keys [][]byte, vals []uint64) *FST {
 		return f
 	}
 
-	levels := buildLevels(keys, vals)
+	sc := buildPool.Get().(*buildScratch)
+	levels := buildLevels(sc, keys, vals)
 	f.height = len(levels)
 
 	// Pick the dense cutoff.
@@ -115,15 +134,11 @@ func New(cfg Config, keys [][]byte, vals []uint64) *FST {
 	// Flatten the dense part.
 	var dl, dh bitutil.Builder
 	for _, lv := range levels[:denseLevels] {
-		node := -1
 		for i, lab := range lv.labels {
 			if lv.louds[i] {
-				node++
 				dl.AppendN(false, 256)
 				dh.AppendN(false, 256)
 			}
-			base := (f.nd+node)*256 - (f.nd * 256) // offset within this builder
-			_ = base
 			pos := dl.Len() - 256 + int(lab)
 			dl.Set(pos)
 			if lv.hasChild[i] {
@@ -150,6 +165,7 @@ func New(cfg Config, keys [][]byte, vals []uint64) *FST {
 	}
 	f.sHasChild = sh.Build()
 	f.sLouds = sl.Build()
+	buildPool.Put(sc)
 	return f
 }
 
@@ -175,14 +191,26 @@ func compareBytes(a, b []byte) int {
 	return 0
 }
 
-// buildLevels runs the BFS construction over the implied trie.
-func buildLevels(keys [][]byte, vals []uint64) []levelData {
-	type rng struct{ lo, hi, depth int }
-	queue := []rng{{0, len(keys), 0}}
-	var levels []levelData
+// buildLevels runs the BFS construction over the implied trie, reusing
+// the scratch's queues and level buffers. The returned levels alias the
+// scratch; the caller must finish flattening before pooling it again.
+func buildLevels(sc *buildScratch, keys [][]byte, vals []uint64) []levelData {
+	queue := append(sc.queue[:0], rng{0, len(keys), 0})
+	next := sc.next[:0]
+	levels := sc.levels[:0]
 	for len(queue) > 0 {
-		var next []rng
-		lv := levelData{}
+		next = next[:0]
+		var lv levelData
+		if len(levels) < cap(levels) {
+			// Reclaim the buffers of the element append is about to occupy.
+			old := levels[:len(levels)+1][len(levels)]
+			lv = levelData{
+				labels:   old.labels[:0],
+				hasChild: old.hasChild[:0],
+				louds:    old.louds[:0],
+				values:   old.values[:0],
+			}
+		}
 		for _, r := range queue {
 			lv.nodes++
 			first := true
@@ -210,8 +238,9 @@ func buildLevels(keys [][]byte, vals []uint64) []levelData {
 			}
 		}
 		levels = append(levels, lv)
-		queue = next
+		queue, next = next, queue
 	}
+	sc.queue, sc.next, sc.levels = queue, next, levels
 	return levels
 }
 

@@ -99,6 +99,11 @@ func TestMeasureAccessShape(t *testing.T) {
 	}
 	// In-memory compressed access is far faster than uncompressed SATA IO
 	// (the figure's core argument for keeping compressed data in DRAM).
+	// Race instrumentation slows real decompression ~10x while the modeled
+	// device latency stays fixed, so the comparison only holds uninstrumented.
+	if raceEnabled {
+		t.Skip("timing comparison is distorted by race instrumentation")
+	}
 	sata := MeasureAccess(SATASSD, raw, false, false)
 	if rc.Total >= sata.Total {
 		t.Fatalf("DRAM+decompress (%v) should beat SATA (%v)", rc.Total, sata.Total)
