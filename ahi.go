@@ -23,6 +23,10 @@
 //	s := tree.NewSession() // one per goroutine
 //	v, ok := s.Lookup(42)
 //
+//	// Serving at scale: shard the key space and look up in batches.
+//	srv := ahi.BulkLoadShardedBTree(ahi.BTreeOptions{Shards: 4}, keys, vals)
+//	srv.LookupBatch(queryKeys, resultVals, resultFound) // positional results
+//
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package ahi
 
@@ -33,6 +37,7 @@ import (
 	"ahi/internal/core"
 	"ahi/internal/fst"
 	"ahi/internal/hybridtrie"
+	"ahi/internal/shard"
 )
 
 // Re-exported framework types: use these to integrate the adaptation
@@ -114,19 +119,35 @@ type BTreeOptions struct {
 	MaxSampleSize    int
 	// OnAdapt observes adaptation phases.
 	OnAdapt func(AdaptInfo)
+	// Shards, when > 1, key-range-partitions the index across that many
+	// adaptive trees behind one front-end (use NewShardedBTree /
+	// BulkLoadShardedBTree). Each shard owns its own adaptation manager;
+	// MemoryBudget is the total across shards, re-split by hotness.
+	Shards int
+	// Workers bounds batch fan-out concurrency across shards
+	// (default GOMAXPROCS, capped at Shards).
+	Workers int
+	// AsyncMigrations moves leaf re-encodings off the critical path into
+	// a bounded worker pipeline (call Close on the tree when retiring it).
+	AsyncMigrations bool
 }
 
 func (o BTreeOptions) config() btree.AdaptiveConfig {
 	return btree.AdaptiveConfig{
-		Tree:           btree.Config{DefaultEncoding: o.ColdEncoding},
-		MemoryBudget:   o.MemoryBudget,
-		RelativeBudget: o.RelativeBudget,
-		InitialSkip:    o.InitialSkip,
-		MinSkip:        o.MinSkip,
-		MaxSkip:        o.MaxSkip,
-		MaxSampleSize:  o.MaxSampleSize,
-		OnAdapt:        o.OnAdapt,
+		Tree:            btree.Config{DefaultEncoding: o.ColdEncoding},
+		MemoryBudget:    o.MemoryBudget,
+		RelativeBudget:  o.RelativeBudget,
+		InitialSkip:     o.InitialSkip,
+		MinSkip:         o.MinSkip,
+		MaxSkip:         o.MaxSkip,
+		MaxSampleSize:   o.MaxSampleSize,
+		OnAdapt:         o.OnAdapt,
+		AsyncMigrations: o.AsyncMigrations,
 	}
+}
+
+func (o BTreeOptions) shardConfig() shard.Config {
+	return shard.Config{Shards: o.Shards, Workers: o.Workers, Adaptive: o.config()}
 }
 
 // NewBTree creates an empty adaptive B+-tree.
@@ -140,6 +161,26 @@ func BulkLoadBTree(opts BTreeOptions, keys, vals []uint64) *BTree {
 // BulkLoadPlainBTree builds a fixed-encoding baseline tree.
 func BulkLoadPlainBTree(enc Encoding, keys, vals []uint64) *PlainBTree {
 	return btree.BulkLoad(btree.Config{DefaultEncoding: enc}, keys, vals)
+}
+
+// ShardedBTree is the serving front-end: BTreeOptions.Shards key-range
+// partitions, each an adaptive B+-tree with its own adaptation manager,
+// with batch routing (LookupBatch/InsertBatch group a request batch by
+// shard and fan out across a bounded worker pool) and a shared memory
+// budget re-split by per-shard hotness. All methods are safe for
+// concurrent use; unlike *BTree no per-goroutine sessions are needed.
+type ShardedBTree = shard.ShardedBTree
+
+// NewShardedBTree creates an empty sharded adaptive B+-tree; shards split
+// the key space evenly.
+func NewShardedBTree(opts BTreeOptions) *ShardedBTree {
+	return shard.New(opts.shardConfig())
+}
+
+// BulkLoadShardedBTree builds a sharded adaptive B+-tree from sorted
+// unique keys, cutting shard ranges so each holds an equal share.
+func BulkLoadShardedBTree(opts BTreeOptions, keys, vals []uint64) *ShardedBTree {
+	return shard.BulkLoad(opts.shardConfig(), keys, vals)
 }
 
 // Trie is the workload-adaptive Hybrid Trie (AHI-Trie) over byte-string

@@ -20,12 +20,13 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list)")
-		scale = flag.String("scale", "small", "scale: tiny|small|medium")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiment ids")
-		root  = flag.String("repo", ".", "repository root (for tbl4 LoC counting)")
-		csv   = flag.Bool("csv", false, "render tables as CSV")
+		exp    = flag.String("exp", "", "experiment id (see -list)")
+		scale  = flag.String("scale", "small", "scale: tiny|small|medium")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment ids")
+		root   = flag.String("repo", ".", "repository root (for tbl4 LoC counting)")
+		csv    = flag.Bool("csv", false, "render tables as CSV")
+		record = flag.String("record", "", "write metrics JSON to this file (with -exp serving)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	case *exp == "serving" && *record != "":
+		fmt.Printf("### serving — sharded batch serving layer (scale %s)\n", sc.Name)
+		if err := bench.RecordServing(sc, *record, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *record)
 	case *exp != "":
 		e, ok := reg[*exp]
 		if !ok {

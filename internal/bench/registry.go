@@ -105,6 +105,15 @@ func Registry(repoRoot string, csv bool) map[string]Experiment {
 	add(wrap("abl-decentral", "ablation: centralized vs decentralized tracking", func(sc Scale) Table { _, t := RunAblationDecentralized(sc); return t }))
 	add(wrap("micro", "microbenchmarks: rank/select, migration pipeline", func(sc Scale) Table { _, t := RunMicro(sc); return t }))
 	add(wrap("ext-ycsb", "extension: YCSB core workloads A-F", func(sc Scale) Table { _, t := RunYCSB(sc); return t }))
+	add(Experiment{ID: "serving", Title: "sharded batch serving layer", Run: func(sc Scale, w io.Writer) error {
+		res, t := RunServing(sc)
+		render(t, w)
+		if !csv {
+			fmt.Fprintf(w, "pipeline: queued=%d inline_fallbacks=%d max_depth=%d last_drain=%.1fus\n\n",
+				res.Queued, res.InlineFallbacks, res.MaxPipeDepth, res.LastDrainUs)
+		}
+		return nil
+	}})
 	add(wrap("ext-paging", "extension: paging under a DRAM ceiling", func(sc Scale) Table { _, t := RunPaging(sc); return t }))
 	return reg
 }

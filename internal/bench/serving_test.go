@@ -1,0 +1,45 @@
+package bench
+
+import "testing"
+
+// TestServingShape runs the full batch x shard sweep at micro scale and
+// checks structure plus the batching win. Matched by the CI smoke job
+// (go test -run Serving).
+func TestServingShape(t *testing.T) {
+	sc := microScale
+	sc.OpsPerPhase = 32_000
+	res, tbl := RunServing(sc)
+
+	want := 2 * len(servingShards) * len(servingBatches)
+	if len(res.Rows) != want || len(tbl.Rows) != want {
+		t.Fatalf("rows=%d want %d", len(res.Rows), want)
+	}
+	for _, r := range res.Rows {
+		if r.MeanNs <= 0 || r.MopsPerS <= 0 || r.Speedup <= 0 {
+			t.Fatalf("empty cell: %+v", r)
+		}
+		if r.Shards == servingShards[0] && r.Batch == servingBatches[0] && r.Speedup != 1 {
+			t.Fatalf("baseline cell speedup %v != 1: %+v", r.Speedup, r)
+		}
+	}
+	// The shifting workload must exercise the async migration pipeline.
+	if res.Queued == 0 {
+		t.Fatal("no migrations queued: async pipeline unused")
+	}
+
+	// Timing is informational only at this scale: a 100k-key tree is
+	// fully cache-resident and 32k ops is far below thermal/scheduler
+	// noise, so asserting speedup thresholds here is roulette. The real
+	// ratios are measured by the recorded sweep (BENCH_serving.json).
+	cell := func(wl string, shards, batch int) ServingRow {
+		for _, r := range res.Rows {
+			if r.Workload == wl && r.Shards == shards && r.Batch == batch {
+				return r
+			}
+		}
+		t.Fatalf("missing cell %s/s%d/b%d", wl, shards, batch)
+		return ServingRow{}
+	}
+	t.Logf("skewed s1 b128 speedup %.2f, s4 b128 speedup %.2f",
+		cell("skewed", 1, 128).Speedup, cell("skewed", 4, 128).Speedup)
+}

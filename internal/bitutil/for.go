@@ -1,5 +1,7 @@
 package bitutil
 
+import "math/bits"
+
 // FORArray is a frame-of-reference coded array of uint64 values: the minimum
 // (the frame) is stored once, the per-element deltas are bit-packed with the
 // minimum width that fits the largest delta. Random access stays O(1), which
@@ -69,6 +71,51 @@ func (f *FORArray) Search(key uint64) int {
 		}
 	}
 	return lo
+}
+
+// skipBlock is the block length of SearchSkip: 16 deltas cover at most
+// two cache lines of packed words at the widths leaf payloads use.
+const skipBlock = 16
+
+// SearchSkip returns the position of the first element >= key (assuming
+// sorted input), like Search, but via a block-skip scan over the packed
+// deltas instead of a binary search: the skip phase probes only the last
+// delta of each 16-element block — sequential positions whose packed words
+// the hardware prefetcher streams — and the in-block phase counts smaller
+// deltas branchlessly. Binary search performs fewer probes, but each one
+// is a data-dependent shift/mask chain the next probe must wait for; the
+// skip scan's probes are independent and pipeline.
+func (f *FORArray) SearchSkip(key uint64) int { return f.SearchSkipFrom(key, 0) }
+
+// SearchSkipFrom is SearchSkip seeded with a lower bound: every element
+// before position from is known to be < key, so the skip scan starts at
+// from's block instead of the array head. Batched lookups exploit this —
+// the keys of one sorted leaf run probe with ascending seeds, so a run's
+// probes together scan the packed deltas once instead of once per key.
+func (f *FORArray) SearchSkipFrom(key uint64, from int) int {
+	n := f.deltas.Len()
+	if n == 0 || key <= f.min {
+		return 0
+	}
+	target := key - f.min
+	b := (from / skipBlock) * skipBlock
+	for ; b+skipBlock <= n; b += skipBlock {
+		if f.deltas.Get(b+skipBlock-1) >= target {
+			break
+		}
+	}
+	end := b + skipBlock
+	if end > n {
+		end = n
+	}
+	// Branchless in-block count: elements < target contribute one borrow
+	// each; no comparison result gates the next load.
+	c := uint64(0)
+	for i := b; i < end; i++ {
+		_, borrow := bits.Sub64(f.deltas.Get(i), target, 0)
+		c += borrow
+	}
+	return b + int(c)
 }
 
 // AppendTo appends all decoded elements to dst and returns the slice.

@@ -1,0 +1,626 @@
+package btree
+
+import (
+	"sync"
+
+	"ahi/internal/core"
+)
+
+// Batch traversal. A root-to-leaf walk is a chain of dependent loads: each
+// level's box pointer comes out of the previous level's cache miss, so a
+// single lookup exposes no memory-level parallelism. LookupBatch instead
+// keeps a small ring of traversals in flight, AMAC-style: each pass over
+// the ring advances every live traversal by exactly one level, so the
+// cache misses of up to batchRing independent walks overlap in the memory
+// system instead of serializing. Go has no portable prefetch intrinsic;
+// the interleaving relies on out-of-order cores overlapping the
+// independent loads the ring exposes back to back.
+//
+// Batches are processed in key order. Sorting buys three things on top of
+// the interleaving: duplicate keys become adjacent (one leaf probe serves
+// all copies — significant under the skewed distributions the serving
+// bench runs), consecutive keys that land in the same leaf are served by
+// one descent (the run is drained straight off the shared cursor), and
+// leaf accesses stay in address-ascending order, which the hardware
+// prefetcher rewards.
+
+// batchRing is the number of in-flight traversals. Eight keeps the ring
+// state in registers/L1 while covering typical DRAM latency at one level
+// step per slot visit.
+const batchRing = 8
+
+// batchMin is the batch size below which the ring setup is not worth it
+// and the batch degenerates to sequential per-key operations.
+const batchMin = 4
+
+type batchScratch struct {
+	order []int
+	pairs []kvOrd
+	tmp   []kvOrd
+}
+
+var batchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		order: make([]int, 0, 128),
+		pairs: make([]kvOrd, 0, 128),
+		tmp:   make([]kvOrd, 0, 128),
+	}
+}}
+
+// kvOrd is one (key, position) pair of a batch; sorting pairs directly
+// keeps the hot comparison loop free of the keys[order[i]] indirection.
+type kvOrd struct {
+	k uint64
+	i int32
+}
+
+// pairLess orders by key, ties broken by position so duplicate inserts
+// keep their submission order (last wins).
+func pairLess(x, y kvOrd) bool { return x.k < y.k || (x.k == y.k && x.i < y.i) }
+
+// smallSortMax is the batch size at or below which plain insertion sort
+// beats the radix passes' fixed bucket costs.
+const smallSortMax = 24
+
+// sortOrder fills sc.order with 0..n-1 sorted by keys[i]. Comparison
+// sorts misbehave here: on real (skewed, unpredictable) batches every
+// compare is a data-dependent branch, and the mispredict tax came to
+// ~50ns per element — a third of the whole batch budget. Instead the
+// batch is radix-sorted on the three most significant bytes that
+// actually vary across the batch (stable LSD passes, branchless inner
+// loops), then an insertion pass with full (key, index) comparisons
+// repairs the rare low-byte ties. With 64-bit keys spread over the key
+// space, three discriminating bytes separate almost every distinct key,
+// so the cleanup pass runs in near-linear time on predictable branches.
+func (sc *batchScratch) sortOrder(keys []uint64) []int {
+	pairs := sc.pairs[:0]
+	var all, any uint64 // AND / OR over the batch: any^all = varying bits
+	all = ^uint64(0)
+	for i, k := range keys {
+		pairs = append(pairs, kvOrd{k: k, i: int32(i)})
+		all &= k
+		any |= k
+	}
+	if len(pairs) <= smallSortMax {
+		// Tiny batches: the per-pass bucket overhead of the radix sort
+		// exceeds the whole insertion sort.
+		insertionPairs(pairs)
+		order := sc.order[:0]
+		for _, p := range pairs {
+			order = append(order, int(p.i))
+		}
+		sc.pairs, sc.order = pairs, order
+		return order
+	}
+	if cap(sc.tmp) < len(pairs) {
+		sc.tmp = make([]kvOrd, len(pairs))
+	}
+	sorted, spare := radixSortPairs(pairs, sc.tmp[:len(pairs)], any^all)
+	order := sc.order[:0]
+	for _, p := range sorted {
+		order = append(order, int(p.i))
+	}
+	// An odd number of passes leaves the result in the spare buffer, so
+	// keep both slices distinct for the next batch.
+	sc.pairs, sc.tmp, sc.order = sorted, spare, order
+	return order
+}
+
+// radixSortPairs sorts pairs by (k, i) using up to three stable LSD
+// byte passes over the most significant varying bytes, followed by an
+// insertion cleanup. Returns (sorted, spare): pass parity decides which
+// of a and tmp holds the result.
+func radixSortPairs(a, tmp []kvOrd, varying uint64) ([]kvOrd, []kvOrd) {
+	// Pick the discriminating byte positions, most significant first.
+	var shifts [3]uint
+	ns := 0
+	for b := 7; b >= 0 && ns < 3; b-- {
+		if (varying>>(8*uint(b)))&0xff != 0 {
+			shifts[ns] = 8 * uint(b)
+			ns++
+		}
+	}
+	src, dst := a, tmp
+	for s := ns - 1; s >= 0; s-- { // LSD: least significant chosen byte first
+		shift := shifts[s]
+		var cnt [256]int32
+		for _, p := range src {
+			cnt[(p.k>>shift)&0xff]++
+		}
+		var sum int32
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = sum
+			sum += c
+		}
+		for _, p := range src {
+			d := (p.k >> shift) & 0xff
+			dst[cnt[d]] = p
+			cnt[d]++
+		}
+		src, dst = dst, src
+	}
+	insertionPairs(src)
+	return src, dst
+}
+
+// insertionPairs finishes the radix passes: the input is sorted on the
+// chosen bytes, so shifts are rare and the outer-loop branch predicts.
+func insertionPairs(a []kvOrd) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && pairLess(x, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// LookupBatch looks up len(keys) keys and stores the results positionally
+// in vals and found (both must have at least len(keys) elements). It is
+// equivalent to calling Lookup per key but traverses the tree with an
+// interleaved ring of walks over the key-sorted batch.
+func (t *Tree) LookupBatch(keys, vals []uint64, found []bool) {
+	t.lookupBatchTracked(keys, vals, found, nil)
+}
+
+// lookupBatchTracked is LookupBatch plus a per-key leaf callback for
+// access tracking (invoked with the original key index).
+func (t *Tree) lookupBatchTracked(keys, vals []uint64, found []bool, track func(i int, l *Leaf)) {
+	n := len(keys)
+	if len(vals) < n || len(found) < n {
+		panic("btree: LookupBatch result slices shorter than keys")
+	}
+	if n == 0 {
+		return
+	}
+	if n < batchMin {
+		for i, k := range keys {
+			v, leaf, ok := t.lookupLeaf(k)
+			vals[i], found[i] = v, ok
+			if track != nil {
+				track(i, leaf)
+			}
+		}
+		return
+	}
+	sc := batchPool.Get().(*batchScratch)
+	order := sc.sortOrder(keys)
+
+	// Serve the sorted head sequentially first. Under a skewed
+	// distribution the head of a sorted batch is a dense cluster of hot
+	// keys collapsing onto one or a few adjacent leaves: one descent plus
+	// B-link hops serves the whole cluster, whereas priming the ring there
+	// would issue up to batchRing redundant descents to the same leaf.
+	leaf, _ := t.descend(keys[order[0]], nil)
+	leaf, lb := moveRightLeaf(leaf, keys[order[0]])
+	cursor := serveRuns(leaf, lb, keys, vals, found, order, 0, 1, track)
+	if cursor >= n {
+		batchPool.Put(sc)
+		return
+	}
+
+	// Prime the ring for the scattered tail: each slot claims one key off
+	// the shared cursor and starts at the root.
+	var ring [batchRing]struct {
+		j    int // claimed position in order
+		node *Inner
+	}
+	width := batchRing
+	if n-cursor < width {
+		width = n - cursor
+	}
+	root := t.root.Load()
+	for s := 0; s < width; s++ {
+		ring[s].j = cursor
+		ring[s].node = root
+		cursor++
+	}
+	live := width
+	for live > 0 {
+		for s := 0; s < width; s++ {
+			st := &ring[s]
+			if st.node == nil {
+				continue
+			}
+			k := keys[order[st.j]]
+			b := st.node.box.Load()
+			if !b.covers(k) && b.next != nil {
+				st.node = b.next // B-link hop counts as one step
+				continue
+			}
+			c := b.children[b.childIdx(k)]
+			if !b.leafLevel() {
+				st.node = c.inner
+				continue
+			}
+			// Landed. Serve the claimed key, then drain the run of sorted
+			// keys this leaf covers off the shared cursor. Every key left
+			// of the cursor is claimed by exactly one slot, so nothing is
+			// processed twice.
+			leaf, lb := moveRightLeaf(c.leaf, k)
+			cursor = serveRuns(leaf, lb, keys, vals, found, order, st.j, cursor, track)
+			if cursor < n {
+				st.j = cursor
+				st.node = t.root.Load()
+				cursor++
+			} else {
+				st.node = nil
+				live--
+			}
+		}
+	}
+	batchPool.Put(sc)
+}
+
+// serveRuns serves the claimed run at order[head] from (leaf, lb), then
+// chain-serves following runs for as long as they land within chainHops
+// B-link hops: the next sorted key is beyond the served leaf's high key,
+// so walking right is valid routing, and in the skewed hot region the
+// next run's leaf is typically one or two hops away — far cheaper than
+// another root-to-leaf descent.
+func serveRuns(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
+	order []int, head, cursor int, track func(int, *Leaf)) int {
+	cursor = serveLeafRun(leaf, lb, keys, vals, found, order, head, cursor, track)
+	for cursor < len(order) {
+		nl, nb, ok := chainRight(lb, keys[order[cursor]])
+		if !ok {
+			break
+		}
+		h := cursor
+		cursor++
+		cursor = serveLeafRun(nl, nb, keys, vals, found, order, h, cursor, track)
+		lb = nb
+	}
+	return cursor
+}
+
+// chainHops bounds the B-link walk from the previous run's leaf: hot
+// runs of a sorted batch land within a couple of leaves of each other,
+// while keys in the sparse tail are cheaper to reach by a fresh descent.
+const chainHops = 4
+
+// chainRight walks the leaf chain right looking for the leaf covering k.
+// Precondition: k is at or beyond lb's high key (the previous run ended
+// because lb no longer covered it), so lb.next's range starts <= k.
+func chainRight(lb *leafBox, k uint64) (*Leaf, *leafBox, bool) {
+	for h := 0; h < chainHops; h++ {
+		nl := lb.next
+		if nl == nil {
+			return nil, nil, false
+		}
+		nb := nl.box.Load()
+		if nb.covers(k) {
+			return nl, nb, true
+		}
+		lb = nb
+	}
+	return nil, nil, false
+}
+
+// serveLeafRun answers the claimed key at order[head] from the leaf image
+// lb, then consumes subsequent sorted keys the leaf covers. Correctness of
+// the extension: the head key was routed here by the tree, so the leaf's
+// (unstored) lower bound is <= keys[order[head]]; every consumed key is >=
+// the head key (sorted) and < the image's high key (covers), hence inside
+// the leaf's range. Duplicate keys are adjacent after sorting and reuse the
+// previous probe's result; distinct keys probe with an ascending seed
+// (searchFrom), so the whole run scans the payload at most once instead of
+// restarting every probe at the leaf head.
+func serveLeafRun(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
+	order []int, head, cursor int, track func(int, *Leaf)) int {
+	if g, ok := lb.p.(*gapped); ok {
+		// The expanded (hot) encoding serves most of a skewed batch; a
+		// specialized loop avoids the per-key interface dispatch.
+		return serveGappedRun(leaf, g, lb, keys, vals, found, order, head, cursor, track)
+	}
+	p := lb.p
+	i := order[head]
+	lastK := keys[i]
+	pos, lastOK := p.search(lastK)
+	var lastV uint64
+	if lastOK {
+		lastV = p.valAt(pos)
+	}
+	vals[i], found[i] = lastV, lastOK
+	if track != nil {
+		track(i, leaf)
+	}
+	// Seed for the next distinct key k > lastK: everything at or before a
+	// found match is < k; on a miss only the prefix below pos is.
+	from := pos
+	if lastOK {
+		from++
+	}
+	for cursor < len(order) {
+		i = order[cursor]
+		k := keys[i]
+		if k != lastK {
+			if !lb.covers(k) {
+				break
+			}
+			pos, lastOK = p.searchFrom(k, from)
+			lastV = 0
+			if lastOK {
+				lastV = p.valAt(pos)
+			}
+			lastK = k
+			from = pos
+			if lastOK {
+				from++
+			}
+		}
+		vals[i], found[i] = lastV, lastOK
+		if track != nil {
+			track(i, leaf)
+		}
+		cursor++
+	}
+	return cursor
+}
+
+// servePeek is the linear window a seeded probe scans before falling back
+// to interpolation search: run keys in a hot leaf are typically a few
+// slots apart, so most probes resolve inside one cache line.
+const servePeek = 8
+
+// serveGappedRun is serveLeafRun specialized for the Gapped encoding:
+// direct slice access instead of interface calls, and seeded probes peek
+// linearly from the previous position before searching.
+func serveGappedRun(leaf *Leaf, g *gapped, lb *leafBox, keys, vals []uint64, found []bool,
+	order []int, head, cursor int, track func(int, *Leaf)) int {
+	a := g.keys
+	i := order[head]
+	lastK := keys[i]
+	pos, lastOK := searchInterp(a, lastK)
+	var lastV uint64
+	if lastOK {
+		lastV = g.vals[pos]
+	}
+	vals[i], found[i] = lastV, lastOK
+	if track != nil {
+		track(i, leaf)
+	}
+	from := pos
+	if lastOK {
+		from++
+	}
+	for cursor < len(order) {
+		i = order[cursor]
+		k := keys[i]
+		if k != lastK {
+			if !lb.covers(k) {
+				break
+			}
+			// Everything below from is < k; peek a few slots, then fall
+			// back to interpolation over the remaining suffix.
+			j := from
+			lim := from + servePeek
+			if lim > len(a) {
+				lim = len(a)
+			}
+			for j < lim && a[j] < k {
+				j++
+			}
+			if j < lim || j == len(a) {
+				pos = j
+			} else {
+				p2, _ := searchInterp(a[j:], k)
+				pos = j + p2
+			}
+			lastOK = pos < len(a) && a[pos] == k
+			lastV = 0
+			if lastOK {
+				lastV = g.vals[pos]
+			}
+			lastK = k
+			from = pos
+			if lastOK {
+				from++
+			}
+		}
+		vals[i], found[i] = lastV, lastOK
+		if track != nil {
+			track(i, leaf)
+		}
+		cursor++
+	}
+	return cursor
+}
+
+// InsertBatch inserts len(keys) key/value pairs; inserted[i] reports
+// whether keys[i] was newly inserted (false: overwrote an existing value).
+// Equivalent to per-key Insert calls in batch-sorted order (duplicate keys
+// keep submission order, so the last value wins), but consecutive sorted
+// keys landing in the same leaf are merged under one lock with a single
+// payload re-encode.
+func (t *Tree) InsertBatch(keys, vals []uint64, inserted []bool) {
+	t.insertBatchTracked(keys, vals, inserted, nil)
+}
+
+// insertBatchTracked is InsertBatch plus a per-key callback reporting the
+// receiving leaf and whether the write eagerly expanded it.
+func (t *Tree) insertBatchTracked(keys, vals []uint64, inserted []bool, track func(i int, l *Leaf, expanded bool)) {
+	n := len(keys)
+	if len(vals) < n || len(inserted) < n {
+		panic("btree: InsertBatch slices shorter than keys")
+	}
+	if n == 0 {
+		return
+	}
+	if n < batchMin {
+		for i, k := range keys {
+			ins, leaf, exp := t.insertTracked(k, vals[i])
+			inserted[i] = ins
+			if track != nil {
+				track(i, leaf, exp)
+			}
+		}
+		return
+	}
+	sc := batchPool.Get().(*batchScratch)
+	order := sc.sortOrder(keys)
+	cursor := 0
+	for cursor < n {
+		cursor = t.insertRun(keys, vals, inserted, order, cursor, track)
+	}
+	batchPool.Put(sc)
+}
+
+// insertRun inserts the run of sorted keys starting at order[cursor] that
+// shares one leaf: one descent, one lock acquisition, one re-encode for
+// the whole run. Returns the cursor past the consumed run. Keys that need
+// a split fall back to the per-key insert path.
+func (t *Tree) insertRun(keys, vals []uint64, inserted []bool,
+	order []int, cursor int, track func(int, *Leaf, bool)) int {
+	head := order[cursor]
+	k := keys[head]
+	var leaf *Leaf
+	for {
+		leaf, _ = t.descend(k, nil)
+		if !leaf.lock.writeLock() {
+			continue
+		}
+		// Move right while locked (a split may have shifted our range).
+		ok := true
+		for {
+			b := leaf.box.Load()
+			if b.covers(k) || b.next == nil {
+				break
+			}
+			next := b.next
+			leaf.lock.unlock()
+			leaf = next
+			if !leaf.lock.writeLock() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	b := leaf.box.Load()
+	p := b.p
+
+	if p.count() >= LeafCap {
+		// Full leaf: overwrite in place if the key exists, otherwise take
+		// the per-key split path for just this key.
+		if pos, found := p.search(k); found {
+			np := clonePayload(p)
+			np.(mutablePayload).update(pos, vals[head])
+			t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
+			leaf.lock.unlock()
+			inserted[head] = false
+			if track != nil {
+				track(head, leaf, false)
+			}
+			return cursor + 1
+		}
+		leaf.lock.unlock()
+		ins, lf, exp := t.insertTracked(k, vals[head])
+		inserted[head] = ins
+		if track != nil {
+			track(head, lf, exp)
+		}
+		return cursor + 1
+	}
+
+	target := p.encoding()
+	expanded := false
+	if t.cfg.ExpandOnInsert && target != EncGapped {
+		target = EncGapped
+		expanded = true
+		t.expansions.Add(1)
+	}
+	scratch := kvPool.Get().(*kvScratch)
+	gk, gv := p.appendAll(scratch.keys[:0], scratch.vals[:0])
+	g := gapped{keys: gk, vals: gv}
+	newKeys := 0
+	j := cursor
+	for j < len(order) {
+		idx := order[j]
+		kj := keys[idx]
+		// The head is covered by construction (locked move-right above);
+		// later keys are >= the head and must stay under the high key.
+		if j > cursor && !b.covers(kj) {
+			break
+		}
+		if len(g.keys) >= LeafCap {
+			// No room for new keys; only overwrites may continue the run.
+			pos, found := searchBinaryScalar(g.keys, kj)
+			if !found {
+				break
+			}
+			g.vals[pos] = vals[idx]
+			inserted[idx] = false
+		} else {
+			before := len(g.keys)
+			g.insert(kj, vals[idx])
+			ins := len(g.keys) > before
+			inserted[idx] = ins
+			if ins {
+				newKeys++
+			}
+		}
+		if track != nil {
+			// Only the run head reports the expansion: under per-key
+			// inserts the first write expands the leaf and later keys see
+			// it already Gapped.
+			track(idx, leaf, expanded && j == cursor)
+		}
+		j++
+	}
+	np := encodePayload(target, g.keys, g.vals)
+	t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
+	leaf.lock.unlock()
+	putKV(scratch, g.keys, g.vals)
+	if newKeys > 0 {
+		t.keyCount.Add(int64(newKeys))
+	}
+	return j
+}
+
+// LookupBatch is the tracked batch lookup: the batch runs through the
+// interleaved kernel, and the (rare) sampled keys track their leaf with
+// the Read access type, exactly as per-key Lookup would.
+func (s *Session) LookupBatch(keys, vals []uint64, found []bool) {
+	// Draw the sampling decisions up front so the skip counter advances
+	// exactly as under per-key lookups. Samples are rare (skip >= 50), so
+	// the offsets list is almost always nil and the draw is O(samples).
+	sampled := s.sampler.SampleOffsets(len(keys), nil)
+	if len(sampled) == 0 {
+		s.a.Tree.LookupBatch(keys, vals, found)
+		return
+	}
+	s.a.Tree.lookupBatchTracked(keys, vals, found, func(i int, l *Leaf) {
+		for _, si := range sampled {
+			if si == i {
+				s.sampler.Track(l, core.Read, LeafCtx{})
+				return
+			}
+		}
+	})
+}
+
+// InsertBatch is the tracked batch insert. Writes that eagerly expanded
+// their leaf are always tracked — sampled or not — preserving the deferred
+// compaction protocol of §5.2 (an expanded leaf the manager never hears
+// about could not be compacted again).
+func (s *Session) InsertBatch(keys, vals []uint64, inserted []bool) {
+	sampled := s.sampler.SampleOffsets(len(keys), nil)
+	s.a.Tree.insertBatchTracked(keys, vals, inserted, func(i int, l *Leaf, expanded bool) {
+		if expanded {
+			s.sampler.Track(l, core.Insert, LeafCtx{})
+			return
+		}
+		for _, si := range sampled {
+			if si == i {
+				s.sampler.Track(l, core.Insert, LeafCtx{})
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package btree
+
+import (
+	"testing"
+
+	"ahi/internal/workload"
+)
+
+func benchTree(n int) (*Tree, []uint64) {
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 5
+		vals[i] = uint64(i)
+	}
+	return BulkLoad(Config{DefaultEncoding: EncSuccinct}, keys, vals), keys
+}
+
+func BenchmarkLookupSingleZipf(b *testing.B) {
+	t, keys := benchTree(1 << 20)
+	d := workload.NewZipf(len(keys), 1.1, 7)
+	q := make([]uint64, 128)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(q) {
+		for j := range q {
+			q[j] = keys[d.Draw()]
+		}
+		for _, k := range q {
+			v, _ := t.Lookup(k)
+			sink += v
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkLookupBatch128Zipf(b *testing.B) {
+	t, keys := benchTree(1 << 20)
+	d := workload.NewZipf(len(keys), 1.1, 7)
+	q := make([]uint64, 128)
+	qv := make([]uint64, 128)
+	qf := make([]bool, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(q) {
+		for j := range q {
+			q[j] = keys[d.Draw()]
+		}
+		t.LookupBatch(q, qv, qf)
+	}
+}

@@ -1,0 +1,150 @@
+package btree
+
+import "math/bits"
+
+// This file holds the intra-leaf search kernels of the serving layer. The
+// scalar probes the encodings shipped with (plain binary search per leaf)
+// spend most of their time in branch mispredictions: every comparison of a
+// lookup over skewed batches is data-dependent and the predictor learns
+// nothing across keys. The kernels below keep the memory access pattern of
+// the scalar probes but make the control flow branchless — comparisons
+// turn into SBB-style borrow arithmetic (bits.Sub64 compiles to a single
+// flag-consuming instruction) that feeds index arithmetic instead of
+// conditional jumps.
+//
+// Three kernels, one per encoding family:
+//
+//   - searchDense: branchless binary narrowing plus a SWAR-style linear
+//     tail over dense sorted uint64 slices (Packed leaves).
+//   - searchInterp: interpolation-seeded variant for Gapped leaves — the
+//     slotted layout is the hot, expanded encoding, and its key ranges are
+//     typically dense enough that one interpolation step lands within a
+//     cache line of the answer; a bounded gallop repairs bad seeds (e.g.
+//     leaves holding one huge key gap).
+//   - bitutil.FORArray.SearchSkip: block-skip search over the packed
+//     deltas for Succinct leaves (see bitutil/for.go).
+//
+// Every kernel returns the scalar probes' exact contract: the position of
+// the first key >= k and whether it equals k. kernels_test.go cross-checks
+// them against the retained scalar implementations on encoding-boundary
+// shapes.
+
+// swarTail is the window below which the branchless binary switches to the
+// linear borrow-count loop: 16 uint64 keys = two cache lines, small enough
+// that the independent loads pipeline and no probe result gates the next.
+const swarTail = 16
+
+// ltMask returns all-ones when a < b and zero otherwise, without a branch.
+func ltMask(a, b uint64) int {
+	_, borrow := bits.Sub64(a, b, 0)
+	return -int(borrow)
+}
+
+// searchDense returns the position of the first key >= k in the sorted
+// slice a and whether it equals k. Branchless: the binary-narrowing step
+// moves the base with a borrow-derived mask, the tail counts smaller keys
+// with the same borrow trick.
+func searchDense(a []uint64, k uint64) (int, bool) {
+	pos := lowerBoundBranchless(a, k)
+	return pos, pos < len(a) && a[pos] == k
+}
+
+// lowerBoundBranchless is the shared branchless lower-bound core: first
+// index i with a[i] >= k, or len(a).
+func lowerBoundBranchless(a []uint64, k uint64) int {
+	base, n := 0, len(a)
+	for n > swarTail {
+		half := n >> 1
+		// base += half iff a[base+half-1] < k; the answer stays inside
+		// [base, base+n].
+		base += half & ltMask(a[base+half-1], k)
+		n -= half
+	}
+	// SWAR tail: every key in the remaining window is loaded regardless of
+	// the comparison outcomes, so the loop retires one add per key with no
+	// data-dependent control flow.
+	c := 0
+	for _, v := range a[base : base+n] {
+		c -= ltMask(v, k) // mask is -1 when v < k
+	}
+	return base + c
+}
+
+// interpGallop is the initial bracket the interpolation seed is trusted
+// for; seeds off by more than this trigger doubling gallop steps.
+const interpGallop = 16
+
+// searchInterp is the Gapped-leaf kernel: an interpolation step seeds the
+// probe position, a doubling gallop brackets the answer when the key
+// distribution fooled the seed, and the branchless core finishes inside
+// the bracket.
+func searchInterp(a []uint64, k uint64) (int, bool) {
+	n := len(a)
+	if n == 0 {
+		return 0, false
+	}
+	lo, hi := a[0], a[n-1]
+	if k <= lo {
+		return 0, k == lo
+	}
+	if k > hi {
+		return n, false
+	}
+	// k == hi falls through: with duplicate keys the first match can sit
+	// left of n-1, and the gallop-left path finds it.
+	// lo < k <= hi, so n >= 2 and the span is non-zero. The float division
+	// tolerates the full uint64 range (a max-gap leaf spans nearly 2^64).
+	est := int(float64(k-lo) / float64(hi-lo) * float64(n-1))
+	if est < 0 {
+		est = 0
+	}
+	if est > n-1 {
+		est = n - 1
+	}
+	var l, r int
+	if a[est] < k {
+		// Answer is right of est: gallop with doubling steps.
+		l = est + 1
+		step := interpGallop
+		r = l + step
+		for r < n && a[r-1] < k {
+			l = r
+			step <<= 1
+			r = l + step
+		}
+		if r > n {
+			r = n
+		}
+	} else {
+		// Answer is at or left of est: keep a[l-1] < k as the exit
+		// condition so the bracket [l, r) always contains the answer.
+		r = est + 1
+		step := interpGallop
+		l = r - step
+		for l > 0 && a[l-1] >= k {
+			r = l
+			step <<= 1
+			l = r - step
+		}
+		if l < 0 {
+			l = 0
+		}
+	}
+	pos := l + lowerBoundBranchless(a[l:r], k)
+	return pos, pos < n && a[pos] == k
+}
+
+// searchBinaryScalar is the original scalar probe, retained as the
+// reference implementation the kernel tests cross-check against.
+func searchBinaryScalar(a []uint64, k uint64) (int, bool) {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(a) && a[lo] == k
+}

@@ -1,0 +1,150 @@
+package btree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ahi/internal/bitutil"
+)
+
+// kernelCases are the encoding-boundary shapes every search kernel must
+// get right. Probes are chosen around each shape's edges: below the first
+// key, every present key, every in-gap midpoint, above the last key.
+var kernelCases = []struct {
+	name string
+	keys []uint64
+}{
+	{"empty-leaf", nil},
+	{"single-key", []uint64{42}},
+	{"single-key-zero", []uint64{0}},
+	{"two-keys", []uint64{10, 20}},
+	{"duplicate-adjacent-deltas", []uint64{5, 6, 7, 8, 9, 10, 11, 12}},
+	{"max-gap-gapped-leaf", []uint64{0, 1, 2, math.MaxUint64 - 2, math.MaxUint64 - 1, math.MaxUint64}},
+	{"front-cluster", []uint64{1, 2, 3, 4, 5, 1 << 40, 1 << 41, 1 << 42}},
+	{"back-cluster", []uint64{1, 1 << 40, 1<<40 + 1, 1<<40 + 2, 1<<40 + 3}},
+	{"swar-tail-boundary-16", consecutive(100, 16)},
+	{"swar-tail-boundary-17", consecutive(100, 17)},
+	{"skip-block-boundary-32", consecutive(7, 32)},
+	{"skip-block-boundary-33", consecutive(7, 33)},
+	{"leafcap-full", consecutive(1_000_000, LeafCap)},
+	{"all-equal-vals-style", []uint64{9, 9, 9, 9, 9}}, // kernels must tolerate duplicates
+}
+
+func consecutive(start uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = start + uint64(i)*3
+	}
+	return out
+}
+
+// probesFor derives the probe set for a key slice: all keys, all gap
+// midpoints, the extremes, and the uint64 boundaries.
+func probesFor(keys []uint64) []uint64 {
+	probes := []uint64{0, 1, math.MaxUint64, math.MaxUint64 - 1}
+	for i, k := range keys {
+		probes = append(probes, k)
+		if k > 0 {
+			probes = append(probes, k-1)
+		}
+		if k < math.MaxUint64 {
+			probes = append(probes, k+1)
+		}
+		if i > 0 {
+			probes = append(probes, keys[i-1]+(k-keys[i-1])/2)
+		}
+	}
+	return probes
+}
+
+func TestSearchKernelsMatchScalar(t *testing.T) {
+	for _, tc := range kernelCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			far := bitutil.NewFORArray(tc.keys)
+			for _, k := range probesFor(tc.keys) {
+				wantPos, wantFound := searchBinaryScalar(tc.keys, k)
+
+				if pos, found := searchDense(tc.keys, k); pos != wantPos || found != wantFound {
+					t.Fatalf("searchDense(%v, %d) = (%d,%v), scalar (%d,%v)",
+						tc.keys, k, pos, found, wantPos, wantFound)
+				}
+				if pos, found := searchInterp(tc.keys, k); pos != wantPos || found != wantFound {
+					t.Fatalf("searchInterp(%v, %d) = (%d,%v), scalar (%d,%v)",
+						tc.keys, k, pos, found, wantPos, wantFound)
+				}
+				// FOR skip search vs the FOR binary reference (Search) and
+				// the plain scalar. Sorted input is a precondition of both.
+				if got, ref := far.SearchSkip(k), far.Search(k); got != ref || got != wantPos {
+					t.Fatalf("FOR SearchSkip(%v, %d) = %d, Search = %d, scalar = %d",
+						tc.keys, k, got, ref, wantPos)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchKernelsRandomized cross-checks the kernels on random sorted
+// arrays across the size range a leaf can take, including adjacent
+// duplicates in the delta stream (step 0 collisions are kept).
+func TestSearchKernelsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(LeafCap + 1)
+		keys := make([]uint64, 0, n)
+		k := uint64(rng.Intn(1000))
+		for len(keys) < n {
+			keys = append(keys, k)
+			k += uint64(rng.Intn(1 << uint(rng.Intn(20)))) // bursts of dense and sparse runs
+		}
+		far := bitutil.NewFORArray(keys)
+		for p := 0; p < 64; p++ {
+			probe := uint64(rng.Int63())
+			if p%2 == 0 && n > 0 {
+				probe = keys[rng.Intn(n)] // present keys half the time
+			}
+			wantPos, wantFound := searchBinaryScalar(keys, probe)
+			if pos, found := searchDense(keys, probe); pos != wantPos || found != wantFound {
+				t.Fatalf("trial %d: searchDense(n=%d, %d) = (%d,%v) want (%d,%v)",
+					trial, n, probe, pos, found, wantPos, wantFound)
+			}
+			if pos, found := searchInterp(keys, probe); pos != wantPos || found != wantFound {
+				t.Fatalf("trial %d: searchInterp(n=%d, %d) = (%d,%v) want (%d,%v)",
+					trial, n, probe, pos, found, wantPos, wantFound)
+			}
+			if got := far.SearchSkip(probe); got != wantPos {
+				t.Fatalf("trial %d: SearchSkip(n=%d, %d) = %d want %d", trial, n, probe, got, wantPos)
+			}
+		}
+	}
+}
+
+// TestPayloadSearchUsesKernels exercises the wired-up payload probes on a
+// boundary shape per encoding (the kernels are behind payload.search now;
+// a regression here means a kernel broke an encoding end to end).
+func TestPayloadSearchUsesKernels(t *testing.T) {
+	keys := []uint64{3, 5, 5 + 1<<50, 5 + 1<<50 + 1}
+	vals := []uint64{30, 50, 70, 90}
+	for _, enc := range []struct {
+		name string
+		p    payload
+	}{
+		{"gapped", newGapped(keys, vals)},
+		{"packed", newPacked(keys, vals)},
+		{"succinct", newSuccinct(keys, vals)},
+	} {
+		for i, k := range keys {
+			pos, found := enc.p.search(k)
+			if !found || pos != i {
+				t.Fatalf("%s: search(%d) = (%d,%v) want (%d,true)", enc.name, k, pos, found, i)
+			}
+		}
+		if pos, found := enc.p.search(4); found || pos != 1 {
+			t.Fatalf("%s: search(4) = (%d,%v) want (1,false)", enc.name, pos, found)
+		}
+		if pos, found := enc.p.search(1 << 60); found || pos != 4 {
+			t.Fatalf("%s: search(high) = (%d,%v) want (4,false)", enc.name, pos, found)
+		}
+	}
+}

@@ -48,6 +48,10 @@ type payload interface {
 	// search returns the position of the first key >= k and whether it
 	// equals k.
 	search(k uint64) (int, bool)
+	// searchFrom is search with a seed: the caller guarantees every key
+	// before position from is < k, so the probe may skip the prefix.
+	// Sorted batch runs use ascending seeds to scan each leaf once.
+	searchFrom(k uint64, from int) (int, bool)
 	// bytes is the heap footprint of the payload (excl. leaf header).
 	bytes() int
 	// appendAll decodes all pairs into the destination slices.
@@ -90,17 +94,11 @@ func (g *gapped) keyAt(i int) uint64      { return g.keys[i] }
 func (g *gapped) valAt(i int) uint64      { return g.vals[i] }
 func (g *gapped) bytes() int              { return cap(g.keys)*8 + cap(g.vals)*8 }
 
-func (g *gapped) search(k uint64) (int, bool) {
-	lo, hi := 0, len(g.keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if g.keys[mid] < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo, lo < len(g.keys) && g.keys[lo] == k
+func (g *gapped) search(k uint64) (int, bool) { return searchInterp(g.keys, k) }
+
+func (g *gapped) searchFrom(k uint64, from int) (int, bool) {
+	pos, ok := searchInterp(g.keys[from:], k)
+	return from + pos, ok
 }
 
 func (g *gapped) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
@@ -156,17 +154,11 @@ func (p *packed) keyAt(i int) uint64      { return p.keys[i] }
 func (p *packed) valAt(i int) uint64      { return p.vals[i] }
 func (p *packed) bytes() int              { return len(p.keys)*8 + len(p.vals)*8 }
 
-func (p *packed) search(k uint64) (int, bool) {
-	lo, hi := 0, len(p.keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if p.keys[mid] < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo, lo < len(p.keys) && p.keys[lo] == k
+func (p *packed) search(k uint64) (int, bool) { return searchDense(p.keys, k) }
+
+func (p *packed) searchFrom(k uint64, from int) (int, bool) {
+	pos, ok := searchDense(p.keys[from:], k)
+	return from + pos, ok
 }
 
 func (p *packed) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
@@ -246,7 +238,12 @@ func (s *succinct) valAt(i int) uint64      { return s.vals.Get(i) }
 func (s *succinct) bytes() int              { return s.keys.Bytes() + s.vals.Bytes() }
 
 func (s *succinct) search(k uint64) (int, bool) {
-	pos := s.keys.Search(k)
+	pos := s.keys.SearchSkip(k)
+	return pos, pos < s.keys.Len() && s.keys.Get(pos) == k
+}
+
+func (s *succinct) searchFrom(k uint64, from int) (int, bool) {
+	pos := s.keys.SearchSkipFrom(k, from)
 	return pos, pos < s.keys.Len() && s.keys.Get(pos) == k
 }
 

@@ -79,7 +79,7 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 	//    deleted here, so a later re-key would have nothing to move.
 	budget := m.budget(units)
 	env := Env{Epoch: epoch}
-	migrations, queued, evictions := 0, 0, 0
+	migrations, queued, evictions, fallbacks := 0, 0, 0, 0
 	for i := range cands {
 		c := &cands[i]
 		c.stats.PushClassification(c.hot)
@@ -92,12 +92,23 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		act := m.cfg.Heuristic(c.id, &c.ctx, &c.stats, env)
 		newID := c.id
 		if act.Migrate {
-			if m.pipe != nil && !act.Evict &&
-				m.pipe.enqueue(migrationJob[ID, Ctx]{id: c.id, ctx: c.ctx, target: act.Target}) {
-				queued++
-			} else if id2, ok := m.cfg.Migrate(c.id, c.ctx, act.Target); ok {
-				newID = id2
-				migrations++
+			enqueued := false
+			if m.pipe != nil && !act.Evict {
+				if m.pipe.enqueue(migrationJob[ID, Ctx]{id: c.id, ctx: c.ctx, target: act.Target}) {
+					queued++
+					enqueued = true
+				} else {
+					// Queue full or closing: the lossless contract demands
+					// the migration runs inline, and the bench wants to see
+					// that pressure.
+					fallbacks++
+				}
+			}
+			if !enqueued {
+				if id2, ok := m.cfg.Migrate(c.id, c.ctx, act.Target); ok {
+					newID = id2
+					migrations++
+				}
 			}
 		}
 		m.storeBack(c.id, newID, c, act.Evict)
@@ -106,6 +117,7 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		}
 	}
 	m.totalMigrations.Add(int64(migrations))
+	m.inlineFallbacks.Add(int64(fallbacks))
 	m.totalAdapts.Add(1)
 	m.candScratch = cands[:0]
 	m.hotScratch = hotMark[:0]
@@ -143,16 +155,19 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 
 	if m.cfg.OnAdapt != nil {
 		m.cfg.OnAdapt(AdaptInfo{
-			Epoch:         epoch,
-			UniqueSamples: len(cands),
-			SampledTotal:  sampled,
-			Hot:           hotCount,
-			Migrations:    migrations,
-			Queued:        queued,
-			Evicted:       evictions,
-			NewSkip:       int(m.globalSkip.Load()),
-			NewSampleSize: newSize,
-			K:             k,
+			Epoch:           epoch,
+			UniqueSamples:   len(cands),
+			SampledTotal:    sampled,
+			Hot:             hotCount,
+			Migrations:      migrations,
+			Queued:          queued,
+			InlineFallbacks: fallbacks,
+			PipeDepth:       m.QueuedMigrations(),
+			LastDrainNs:     m.lastDrainNs.Load(),
+			Evicted:         evictions,
+			NewSkip:         int(m.globalSkip.Load()),
+			NewSampleSize:   newSize,
+			K:               k,
 		})
 	}
 }

@@ -182,8 +182,19 @@ type AdaptInfo struct {
 	Hot           int
 	// Migrations counts re-encodings performed inline during the phase;
 	// Queued counts those handed to the asynchronous pipeline instead.
-	Migrations    int
-	Queued        int
+	Migrations int
+	Queued     int
+	// InlineFallbacks counts migrations this phase that were meant for the
+	// asynchronous pipeline but ran inline because its queue was full (or
+	// closing) — the pipeline's backpressure signal. Included in
+	// Migrations; always 0 without AsyncMigrations.
+	InlineFallbacks int
+	// PipeDepth is the number of migrations still waiting in the pipeline
+	// queue when the phase completed (0 without AsyncMigrations).
+	PipeDepth int
+	// LastDrainNs is the duration of the most recent DrainMigrations call
+	// in nanoseconds (0 if never drained or without AsyncMigrations).
+	LastDrainNs   int64
 	Evicted       int
 	NewSkip       int
 	NewSampleSize int

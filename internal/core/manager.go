@@ -170,6 +170,13 @@ type Manager[ID comparable, Ctx any] struct {
 	totalMigrations atomic.Int64
 	totalAdapts     atomic.Int64
 	samplerBytes    atomic.Int64
+	inlineFallbacks atomic.Int64
+	lastDrainNs     atomic.Int64
+
+	// budgetOverride, when positive, replaces the configured memory budget
+	// (SetMemoryBudget). A sharded front-end re-splits one shared budget
+	// across per-shard managers as hotness shifts.
+	budgetOverride atomic.Int64
 }
 
 // New creates an adaptation manager. It panics if a required callback is
@@ -214,8 +221,22 @@ func (m *Manager[ID, Ctx]) clampSampleSize(s int) int {
 	return s
 }
 
+// SetMemoryBudget overrides the configured memory budget at run time (in
+// bytes; <= 0 removes the override). It takes precedence over both the
+// absolute and the relative configured budget and applies from the next
+// adaptation phase. Safe for concurrent use.
+func (m *Manager[ID, Ctx]) SetMemoryBudget(b int64) {
+	if b < 0 {
+		b = 0
+	}
+	m.budgetOverride.Store(b)
+}
+
 // budget resolves the configured budget in bytes; MaxInt64 when unbounded.
 func (m *Manager[ID, Ctx]) budget(u UnitCounts) int64 {
+	if o := m.budgetOverride.Load(); o > 0 {
+		return o
+	}
 	if m.cfg.RelativeBudget > 0 {
 		allExpanded := float64(u.Total()) * float64(u.UncompressedAvg)
 		return int64(m.cfg.RelativeBudget * allExpanded)
@@ -250,6 +271,15 @@ func (m *Manager[ID, Ctx]) Migrations() int64 { return m.totalMigrations.Load() 
 
 // Adaptations returns the number of completed adaptation phases.
 func (m *Manager[ID, Ctx]) Adaptations() int64 { return m.totalAdapts.Load() }
+
+// InlineFallbacks returns how many migrations intended for the
+// asynchronous pipeline ran inline because its queue was full — cumulative
+// queue-pressure over the manager's lifetime (0 without AsyncMigrations).
+func (m *Manager[ID, Ctx]) InlineFallbacks() int64 { return m.inlineFallbacks.Load() }
+
+// LastDrainNs returns the duration of the most recent DrainMigrations
+// call in nanoseconds (0 if never drained).
+func (m *Manager[ID, Ctx]) LastDrainNs() int64 { return m.lastDrainNs.Load() }
 
 // Bytes reports the memory the sampling framework itself occupies (sample
 // stores plus per-sampler filters) — the paper reports this as 0.1% of the
@@ -366,6 +396,37 @@ func (s *Sampler[ID, Ctx]) IsSample() bool {
 	}
 	s.skip--
 	return false
+}
+
+// SampleOffsets advances the sampling counter over n consecutive accesses
+// at once, appending the 0-based offsets that are samples to dst.
+// Equivalent to n IsSample calls recording the true positions, but in
+// O(samples) time — batch operations draw their (rare) sample decisions
+// up front without paying the per-access counter walk.
+func (s *Sampler[ID, Ctx]) SampleOffsets(n int, dst []int) []int {
+	for off := 0; off < n; {
+		if s.skip <= 0 {
+			sk := s.m.globalSkip.Load()
+			if s.m.cfg.RandomizeSkip && sk > 3 {
+				s.rng ^= s.rng << 13
+				s.rng ^= s.rng >> 7
+				s.rng ^= s.rng << 17
+				span := sk / 2 // ±25%
+				sk += int64(s.rng%uint64(span+1)) - span/2
+			}
+			s.skip = sk
+			dst = append(dst, off)
+			off++
+			continue
+		}
+		step := int64(n - off)
+		if s.skip < step {
+			step = s.skip
+		}
+		s.skip -= step
+		off += int(step)
+	}
+	return dst
 }
 
 // Track records one sampled access to the unit identified by id with the

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // This file implements the off-critical-path migration pipeline: when
 // Config.AsyncMigrations is set, Phase II (adapt) no longer re-encodes
@@ -44,16 +47,22 @@ type migrationPipeline[ID comparable, Ctx any] struct {
 	m     *Manager[ID, Ctx]
 	queue chan migrationJob[ID, Ctx]
 
-	mu     sync.Mutex // guards queue sends vs. close, and rekeys
+	mu     sync.Mutex // guards queue sends vs. close, rekeys, and pending
 	closed bool
 	rekeys []rekeyPair[ID]
 
-	wg       sync.WaitGroup // running workers
-	inflight sync.WaitGroup // queued or executing jobs
+	wg sync.WaitGroup // running workers
+	// pending counts queued or executing jobs. A plain counter under mu
+	// with a condition variable — not a WaitGroup — because drain() must
+	// tolerate racing enqueues: WaitGroup.Add concurrent with Wait while
+	// the counter passes zero is documented misuse.
+	pending int
+	idle    *sync.Cond
 }
 
 func newMigrationPipeline[ID comparable, Ctx any](m *Manager[ID, Ctx], workers, depth int) *migrationPipeline[ID, Ctx] {
 	p := &migrationPipeline[ID, Ctx]{m: m, queue: make(chan migrationJob[ID, Ctx], depth)}
+	p.idle = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.run()
@@ -65,15 +74,18 @@ func (p *migrationPipeline[ID, Ctx]) run() {
 	defer p.wg.Done()
 	for job := range p.queue {
 		newID, ok := p.m.cfg.Migrate(job.id, job.ctx, job.target)
+		p.mu.Lock()
 		if ok {
 			p.m.totalMigrations.Add(1)
 			if newID != job.id {
-				p.mu.Lock()
 				p.rekeys = append(p.rekeys, rekeyPair[ID]{old: job.id, new: newID})
-				p.mu.Unlock()
 			}
 		}
-		p.inflight.Done()
+		p.pending--
+		if p.pending == 0 {
+			p.idle.Broadcast()
+		}
+		p.mu.Unlock()
 	}
 }
 
@@ -87,7 +99,7 @@ func (p *migrationPipeline[ID, Ctx]) enqueue(job migrationJob[ID, Ctx]) bool {
 	}
 	select {
 	case p.queue <- job:
-		p.inflight.Add(1)
+		p.pending++
 		return true
 	default:
 		return false
@@ -104,7 +116,13 @@ func (p *migrationPipeline[ID, Ctx]) takeRekeys() []rekeyPair[ID] {
 }
 
 // drain blocks until every queued job has executed.
-func (p *migrationPipeline[ID, Ctx]) drain() { p.inflight.Wait() }
+func (p *migrationPipeline[ID, Ctx]) drain() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.idle.Wait()
+	}
+	p.mu.Unlock()
+}
 
 // close flushes remaining jobs and stops the workers.
 func (p *migrationPipeline[ID, Ctx]) close() {
@@ -164,7 +182,9 @@ func (m *Manager[ID, Ctx]) applyRekeys() {
 // time (and any racing additions) have executed.
 func (m *Manager[ID, Ctx]) DrainMigrations() {
 	if m.pipe != nil {
+		start := time.Now()
 		m.pipe.drain()
+		m.lastDrainNs.Store(time.Since(start).Nanoseconds())
 	}
 }
 

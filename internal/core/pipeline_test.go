@@ -237,3 +237,150 @@ func TestGSAsyncConcurrentAdaptation(t *testing.T) {
 		t.Fatal("hottest unit not expanded under GS with async migrations")
 	}
 }
+
+// TestPipelineEnqueueCloseDrainRace hammers enqueue from several
+// goroutines while others call DrainMigrations and one closes the
+// pipeline mid-stream. Run under -race. The lossless contract is the
+// invariant: every accepted job executes exactly once, enqueues after
+// Close are rejected, and neither drain nor close deadlocks.
+func TestPipelineEnqueueCloseDrainRace(t *testing.T) {
+	var executed atomic.Int64
+	ix := newMockIndex(16)
+	cfg := asyncConfig(ix, SingleThreaded, 1)
+	cfg.MigrationWorkers = 4
+	cfg.MigrationQueue = 8 // small queue: rejections and accepts interleave
+	cfg.Migrate = func(id int, _ struct{}, _ Encoding) (int, bool) {
+		executed.Add(1)
+		return id, true
+	}
+	m := New(cfg)
+	p := m.pipe
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 5000; i++ {
+				if p.enqueue(migrationJob[int, struct{}]{id: g*5000 + i, target: 1}) {
+					accepted.Add(1)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				m.DrainMigrations()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(2 * time.Millisecond)
+		m.Close()
+	}()
+	close(start)
+	wg.Wait()
+	m.Close() // idempotent; all workers stopped
+
+	if got, want := executed.Load(), accepted.Load(); got != want {
+		t.Fatalf("executed %d of %d accepted jobs (lossless contract broken)", got, want)
+	}
+	if p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}) {
+		t.Fatal("enqueue after Close must be rejected")
+	}
+	if got, want := executed.Load(), accepted.Load(); got != want {
+		t.Fatalf("post-close enqueue changed execution count: %d vs %d", got, want)
+	}
+}
+
+// TestAdaptInfoSurfacesPipelinePressure pins the new observability fields:
+// a full queue shows up as InlineFallbacks (per phase and cumulatively)
+// and DrainMigrations records its latency.
+func TestAdaptInfoSurfacesPipelinePressure(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 2)
+	ix := newMockIndex(64)
+	cfg := asyncConfig(ix, SingleThreaded, 1)
+	cfg.MigrationWorkers = 1
+	cfg.MigrationQueue = 1
+	cfg.DisableBloom = true
+	cfg.Migrate = func(id int, c struct{}, tgt Encoding) (int, bool) {
+		if id >= 1000 {
+			// Sentinel wedge jobs: block the worker so the queue stays
+			// full. Real (inline fallback) migrations never block.
+			started <- struct{}{}
+			<-block
+			return id, true
+		}
+		return ix.migrate(id, c, tgt)
+	}
+	var last AdaptInfo
+	cfg.OnAdapt = func(ai AdaptInfo) { last = ai }
+	m := New(cfg)
+	// Wedge the worker and fill the depth-1 queue.
+	if !m.pipe.enqueue(migrationJob[int, struct{}]{id: 1000, target: 1}) {
+		t.Fatal("wedge enqueue failed")
+	}
+	<-started // worker is inside Migrate; the queue slot is free again
+	if !m.pipe.enqueue(migrationJob[int, struct{}]{id: 1001, target: 1}) {
+		t.Fatal("fill enqueue failed")
+	}
+	s := m.NewSampler()
+	// Track distinct hot units so the phase proposes several expansions;
+	// with the queue wedged full, every one must fall back inline.
+	for i := 0; i < 8; i++ {
+		s.Track(i, Read, struct{}{})
+		s.Track(i, Read, struct{}{})
+	}
+	m.adapt(m.epoch.Load())
+	if last.InlineFallbacks == 0 {
+		t.Fatal("wedged depth-1 queue must surface inline fallbacks in AdaptInfo")
+	}
+	if last.PipeDepth == 0 {
+		t.Fatal("a full queue must surface a non-zero PipeDepth")
+	}
+	if m.InlineFallbacks() != int64(last.InlineFallbacks) {
+		t.Fatalf("cumulative fallbacks %d != phase fallbacks %d", m.InlineFallbacks(), last.InlineFallbacks)
+	}
+	if last.Migrations < last.InlineFallbacks {
+		t.Fatalf("fallbacks (%d) are inline migrations and must be included in Migrations (%d)",
+			last.InlineFallbacks, last.Migrations)
+	}
+	close(block)
+	m.DrainMigrations()
+	if m.LastDrainNs() <= 0 {
+		t.Fatal("DrainMigrations must record its latency")
+	}
+	m.Close()
+}
+
+// TestSetMemoryBudgetOverride checks that the runtime budget override
+// takes precedence over the configured budgets and can be removed.
+func TestSetMemoryBudgetOverride(t *testing.T) {
+	ix := newMockIndex(10)
+	cfg := ix.config(SingleThreaded, 1)
+	cfg.MemoryBudget = 1000
+	m := New(cfg)
+	u := cfg.Units()
+	if got := m.budget(u); got != 1000 {
+		t.Fatalf("configured budget = %d want 1000", got)
+	}
+	m.SetMemoryBudget(5000)
+	if got := m.budget(u); got != 5000 {
+		t.Fatalf("override budget = %d want 5000", got)
+	}
+	m.SetMemoryBudget(0) // remove override
+	if got := m.budget(u); got != 1000 {
+		t.Fatalf("budget after override removal = %d want 1000", got)
+	}
+}

@@ -1,0 +1,511 @@
+// Package shard implements the serving layer's key-range-partitioned
+// front-end: a ShardedBTree owns N adaptive Hybrid B+-trees, each with its
+// own adaptation manager, behind one routing table. Partition-per-worker
+// adaptation follows the multi-core adaptive-indexing line of work — each
+// shard's sampler, sample store and migration pipeline see only that
+// shard's traffic, so adaptation state never crosses shard boundaries and
+// smaller per-shard trees keep traversals shallow.
+//
+// Three protocols tie the shards together:
+//
+//   - Routing: shards own contiguous key ranges delimited by a sorted
+//     bounds table (bounds[i] is the first key of shard i+1); a key routes
+//     to the shard at the binary-search position of its upper bound. The
+//     table is immutable after construction, so routing is lock-free.
+//
+//   - Batch fan-out: a request batch is grouped by destination shard with
+//     one counting-sort pass (counts → offsets → gather), producing one
+//     contiguous sub-batch per shard in a pooled scratch buffer. Sub-
+//     batches run on the per-shard batch kernels; when more than one shard
+//     is touched and Workers > 1, sub-batches fan out across a bounded
+//     worker pool, bounded by a semaphore, and results scatter back to the
+//     caller's positional slices.
+//
+//   - Budget split: the configured memory budget is the total across all
+//     shards. Every RebalanceEvery batches (and on demand via Rebalance)
+//     the front-end re-splits it by per-shard hotness: a quarter of the
+//     budget is spread evenly — no shard starves entirely, cold ranges can
+//     still expand a few hot leaves — and the rest is handed out
+//     proportionally to each shard's decayed operation counter via the
+//     manager's runtime budget override.
+package shard
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ahi/internal/btree"
+)
+
+// Config configures a ShardedBTree.
+type Config struct {
+	// Shards is the number of key-range partitions (default 1).
+	Shards int
+	// Workers bounds the batch fan-out concurrency (default GOMAXPROCS,
+	// capped at Shards). 1 disables the pool: sub-batches run inline.
+	Workers int
+	// Adaptive is the per-shard tree configuration. MemoryBudget is the
+	// TOTAL across all shards; the front-end splits it by hotness.
+	// RelativeBudget applies per shard unchanged.
+	Adaptive btree.AdaptiveConfig
+	// RebalanceEvery is the number of batches between automatic budget
+	// re-splits (default 64; < 0 disables automatic rebalancing).
+	RebalanceEvery int
+}
+
+func (c *Config) setDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
+	if c.RebalanceEvery == 0 {
+		c.RebalanceEvery = 64
+	}
+}
+
+// shardState is one partition: an adaptive tree plus its serialized
+// session. Tree and manager are concurrency-safe, but sessions are not —
+// single-key operations and sub-batches take the shard mutex and go
+// through the shard's one session, so per-shard work serializes while
+// distinct shards proceed in parallel.
+type shardState struct {
+	a       *btree.Adaptive
+	mu      sync.Mutex
+	session *btree.Session
+	// ops counts routed operations since construction, decayed at every
+	// rebalance — the hotness weight of the budget split.
+	ops atomic.Int64
+}
+
+// ShardedBTree is the key-range-partitioned serving front-end.
+type ShardedBTree struct {
+	cfg    Config
+	bounds []uint64 // bounds[i] = first key of shard i+1; len = Shards-1
+	shards []*shardState
+
+	sem     chan struct{} // bounded fan-out pool
+	batches atomic.Int64  // batch counter driving automatic rebalance
+	total   int64         // total memory budget split across shards
+}
+
+// New creates an empty ShardedBTree whose shards split the uint64 key
+// space evenly.
+func New(cfg Config) *ShardedBTree {
+	cfg.setDefaults()
+	n := cfg.Shards
+	bounds := make([]uint64, n-1)
+	stride := ^uint64(0)/uint64(n) + 1
+	for i := range bounds {
+		bounds[i] = stride * uint64(i+1)
+	}
+	return build(cfg, bounds, nil, nil)
+}
+
+// BulkLoad builds a ShardedBTree from sorted unique keys, partitioning
+// them into equally sized contiguous chunks — each chunk becomes one
+// shard's bulk-loaded tree and its first key the routing bound.
+func BulkLoad(cfg Config, keys, vals []uint64) *ShardedBTree {
+	cfg.setDefaults()
+	if len(keys) != len(vals) {
+		panic("shard: keys and vals length mismatch")
+	}
+	n := cfg.Shards
+	if len(keys) < n {
+		// Not enough keys to cut meaningful ranges: even key-space split.
+		s := New(cfg)
+		ins := make([]bool, len(keys))
+		s.InsertBatch(keys, vals, ins)
+		return s
+	}
+	// Floor division: cut points i*per stay in range for every i < n, and
+	// the last shard absorbs the remainder — rangeOf slices the input with
+	// the same arithmetic, so chunk contents and routing bounds agree.
+	per := len(keys) / n
+	bounds := make([]uint64, 0, n-1)
+	for i := 1; i < n; i++ {
+		bounds = append(bounds, keys[i*per])
+	}
+	return build(cfg, bounds, keys, vals)
+}
+
+func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
+	n := cfg.Shards
+	s := &ShardedBTree{
+		cfg:    cfg,
+		bounds: bounds,
+		shards: make([]*shardState, n),
+		sem:    make(chan struct{}, cfg.Workers),
+		total:  cfg.Adaptive.MemoryBudget,
+	}
+	for i := 0; i < n; i++ {
+		acfg := cfg.Adaptive
+		if s.total > 0 {
+			acfg.MemoryBudget = s.total / int64(n) // even split until hotness data exists
+		}
+		var a *btree.Adaptive
+		if keys != nil {
+			lo, hi := s.rangeOf(i, len(keys))
+			a = btree.BulkLoadAdaptive(acfg, keys[lo:hi], vals[lo:hi])
+		} else {
+			a = btree.NewAdaptive(acfg)
+		}
+		s.shards[i] = &shardState{a: a, session: a.NewSession()}
+	}
+	return s
+}
+
+// rangeOf returns shard i's [lo, hi) slice of the bulk-load input — the
+// same floor-division cut points BulkLoad derived the bounds from.
+func (s *ShardedBTree) rangeOf(i, n int) (int, int) {
+	ns := len(s.shards)
+	per := n / ns
+	lo := i * per
+	hi := lo + per
+	if i == ns-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// shardOf routes a key: the number of bounds <= k is the shard index.
+func (s *ShardedBTree) shardOf(k uint64) int {
+	b := s.bounds
+	if len(b) == 0 {
+		return 0
+	}
+	return sort.Search(len(b), func(i int) bool { return b[i] > k })
+}
+
+// Shards returns the shard count.
+func (s *ShardedBTree) Shards() int { return len(s.shards) }
+
+// Shard exposes shard i's adaptive tree (bench/test introspection).
+func (s *ShardedBTree) Shard(i int) *btree.Adaptive { return s.shards[i].a }
+
+// Lookup routes a single-key lookup through the owning shard's session.
+func (s *ShardedBTree) Lookup(k uint64) (uint64, bool) {
+	sh := s.shards[s.shardOf(k)]
+	sh.ops.Add(1)
+	sh.mu.Lock()
+	v, ok := sh.session.Lookup(k)
+	sh.mu.Unlock()
+	return v, ok
+}
+
+// Insert routes a single-key insert.
+func (s *ShardedBTree) Insert(k, v uint64) bool {
+	sh := s.shards[s.shardOf(k)]
+	sh.ops.Add(1)
+	sh.mu.Lock()
+	ok := sh.session.Insert(k, v)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Delete routes a single-key delete.
+func (s *ShardedBTree) Delete(k uint64) bool {
+	sh := s.shards[s.shardOf(k)]
+	sh.ops.Add(1)
+	sh.mu.Lock()
+	ok := sh.session.Delete(k)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Scan visits up to n pairs with key >= from in ascending key order,
+// crossing shard boundaries as needed.
+func (s *ShardedBTree) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	visited := 0
+	stopped := false
+	wrapped := func(k, v uint64) bool {
+		if !fn(k, v) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for i := s.shardOf(from); i < len(s.shards) && visited < n && !stopped; i++ {
+		sh := s.shards[i]
+		sh.ops.Add(1)
+		sh.mu.Lock()
+		visited += sh.session.Scan(from, n-visited, wrapped)
+		sh.mu.Unlock()
+		if i < len(s.bounds) {
+			from = s.bounds[i] // continue at the next shard's first key
+		}
+	}
+	return visited
+}
+
+// --- Batch routing -----------------------------------------------------
+
+// routeScratch is the pooled grouping buffer of one batch: counting-sort
+// style counts/offsets per shard plus flat gathered key/value/result
+// segments (one contiguous segment per shard).
+type routeScratch struct {
+	counts  []int
+	offsets []int
+	sid     []int32 // per-key shard id from the count pass
+	gidx    []int   // gathered original positions
+	gk, gv  []uint64
+	gf      []bool
+}
+
+var routePool = sync.Pool{New: func() any { return &routeScratch{} }}
+
+func (rs *routeScratch) size(shards, n int) {
+	if cap(rs.counts) < shards+1 {
+		rs.counts = make([]int, shards+1)
+		rs.offsets = make([]int, shards+1)
+	}
+	rs.counts = rs.counts[:shards+1]
+	rs.offsets = rs.offsets[:shards+1]
+	clear(rs.counts)
+	if cap(rs.gidx) < n {
+		rs.sid = make([]int32, n)
+		rs.gidx = make([]int, n)
+		rs.gk = make([]uint64, n)
+		rs.gv = make([]uint64, n)
+		rs.gf = make([]bool, n)
+	}
+	rs.sid = rs.sid[:n]
+	rs.gidx = rs.gidx[:n]
+	rs.gk = rs.gk[:n]
+	rs.gv = rs.gv[:n]
+	rs.gf = rs.gf[:n]
+}
+
+// group gathers the batch into per-shard contiguous segments; segment g is
+// [offsets[g], offsets[g+1]) of the flat arrays. Returns how many shards
+// are touched.
+func (s *ShardedBTree) group(keys []uint64, rs *routeScratch) int {
+	ns := len(s.shards)
+	rs.size(ns, len(keys))
+	for i, k := range keys {
+		g := s.shardOf(k)
+		rs.sid[i] = int32(g)
+		rs.counts[g]++
+	}
+	touched := 0
+	off := 0
+	for g := 0; g < ns; g++ {
+		rs.offsets[g] = off
+		if rs.counts[g] > 0 {
+			touched++
+		}
+		off += rs.counts[g]
+		rs.counts[g] = rs.offsets[g] // reuse as running fill cursor
+	}
+	rs.offsets[ns] = off
+	for i, k := range keys {
+		g := rs.sid[i]
+		p := rs.counts[g]
+		rs.counts[g] = p + 1
+		rs.gidx[p] = i
+		rs.gk[p] = k
+	}
+	return touched
+}
+
+// fanOut runs fn(shard, lo, hi) for every non-empty shard segment —
+// inline when only one shard is touched (or the pool is sized 1), across
+// the bounded worker pool otherwise.
+func (s *ShardedBTree) fanOut(rs *routeScratch, touched int, fn func(g, lo, hi int)) {
+	ns := len(s.shards)
+	if touched <= 1 || cap(s.sem) <= 1 {
+		for g := 0; g < ns; g++ {
+			if lo, hi := rs.offsets[g], rs.offsets[g+1]; hi > lo {
+				fn(g, lo, hi)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < ns; g++ {
+		lo, hi := rs.offsets[g], rs.offsets[g+1]
+		if hi <= lo {
+			continue
+		}
+		wg.Add(1)
+		s.sem <- struct{}{}
+		go func(g, lo, hi int) {
+			defer func() { <-s.sem; wg.Done() }()
+			fn(g, lo, hi)
+		}(g, lo, hi)
+	}
+	wg.Wait()
+}
+
+// LookupBatch looks up len(keys) keys, storing results positionally in
+// vals and found. The batch is grouped by shard, each sub-batch runs the
+// shard tree's interleaved batch-lookup kernel, and sub-batches fan out
+// across the worker pool.
+func (s *ShardedBTree) LookupBatch(keys, vals []uint64, found []bool) {
+	n := len(keys)
+	if len(vals) < n || len(found) < n {
+		panic("shard: LookupBatch result slices shorter than keys")
+	}
+	if n == 0 {
+		return
+	}
+	if len(s.shards) == 1 {
+		// Single shard: no grouping, no gather/scatter — the batch runs on
+		// the caller's slices directly.
+		sh := s.shards[0]
+		sh.ops.Add(int64(n))
+		sh.mu.Lock()
+		sh.session.LookupBatch(keys, vals[:n], found[:n])
+		sh.mu.Unlock()
+		return
+	}
+	rs := routePool.Get().(*routeScratch)
+	touched := s.group(keys, rs)
+	s.fanOut(rs, touched, func(g, lo, hi int) {
+		sh := s.shards[g]
+		sh.ops.Add(int64(hi - lo))
+		sh.mu.Lock()
+		sh.session.LookupBatch(rs.gk[lo:hi], rs.gv[lo:hi], rs.gf[lo:hi])
+		sh.mu.Unlock()
+	})
+	for i := 0; i < n; i++ {
+		vals[rs.gidx[i]] = rs.gv[i]
+		found[rs.gidx[i]] = rs.gf[i]
+	}
+	routePool.Put(rs)
+	s.maybeRebalance()
+}
+
+// InsertBatch inserts len(keys) pairs; inserted[i] reports whether keys[i]
+// was new. Duplicate keys in one batch resolve in submission order within
+// their shard (last value wins).
+func (s *ShardedBTree) InsertBatch(keys, vals []uint64, inserted []bool) {
+	n := len(keys)
+	if len(vals) < n || len(inserted) < n {
+		panic("shard: InsertBatch slices shorter than keys")
+	}
+	if n == 0 {
+		return
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		sh.ops.Add(int64(n))
+		sh.mu.Lock()
+		sh.session.InsertBatch(keys, vals[:n], inserted[:n])
+		sh.mu.Unlock()
+		return
+	}
+	rs := routePool.Get().(*routeScratch)
+	touched := s.group(keys, rs)
+	for i := 0; i < n; i++ {
+		rs.gv[i] = vals[rs.gidx[i]]
+	}
+	s.fanOut(rs, touched, func(g, lo, hi int) {
+		sh := s.shards[g]
+		sh.ops.Add(int64(hi - lo))
+		sh.mu.Lock()
+		sh.session.InsertBatch(rs.gk[lo:hi], rs.gv[lo:hi], rs.gf[lo:hi])
+		sh.mu.Unlock()
+	})
+	for i := 0; i < n; i++ {
+		inserted[rs.gidx[i]] = rs.gf[i]
+	}
+	routePool.Put(rs)
+	s.maybeRebalance()
+}
+
+// --- Budget split ------------------------------------------------------
+
+func (s *ShardedBTree) maybeRebalance() {
+	if s.total <= 0 || s.cfg.RebalanceEvery < 0 || len(s.shards) == 1 {
+		return
+	}
+	if s.batches.Add(1)%int64(s.cfg.RebalanceEvery) == 0 {
+		s.Rebalance()
+	}
+}
+
+// Rebalance re-splits the total memory budget across shards by hotness:
+// 25% evenly (a floor so cold shards keep a little expansion headroom),
+// 75% proportional to each shard's decayed operation count. No-op without
+// an absolute total budget.
+func (s *ShardedBTree) Rebalance() {
+	if s.total <= 0 {
+		return
+	}
+	ns := int64(len(s.shards))
+	var sum int64
+	for _, sh := range s.shards {
+		sum += sh.ops.Load()
+	}
+	reserve := s.total / 4
+	weighted := s.total - reserve
+	for _, sh := range s.shards {
+		share := reserve / ns
+		if sum > 0 {
+			share += weighted * sh.ops.Load() / sum
+		} else {
+			share += weighted / ns
+		}
+		sh.a.Mgr.SetMemoryBudget(share)
+		// Exponential decay so the split tracks shifting hot ranges
+		// instead of the all-time distribution.
+		for {
+			o := sh.ops.Load()
+			if sh.ops.CompareAndSwap(o, o/2) {
+				break
+			}
+		}
+	}
+}
+
+// Ops returns shard i's decayed hotness counter (bench introspection).
+func (s *ShardedBTree) Ops(i int) int64 { return s.shards[i].ops.Load() }
+
+// Len returns the total number of stored keys.
+func (s *ShardedBTree) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.a.Tree.Len()
+	}
+	return n
+}
+
+// Bytes returns the aggregate index footprint.
+func (s *ShardedBTree) Bytes() int64 {
+	var b int64
+	for _, sh := range s.shards {
+		b += sh.a.Tree.Bytes()
+	}
+	return b
+}
+
+// DrainMigrations blocks until every shard's queued asynchronous
+// migrations have applied.
+func (s *ShardedBTree) DrainMigrations() {
+	for _, sh := range s.shards {
+		sh.a.DrainMigrations()
+	}
+}
+
+// Close flushes and stops every shard's migration pipeline.
+func (s *ShardedBTree) Close() {
+	for _, sh := range s.shards {
+		sh.a.Close()
+	}
+}
+
+// Flush merges buffered thread-local samples on every shard session.
+func (s *ShardedBTree) Flush() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.session.Flush()
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"testing"
+
+	"ahi/internal/btree"
+	"ahi/internal/workload"
+)
+
+func benchSharded(b *testing.B, shards int) (*ShardedBTree, []uint64) {
+	b.Helper()
+	n := 1 << 20
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 5
+		vals[i] = uint64(i)
+	}
+	cfg := Config{Shards: shards, Workers: 1, Adaptive: btree.AdaptiveConfig{
+		Tree: btree.Config{DefaultEncoding: btree.EncSuccinct},
+	}}
+	s := BulkLoad(cfg, keys, vals)
+	b.Cleanup(s.Close)
+	return s, keys
+}
+
+func benchLookups(b *testing.B, shards, batch int) {
+	s, keys := benchSharded(b, shards)
+	d := workload.NewZipf(len(keys), 1.1, 7)
+	q := make([]uint64, 512)
+	qv := make([]uint64, batch)
+	qf := make([]bool, batch)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(q) {
+		b.StopTimer()
+		for j := range q {
+			q[j] = keys[d.Draw()]
+		}
+		b.StartTimer()
+		if batch == 1 {
+			for _, k := range q {
+				v, _ := s.Lookup(k)
+				sink += v
+			}
+		} else {
+			for off := 0; off < len(q); off += batch {
+				s.LookupBatch(q[off:off+batch], qv, qf)
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkShardLookup1(b *testing.B)    { benchLookups(b, 1, 1) }
+func BenchmarkShardLookup32(b *testing.B)   { benchLookups(b, 1, 32) }
+func BenchmarkShardLookup128(b *testing.B)  { benchLookups(b, 1, 128) }
+func BenchmarkShard4Lookup128(b *testing.B) { benchLookups(b, 4, 128) }
