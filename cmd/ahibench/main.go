@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ahi/internal/bench"
+	"ahi/internal/obs"
 )
 
 func main() {
@@ -27,8 +28,24 @@ func main() {
 		root   = flag.String("repo", ".", "repository root (for tbl4 LoC counting)")
 		csv    = flag.Bool("csv", false, "render tables as CSV")
 		record = flag.String("record", "", "write metrics JSON to this file (with -exp serving)")
+		trace  = flag.String("trace", "", "run the traced observability workload and write the dump (migration trace + epoch snapshots) to this file")
+		obsSrv = flag.String("obs", "", "serve /metrics, /dump.json and pprof on this address (e.g. localhost:6060) while running")
 	)
 	flag.Parse()
+
+	var o *obs.Observability
+	if *trace != "" || *obsSrv != "" {
+		o = obs.New(0, 0)
+		o.PublishExpvar("ahi")
+		if *obsSrv != "" {
+			_, addr, err := o.Serve(*obsSrv)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("observability endpoint on http://%s/ (metrics, dump.json, debug/pprof)\n", addr)
+		}
+	}
 
 	reg := bench.Registry(*root, *csv)
 	if *list {
@@ -44,6 +61,24 @@ func main() {
 	}
 	start := time.Now()
 	switch {
+	case *trace != "":
+		fmt.Printf("### traced — observability capture (scale %s)\n", sc.Name)
+		if err := bench.RunTraced(sc, o, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		d := o.Dump()
+		d.Recorded = time.Now().UTC().Format(time.RFC3339)
+		d.Experiment = "traced"
+		if *exp != "" {
+			d.Experiment = *exp
+		}
+		d.Scale = sc.Name
+		if err := obs.WriteDump(*trace, d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *trace)
 	case *all:
 		if err := bench.RunAll(reg, sc, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

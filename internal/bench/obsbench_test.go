@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"io"
+	"path/filepath"
+	"testing"
+
+	"ahi/internal/obs"
+)
+
+// TestTraceDumpSchema runs the traced workload end to end and checks the
+// dump round-trips through disk with a schema ahimon --replay accepts:
+// valid tag, per-source monotone snapshot epochs, non-negative costs.
+func TestTraceDumpSchema(t *testing.T) {
+	o := obs.New(0, 0)
+	if err := RunTraced(Tiny, o, io.Discard); err != nil {
+		t.Fatalf("RunTraced: %v", err)
+	}
+	d := o.Dump()
+	d.Experiment = "micro"
+	d.Scale = Tiny.Name
+	if len(d.Snapshots) == 0 {
+		t.Fatal("no epoch snapshots recorded")
+	}
+	if len(d.Trace) == 0 {
+		t.Fatal("no migration trace events recorded")
+	}
+	sources := map[string]bool{}
+	for _, s := range d.Snapshots {
+		sources[s.Source] = true
+	}
+	if !sources["btree"] {
+		t.Fatalf("missing btree source in snapshots: %v", sources)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := obs.WriteDump(path, d); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	back, err := obs.ReadDump(path)
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("Validate after round-trip: %v", err)
+	}
+	if back.Experiment != "micro" || back.Scale != "tiny" {
+		t.Fatalf("metadata lost: exp=%q scale=%q", back.Experiment, back.Scale)
+	}
+	if len(back.Trace) != len(d.Trace) || len(back.Snapshots) != len(d.Snapshots) {
+		t.Fatalf("round-trip changed counts: trace %d->%d snaps %d->%d",
+			len(d.Trace), len(back.Trace), len(d.Snapshots), len(back.Snapshots))
+	}
+}

@@ -3,6 +3,7 @@ package btree
 import (
 	"ahi/internal/core"
 	"ahi/internal/hashmap"
+	"ahi/internal/obs"
 )
 
 // LeafCtx is the context the adaptation manager stores per tracked leaf:
@@ -47,6 +48,13 @@ type AdaptiveConfig struct {
 	ImpatientCompaction bool
 	// OnAdapt observes adaptation phases.
 	OnAdapt func(core.AdaptInfo)
+	// Obs attaches an observability sink: the manager then emits metrics,
+	// per-migration trace events and per-epoch encoding-distribution
+	// snapshots into it. Nil disables all instrumentation (zero overhead on
+	// the access path). ObsSource labels this tree's series — shard fronts
+	// set it to "shard<i>" so per-shard scopes aggregate in one registry.
+	Obs       *obs.Observability
+	ObsSource string
 }
 
 // Adaptive is the workload-adaptive Hybrid B+-tree: a Tree plus its
@@ -102,6 +110,12 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 		MigrationWorkers: cfg.MigrationWorkers,
 		MigrationQueue:   cfg.MigrationQueue,
 	}
+	if cfg.Obs != nil {
+		mcfg.Obs = cfg.Obs.Index(cfg.ObsSource,
+			func(e uint8) string { return EncodingName(core.Encoding(e)) })
+		mcfg.Distribution = a.distribution
+		mcfg.EncodingOf = func(l *Leaf) (core.Encoding, bool) { return l.Encoding(), true }
+	}
 	a.Mgr = core.New(mcfg)
 	// Keep tracked contexts fresh across splits (§4.1.4: "in case a leaf
 	// node gets a new parent, this information must be propagated").
@@ -112,6 +126,18 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 		a.Mgr.UpdateContext(left, LeafCtx{})
 	}
 	return a
+}
+
+// distribution reports the per-encoding leaf population for epoch
+// snapshots, straight off the tree's atomic per-encoding counters.
+func (a *Adaptive) distribution() []obs.EncodingClass {
+	sc, pc, gc := a.Tree.LeafCounts()
+	sb, pb, gb := a.Tree.LeafBytes()
+	return []obs.EncodingClass{
+		{Name: "succinct", Units: sc, Bytes: sb},
+		{Name: "packed", Units: pc, Bytes: pb},
+		{Name: "gapped", Units: gc, Bytes: gb},
+	}
 }
 
 // unitCounts reports leaves per encoding class for Equation (1) and the

@@ -3,7 +3,9 @@ package core
 import (
 	"math"
 	"sort"
+	"time"
 
+	"ahi/internal/obs"
 	"ahi/internal/topk"
 )
 
@@ -20,6 +22,11 @@ type candidate[ID comparable, Ctx any] struct {
 // adapt runs Phase II (§3.1.4): classify, apply the CSHF and migrations,
 // then adapt skip length and sample size, and open the next epoch.
 func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
+	x := m.cfg.Obs
+	var phaseStart time.Time
+	if x != nil {
+		phaseStart = time.Now()
+	}
 	// Apply identity changes recorded by asynchronous migrations since the
 	// previous phase, so candidates are collected under current keys.
 	m.applyRekeys()
@@ -79,7 +86,7 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 	//    deleted here, so a later re-key would have nothing to move.
 	budget := m.budget(units)
 	env := Env{Epoch: epoch}
-	migrations, queued, evictions, fallbacks := 0, 0, 0, 0
+	migrations, queued, evictions, fallbacks, deduped := 0, 0, 0, 0, 0
 	for i := range cands {
 		c := &cands[i]
 		c.stats.PushClassification(c.hot)
@@ -92,20 +99,57 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		act := m.cfg.Heuristic(c.id, &c.ctx, &c.stats, env)
 		newID := c.id
 		if act.Migrate {
-			enqueued := false
+			// Trace classification: hot units migrate because the top-k
+			// pass classified them; cold units under a blown budget
+			// compact under budget pressure; everything else is the
+			// CSHF's own (history-driven) decision.
+			trig := obs.TriggerCSHF
+			if env.Hot {
+				trig = obs.TriggerTopK
+			} else if env.BudgetRemaining < 0 {
+				trig = obs.TriggerBudget
+			}
+			from := int16(-1)
+			if x != nil && m.cfg.EncodingOf != nil {
+				if e, known := m.cfg.EncodingOf(c.id); known {
+					from = int16(e)
+				}
+			}
+			handled := false
 			if m.pipe != nil && !act.Evict {
-				if m.pipe.enqueue(migrationJob[ID, Ctx]{id: c.id, ctx: c.ctx, target: act.Target}) {
+				job := migrationJob[ID, Ctx]{id: c.id, ctx: c.ctx, target: act.Target,
+					epoch: epoch, from: from, trig: trig}
+				if x != nil {
+					job.enqueuedAt = time.Now().UnixNano()
+				}
+				switch m.pipe.enqueue(job) {
+				case enqOK:
 					queued++
-					enqueued = true
-				} else {
+					handled = true
+				case enqDup:
+					// The identical job is already queued or executing;
+					// running it inline too would re-encode the unit
+					// twice. Count the absorbed churn and move on.
+					deduped++
+					handled = true
+				default:
 					// Queue full or closing: the lossless contract demands
 					// the migration runs inline, and the bench wants to see
 					// that pressure.
 					fallbacks++
 				}
 			}
-			if !enqueued {
-				if id2, ok := m.cfg.Migrate(c.id, c.ctx, act.Target); ok {
+			if !handled {
+				var t0 time.Time
+				if x != nil {
+					t0 = time.Now()
+				}
+				id2, ok := m.cfg.Migrate(c.id, c.ctx, act.Target)
+				if x != nil {
+					x.RecordMigration(epoch, m.cfg.Hash(c.id), from, uint8(act.Target),
+						trig, false, ok, 0, time.Since(t0).Nanoseconds())
+				}
+				if ok {
 					newID = id2
 					migrations++
 				}
@@ -118,7 +162,9 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 	}
 	m.totalMigrations.Add(int64(migrations))
 	m.inlineFallbacks.Add(int64(fallbacks))
+	m.dedupedEnqueues.Add(int64(deduped))
 	m.totalAdapts.Add(1)
+	uniqueSamples := len(cands)
 	m.candScratch = cands[:0]
 	m.hotScratch = hotMark[:0]
 
@@ -153,15 +199,52 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 	m.epoch.Add(1)
 	m.filterEpoch.Add(1)
 
+	if x != nil {
+		adaptNs := time.Since(phaseStart).Nanoseconds()
+		x.Adapts.Inc()
+		x.AdaptNs.Observe(adaptNs)
+		x.Fallbacks.Add(int64(fallbacks))
+		x.Deduped.Add(int64(deduped))
+		x.Evictions.Add(int64(evictions))
+		tracked, fwBytes := m.StoreStats()
+		snap := obs.Snapshot{
+			Epoch:           epoch,
+			Skip:            int(m.globalSkip.Load()),
+			SampleSize:      newSize,
+			SampledTotal:    sampled,
+			UniqueSamples:   uniqueSamples,
+			Hot:             hotCount,
+			K:               k,
+			Migrations:      migrations + queued,
+			Queued:          queued,
+			InlineFallbacks: fallbacks,
+			Deduped:         deduped,
+			Evicted:         evictions,
+			PipeDepth:       m.QueuedMigrations(),
+			TrackedUnits:    tracked,
+			FrameworkBytes:  fwBytes,
+			UsedBytes:       m.cfg.UsedMemory(),
+			AdaptNs:         adaptNs,
+		}
+		if budget != math.MaxInt64 {
+			snap.BudgetBytes = budget
+		}
+		if m.cfg.Distribution != nil {
+			snap.Encodings = m.cfg.Distribution()
+		}
+		x.RecordSnapshot(snap)
+	}
+
 	if m.cfg.OnAdapt != nil {
 		m.cfg.OnAdapt(AdaptInfo{
 			Epoch:           epoch,
-			UniqueSamples:   len(cands),
+			UniqueSamples:   uniqueSamples,
 			SampledTotal:    sampled,
 			Hot:             hotCount,
 			Migrations:      migrations,
 			Queued:          queued,
 			InlineFallbacks: fallbacks,
+			Deduped:         deduped,
 			PipeDepth:       m.QueuedMigrations(),
 			LastDrainNs:     m.lastDrainNs.Load(),
 			Evicted:         evictions,
@@ -242,7 +325,17 @@ func (m *Manager[ID, Ctx]) TrainOffline(freqs []IDFreq[ID, Ctx]) int {
 		if !act.Migrate {
 			continue
 		}
-		if _, ok := m.cfg.Migrate(freqs[i].ID, freqs[i].Ctx, act.Target); ok {
+		x := m.cfg.Obs
+		var t0 time.Time
+		if x != nil {
+			t0 = time.Now()
+		}
+		_, ok := m.cfg.Migrate(freqs[i].ID, freqs[i].Ctx, act.Target)
+		if x != nil {
+			x.RecordMigration(m.epoch.Load(), m.cfg.Hash(freqs[i].ID), -1,
+				uint8(act.Target), obs.TriggerOffline, false, ok, 0, time.Since(t0).Nanoseconds())
+		}
+		if ok {
 			migrations++
 		}
 	}

@@ -189,6 +189,12 @@ type AdaptInfo struct {
 	// closing) — the pipeline's backpressure signal. Included in
 	// Migrations; always 0 without AsyncMigrations.
 	InlineFallbacks int
+	// Deduped counts proposed migrations this phase that were dropped
+	// because an identical job (same unit, same target encoding) was
+	// already queued or executing — re-classification churn the pipeline
+	// absorbed. Not included in Migrations or Queued; always 0 without
+	// AsyncMigrations.
+	Deduped int
 	// PipeDepth is the number of migrations still waiting in the pipeline
 	// queue when the phase completed (0 without AsyncMigrations).
 	PipeDepth int

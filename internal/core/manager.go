@@ -7,6 +7,7 @@ import (
 
 	"ahi/internal/bloom"
 	"ahi/internal/hashmap"
+	"ahi/internal/obs"
 	"ahi/internal/topk"
 )
 
@@ -90,6 +91,22 @@ type Config[ID comparable, Ctx any] struct {
 
 	// OnAdapt, if set, observes every completed adaptation phase.
 	OnAdapt func(AdaptInfo)
+
+	// Obs, if set, attaches the manager to an observability scope: every
+	// migration becomes a trace event (with trigger classification, queue
+	// wait and build latency), every adaptation phase emits an
+	// encoding-distribution snapshot, and the scope's counters/histograms
+	// track sampling and pipeline pressure. Nil disables instrumentation;
+	// the instrumented paths then cost one nil check each.
+	Obs *obs.Index
+	// Distribution, optional, reports the index's per-encoding unit/byte
+	// distribution for snapshots (e.g. succinct/packed/gapped leaves).
+	// Consulted once per adaptation phase; ignored without Obs.
+	Distribution func() []obs.EncodingClass
+	// EncodingOf, optional, reports a unit's current encoding so trace
+	// events can name the migration's origin. Must be cheap (it runs once
+	// per proposed migration); ignored without Obs.
+	EncodingOf func(ID) (Encoding, bool)
 }
 
 func (c *Config[ID, Ctx]) setDefaults() {
@@ -171,6 +188,7 @@ type Manager[ID comparable, Ctx any] struct {
 	totalAdapts     atomic.Int64
 	samplerBytes    atomic.Int64
 	inlineFallbacks atomic.Int64
+	dedupedEnqueues atomic.Int64
 	lastDrainNs     atomic.Int64
 
 	// budgetOverride, when positive, replaces the configured memory budget
@@ -277,35 +295,47 @@ func (m *Manager[ID, Ctx]) Adaptations() int64 { return m.totalAdapts.Load() }
 // queue-pressure over the manager's lifetime (0 without AsyncMigrations).
 func (m *Manager[ID, Ctx]) InlineFallbacks() int64 { return m.inlineFallbacks.Load() }
 
+// DedupedEnqueues returns how many proposed migrations were dropped
+// because an identical job (same unit, same target encoding) was already
+// queued or executing in the pipeline — re-classification churn the
+// pipeline absorbed without re-encoding twice (0 without AsyncMigrations).
+func (m *Manager[ID, Ctx]) DedupedEnqueues() int64 { return m.dedupedEnqueues.Load() }
+
 // LastDrainNs returns the duration of the most recent DrainMigrations
 // call in nanoseconds (0 if never drained).
 func (m *Manager[ID, Ctx]) LastDrainNs() int64 { return m.lastDrainNs.Load() }
+
+// StoreStats returns the tracked-unit count and the framework's byte
+// footprint (sample stores plus per-sampler filters) from ONE snapshot of
+// the unit map: both figures are read in a single pass under the same
+// locks. Calling TrackedUnits and Bytes separately makes two passes, and
+// a concurrent Forget landing between them produces a (units, bytes) pair
+// that never existed — snapshot emitters must use this instead.
+func (m *Manager[ID, Ctx]) StoreStats() (units int, bytes int64) {
+	if m.shared != nil {
+		n, b := m.shared.Stats()
+		return n, int64(b) + m.samplerBytes.Load()
+	}
+	m.mergeMu.Lock()
+	units = m.local.Len()
+	bytes = int64(m.local.Bytes())
+	m.mergeMu.Unlock()
+	return units, bytes + m.samplerBytes.Load()
+}
 
 // Bytes reports the memory the sampling framework itself occupies (sample
 // stores plus per-sampler filters) — the paper reports this as 0.1% of the
 // index size in Figure 12.
 func (m *Manager[ID, Ctx]) Bytes() int64 {
-	var b int64
-	if m.shared != nil {
-		b += int64(m.shared.Bytes())
-	}
-	if m.local != nil {
-		m.mergeMu.Lock()
-		b += int64(m.local.Bytes())
-		m.mergeMu.Unlock()
-	}
-	return b + m.samplerBytes.Load()
+	_, b := m.StoreStats()
+	return b
 }
 
 // TrackedUnits returns the number of units currently tracked in the
 // central store (TLS-local entries not yet merged are excluded).
 func (m *Manager[ID, Ctx]) TrackedUnits() int {
-	if m.shared != nil {
-		return m.shared.Len()
-	}
-	m.mergeMu.Lock()
-	defer m.mergeMu.Unlock()
-	return m.local.Len()
+	n, _ := m.StoreStats()
+	return n
 }
 
 // UpdateContext propagates a context change (e.g. a leaf's parent changed
@@ -434,6 +464,9 @@ func (s *Sampler[ID, Ctx]) SampleOffsets(n int, dst []int) []int {
 // recent known parent); counters reset when the entry's epoch is stale.
 func (s *Sampler[ID, Ctx]) Track(id ID, at AccessType, ctx Ctx) {
 	m := s.m
+	if x := m.cfg.Obs; x != nil {
+		x.Samples.Inc()
+	}
 	epoch := m.epoch.Load()
 	if s.filter != nil {
 		// Reset the filter lazily when a new phase began.

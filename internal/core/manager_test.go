@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"ahi/internal/hashmap"
 )
@@ -236,4 +237,136 @@ func TestCustomEpsilonShrinksSample(t *testing.T) {
 	if New(loose).SampleSize() >= New(tight).SampleSize() {
 		t.Fatal("looser bounds must yield smaller samples")
 	}
+}
+
+func TestSampleOffsetsMatchesIsSample(t *testing.T) {
+	// SampleOffsets is the batched form of IsSample: over any chunking of
+	// the same access stream, both must pick exactly the same positions.
+	mk := func() *Sampler[int, struct{}] {
+		ix := newMockIndex(64)
+		cfg := ix.config(SingleThreaded, 1)
+		cfg.InitialSkip = 7
+		cfg.AdaptiveSkip = false
+		return New(cfg).NewSampler()
+	}
+	const total = 1000
+	ref := mk()
+	var want []int
+	for i := 0; i < total; i++ {
+		if ref.IsSample() {
+			want = append(want, i)
+		}
+	}
+	for _, chunk := range []int{1, 3, 64, 250, total} {
+		got := make([]int, 0, len(want))
+		s := mk()
+		for base := 0; base < total; base += chunk {
+			n := chunk
+			if rem := total - base; rem < n {
+				n = rem
+			}
+			for _, off := range s.SampleOffsets(n, nil) {
+				got = append(got, base+off)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d samples, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: sample %d at %d, want %d", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSampleOffsetsEdgeCases(t *testing.T) {
+	ix := newMockIndex(64)
+	cfg := ix.config(SingleThreaded, 1)
+	cfg.InitialSkip = 100
+	cfg.AdaptiveSkip = false
+	s := New(cfg).NewSampler()
+
+	// n = 0 must not consume skip state nor touch dst.
+	dst := []int{42}
+	if got := s.SampleOffsets(0, dst); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("n=0 mutated dst: %v", got)
+	}
+	// The counter starts at the global skip (100), far larger than the
+	// batch (10): the first batches are all empty, and the counter must
+	// carry across batch boundaries.
+	if got := s.SampleOffsets(1, nil); len(got) != 0 {
+		t.Fatalf("access during initial skip sampled: %v", got)
+	}
+	for b := 0; b < 9; b++ {
+		if got := s.SampleOffsets(10, nil); len(got) != 0 {
+			t.Fatalf("batch %d: unexpected samples %v during skip run", b, got)
+		}
+	}
+	// 91 accesses consumed; the 100-skip expires 9 accesses into the next
+	// batch, making its offset 9 the first sample.
+	if got := s.SampleOffsets(10, nil); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("post-skip sample misplaced: %v", got)
+	}
+	// A batch spanning several skip windows yields several samples.
+	if got := s.SampleOffsets(205, nil); len(got) != 2 || got[0] != 100 || got[1] != 201 {
+		t.Fatalf("spanning batch samples = %v, want [100 201]", got)
+	}
+}
+
+func TestStoreStatsConsistentUnderConcurrentForget(t *testing.T) {
+	// Satellite regression: Bytes()/TrackedUnits() used to take two
+	// separate passes over the shared store, so a Forget between them
+	// produced (units, bytes) pairs no single moment ever exhibited.
+	// StoreStats reads both in one pass; this hammers it under -race.
+	ix := newMockIndex(4096)
+	cfg := ix.config(GS, 4)
+	cfg.DisableBloom = true
+	m := New(cfg)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			s := m.NewSampler()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Track((seed*31+i)%4096, Read, struct{}{})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Forget(i % 4096)
+		}
+	}()
+	deadline := time.After(200 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			units, bytes := m.StoreStats()
+			if units < 0 || bytes < 0 {
+				t.Fatalf("negative snapshot: units=%d bytes=%d", units, bytes)
+			}
+			if m.TrackedUnits() < 0 || m.Bytes() < 0 {
+				t.Fatal("negative accessor result")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

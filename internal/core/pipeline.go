@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"ahi/internal/obs"
 )
 
 // This file implements the off-critical-path migration pipeline: when
@@ -24,7 +26,10 @@ import (
 //  2. The queue is bounded and lossless: when it is full (or the
 //     pipeline is closing), adapt() falls back to migrating inline, so
 //     backpressure degrades to the old behaviour instead of dropping
-//     reorganization work.
+//     reorganization work. A proposed migration that exactly matches a
+//     job already queued or executing (same unit, same target) is
+//     deduplicated instead: the pending job will perform it, so running
+//     it inline too would re-encode the unit twice.
 //
 // Requirements on the index: Migrate must be safe to call concurrently
 // with foreground reads/writes and with other Migrate calls (the Hybrid
@@ -32,24 +37,51 @@ import (
 // Indexes whose migrations mutate shared structure without locks (the
 // single-threaded Hybrid Trie) must keep AsyncMigrations off.
 
-// migrationJob is one deferred encoding migration.
+// migrationJob is one deferred encoding migration. epoch/from/trig and
+// enqueuedAt carry observability context to the worker (enqueuedAt is 0
+// when no observer is attached — the wait is then not measured).
 type migrationJob[ID comparable, Ctx any] struct {
-	id     ID
-	ctx    Ctx
-	target Encoding
+	id         ID
+	ctx        Ctx
+	target     Encoding
+	epoch      uint32
+	from       int16 // encoding before migration; -1 unknown
+	trig       obs.Trigger
+	enqueuedAt int64 // UnixNano at enqueue; 0 without observability
 }
 
 // rekeyPair records an identity change performed by a worker.
 type rekeyPair[ID comparable] struct{ old, new ID }
+
+// enqueueStatus is the outcome of a pipeline enqueue attempt.
+type enqueueStatus uint8
+
+const (
+	// enqOK: the job was accepted and will execute asynchronously.
+	enqOK enqueueStatus = iota
+	// enqFull: the queue is at capacity; the caller must migrate inline.
+	enqFull
+	// enqClosed: the pipeline is shutting down; migrate inline.
+	enqClosed
+	// enqDup: an identical job (unit, target) is already queued or
+	// executing; the caller should skip the migration entirely.
+	enqDup
+)
 
 // migrationPipeline is the bounded worker pool behind AsyncMigrations.
 type migrationPipeline[ID comparable, Ctx any] struct {
 	m     *Manager[ID, Ctx]
 	queue chan migrationJob[ID, Ctx]
 
-	mu     sync.Mutex // guards queue sends vs. close, rekeys, and pending
+	mu     sync.Mutex // guards queue sends vs. close, rekeys, inflight, and pending
 	closed bool
 	rekeys []rekeyPair[ID]
+	// inflight tracks the target encoding of every queued or executing
+	// job per unit, backing enqueue deduplication. A retargeted unit
+	// (same id, different target) is accepted and overwrites the marker;
+	// the first job's completion then clears it early, so dedup may
+	// under-deduplicate across retargets — it never drops distinct work.
+	inflight map[ID]Encoding
 
 	wg sync.WaitGroup // running workers
 	// pending counts queued or executing jobs. A plain counter under mu
@@ -61,7 +93,11 @@ type migrationPipeline[ID comparable, Ctx any] struct {
 }
 
 func newMigrationPipeline[ID comparable, Ctx any](m *Manager[ID, Ctx], workers, depth int) *migrationPipeline[ID, Ctx] {
-	p := &migrationPipeline[ID, Ctx]{m: m, queue: make(chan migrationJob[ID, Ctx], depth)}
+	p := &migrationPipeline[ID, Ctx]{
+		m:        m,
+		queue:    make(chan migrationJob[ID, Ctx], depth),
+		inflight: make(map[ID]Encoding, depth),
+	}
 	p.idle = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -73,8 +109,25 @@ func newMigrationPipeline[ID comparable, Ctx any](m *Manager[ID, Ctx], workers, 
 func (p *migrationPipeline[ID, Ctx]) run() {
 	defer p.wg.Done()
 	for job := range p.queue {
+		x := p.m.cfg.Obs
+		var wait int64
+		var t0 time.Time
+		if x != nil {
+			if job.enqueuedAt > 0 {
+				wait = time.Now().UnixNano() - job.enqueuedAt
+				if wait < 0 {
+					wait = 0
+				}
+			}
+			t0 = time.Now()
+		}
 		newID, ok := p.m.cfg.Migrate(job.id, job.ctx, job.target)
+		if x != nil {
+			x.RecordMigration(job.epoch, p.m.cfg.Hash(job.id), job.from,
+				uint8(job.target), job.trig, true, ok, wait, time.Since(t0).Nanoseconds())
+		}
 		p.mu.Lock()
+		delete(p.inflight, job.id)
 		if ok {
 			p.m.totalMigrations.Add(1)
 			if newID != job.id {
@@ -89,20 +142,25 @@ func (p *migrationPipeline[ID, Ctx]) run() {
 	}
 }
 
-// enqueue hands a migration to the pool; false means the queue is full or
-// the pipeline closed, and the caller must migrate inline.
-func (p *migrationPipeline[ID, Ctx]) enqueue(job migrationJob[ID, Ctx]) bool {
+// enqueue hands a migration to the pool. enqFull/enqClosed mean the
+// caller must migrate inline; enqDup means an identical job is already
+// pending and the caller should skip the unit this phase.
+func (p *migrationPipeline[ID, Ctx]) enqueue(job migrationJob[ID, Ctx]) enqueueStatus {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return false
+		return enqClosed
+	}
+	if tgt, dup := p.inflight[job.id]; dup && tgt == job.target {
+		return enqDup
 	}
 	select {
 	case p.queue <- job:
+		p.inflight[job.id] = job.target
 		p.pending++
-		return true
+		return enqOK
 	default:
-		return false
+		return enqFull
 	}
 }
 

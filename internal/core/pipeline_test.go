@@ -132,7 +132,7 @@ func TestAsyncQueueFullRejectsEnqueue(t *testing.T) {
 	m := New(cfg)
 	p := m.pipe
 
-	if !p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}) {
+	if p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}) != enqOK {
 		t.Fatal("first enqueue must succeed")
 	}
 	// Wait until the worker picked the job up and is blocked inside
@@ -140,10 +140,10 @@ func TestAsyncQueueFullRejectsEnqueue(t *testing.T) {
 	for calls.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	if !p.enqueue(migrationJob[int, struct{}]{id: 2, target: 1}) {
+	if p.enqueue(migrationJob[int, struct{}]{id: 2, target: 1}) != enqOK {
 		t.Fatal("second enqueue must fill the depth-1 queue")
 	}
-	if p.enqueue(migrationJob[int, struct{}]{id: 3, target: 1}) {
+	if p.enqueue(migrationJob[int, struct{}]{id: 3, target: 1}) != enqFull {
 		t.Fatal("third enqueue must report a full queue (inline fallback)")
 	}
 	if q := m.QueuedMigrations(); q != 1 {
@@ -155,7 +155,7 @@ func TestAsyncQueueFullRejectsEnqueue(t *testing.T) {
 		t.Fatalf("calls=%d want 2", calls.Load())
 	}
 	m.Close()
-	if p.enqueue(migrationJob[int, struct{}]{id: 4, target: 1}) {
+	if p.enqueue(migrationJob[int, struct{}]{id: 4, target: 1}) != enqClosed {
 		t.Fatal("enqueue after Close must fail")
 	}
 }
@@ -199,7 +199,7 @@ func TestAsyncCloseFlushesQueue(t *testing.T) {
 	m := New(cfg)
 	enq := 0
 	for i := 0; i < 20; i++ {
-		if m.pipe.enqueue(migrationJob[int, struct{}]{id: i, target: 1}) {
+		if m.pipe.enqueue(migrationJob[int, struct{}]{id: i, target: 1}) == enqOK {
 			enq++
 		}
 	}
@@ -265,7 +265,7 @@ func TestPipelineEnqueueCloseDrainRace(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for i := 0; i < 5000; i++ {
-				if p.enqueue(migrationJob[int, struct{}]{id: g*5000 + i, target: 1}) {
+				if p.enqueue(migrationJob[int, struct{}]{id: g*5000 + i, target: 1}) == enqOK {
 					accepted.Add(1)
 				}
 			}
@@ -295,7 +295,7 @@ func TestPipelineEnqueueCloseDrainRace(t *testing.T) {
 	if got, want := executed.Load(), accepted.Load(); got != want {
 		t.Fatalf("executed %d of %d accepted jobs (lossless contract broken)", got, want)
 	}
-	if p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}) {
+	if p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}) == enqOK {
 		t.Fatal("enqueue after Close must be rejected")
 	}
 	if got, want := executed.Load(), accepted.Load(); got != want {
@@ -328,11 +328,11 @@ func TestAdaptInfoSurfacesPipelinePressure(t *testing.T) {
 	cfg.OnAdapt = func(ai AdaptInfo) { last = ai }
 	m := New(cfg)
 	// Wedge the worker and fill the depth-1 queue.
-	if !m.pipe.enqueue(migrationJob[int, struct{}]{id: 1000, target: 1}) {
+	if m.pipe.enqueue(migrationJob[int, struct{}]{id: 1000, target: 1}) != enqOK {
 		t.Fatal("wedge enqueue failed")
 	}
 	<-started // worker is inside Migrate; the queue slot is free again
-	if !m.pipe.enqueue(migrationJob[int, struct{}]{id: 1001, target: 1}) {
+	if m.pipe.enqueue(migrationJob[int, struct{}]{id: 1001, target: 1}) != enqOK {
 		t.Fatal("fill enqueue failed")
 	}
 	s := m.NewSampler()
@@ -382,5 +382,100 @@ func TestSetMemoryBudgetOverride(t *testing.T) {
 	m.SetMemoryBudget(0) // remove override
 	if got := m.budget(u); got != 1000 {
 		t.Fatalf("budget after override removal = %d want 1000", got)
+	}
+}
+
+func TestEnqueueDedupStatuses(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var calls atomic.Int32
+	ix := newMockIndex(10)
+	cfg := asyncConfig(ix, SingleThreaded, 1)
+	cfg.MigrationWorkers = 1
+	cfg.MigrationQueue = 8
+	cfg.Migrate = func(id int, _ struct{}, _ Encoding) (int, bool) {
+		calls.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-block
+		return id, true
+	}
+	m := New(cfg)
+	p := m.pipe
+
+	if got := p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}); got != enqOK {
+		t.Fatalf("first enqueue = %d, want enqOK", got)
+	}
+	<-started // job 1 is executing; its inflight marker must still dedup
+	if got := p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}); got != enqDup {
+		t.Fatalf("duplicate of executing job = %d, want enqDup", got)
+	}
+	if got := p.enqueue(migrationJob[int, struct{}]{id: 2, target: 1}); got != enqOK {
+		t.Fatalf("distinct unit = %d, want enqOK", got)
+	}
+	if got := p.enqueue(migrationJob[int, struct{}]{id: 2, target: 1}); got != enqDup {
+		t.Fatalf("duplicate of queued job = %d, want enqDup", got)
+	}
+	// A retarget (same unit, different encoding) is distinct work.
+	if got := p.enqueue(migrationJob[int, struct{}]{id: 2, target: 2}); got != enqOK {
+		t.Fatalf("retargeted unit = %d, want enqOK", got)
+	}
+	close(block)
+	m.Close()
+	if calls.Load() != 3 {
+		t.Fatalf("executed %d jobs, want 3 (dups must not run)", calls.Load())
+	}
+}
+
+func TestAdaptCountsDedupedEnqueues(t *testing.T) {
+	// A phase that proposes a migration identical to a job already in the
+	// pipeline must skip it and surface the count via AdaptInfo.Deduped
+	// and Manager.DedupedEnqueues().
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	ix := newMockIndex(64)
+	cfg := asyncConfig(ix, SingleThreaded, 1)
+	cfg.MigrationWorkers = 1
+	cfg.MigrationQueue = 8
+	cfg.DisableBloom = true
+	cfg.Migrate = func(id int, c struct{}, tgt Encoding) (int, bool) {
+		if id == 0 {
+			started <- struct{}{}
+			<-block
+		}
+		return ix.migrate(id, c, tgt)
+	}
+	var last AdaptInfo
+	cfg.OnAdapt = func(ai AdaptInfo) { last = ai }
+	m := New(cfg)
+	// Pre-queue unit 0's expansion and wait until the worker holds it.
+	if m.pipe.enqueue(migrationJob[int, struct{}]{id: 0, target: 1}) != enqOK {
+		t.Fatal("pre-queue failed")
+	}
+	<-started
+	s := m.NewSampler()
+	for i := 0; i < 4; i++ {
+		s.Track(i, Read, struct{}{})
+		s.Track(i, Read, struct{}{})
+	}
+	m.adapt(m.epoch.Load())
+	if last.Deduped != 1 {
+		t.Fatalf("AdaptInfo.Deduped = %d, want 1", last.Deduped)
+	}
+	if m.DedupedEnqueues() != 1 {
+		t.Fatalf("DedupedEnqueues = %d, want 1", m.DedupedEnqueues())
+	}
+	if last.Queued != 3 {
+		t.Fatalf("Queued = %d, want 3 (units 1..3)", last.Queued)
+	}
+	if last.InlineFallbacks != 0 {
+		t.Fatalf("InlineFallbacks = %d, want 0 (queue had room)", last.InlineFallbacks)
+	}
+	close(block)
+	m.Close()
+	if !ix.isExpanded(0) {
+		t.Fatal("pre-queued expansion of unit 0 must still execute")
 	}
 }

@@ -11,11 +11,13 @@ package dualstage
 import (
 	"math"
 	"sort"
+	"time"
 
 	"ahi/internal/bitutil"
 	"ahi/internal/bloom"
 	"ahi/internal/btree"
 	"ahi/internal/hashmap"
+	"ahi/internal/obs"
 )
 
 // StaticEncoding selects the read-only stage's layout.
@@ -36,6 +38,29 @@ type Config struct {
 	MergeThreshold float64
 	// BloomBitsPerKey sizes the filter over dynamic keys (default 10).
 	BloomBitsPerKey int
+	// Obs attaches an observability sink: every dynamic→static merge then
+	// emits a trace event (trigger "merge", build time = merge duration) and
+	// a stage-distribution snapshot. Nil disables instrumentation.
+	Obs       *obs.Observability
+	ObsSource string
+}
+
+// Stage-encoding ids for observability ("from" of a merge is the dynamic
+// stage; "to" is the configured static encoding).
+const obsEncDynamic = 2
+
+// encodingName names the dual-stage encodings for observability output.
+func encodingName(e uint8) string {
+	switch e {
+	case uint8(Packed):
+		return "packed"
+	case uint8(Succinct):
+		return "succinct"
+	case obsEncDynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
 }
 
 // succinctBlock is one FOR-coded block of the static stage.
@@ -151,6 +176,7 @@ type Index struct {
 	live    int
 	deletes map[uint64]struct{} // tombstones pending the next merge
 	merges  int
+	obsx    *obs.Index
 }
 
 // New bulk-loads all initial data into the static stage.
@@ -166,6 +192,9 @@ func New(cfg Config, keys, vals []uint64) *Index {
 		static:  newStatic(cfg.Static, keys, vals),
 		deletes: map[uint64]struct{}{},
 		live:    len(keys),
+	}
+	if cfg.Obs != nil {
+		ix.obsx = cfg.Obs.Index(cfg.ObsSource, encodingName)
 	}
 	ix.resetDynamic(len(keys))
 	return ix
@@ -294,6 +323,10 @@ func (ix *Index) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
 
 // merge folds the dynamic stage and tombstones into a new static stage.
 func (ix *Index) merge() {
+	var t0 time.Time
+	if ix.obsx != nil {
+		t0 = time.Now()
+	}
 	total := ix.static.n + ix.dynamic.Len()
 	keys := make([]uint64, 0, total)
 	vals := make([]uint64, 0, total)
@@ -338,4 +371,18 @@ func (ix *Index) merge() {
 	ix.live = len(keys)
 	ix.resetDynamic(len(keys))
 	ix.merges++
+	if x := ix.obsx; x != nil {
+		x.RecordMigration(uint32(ix.merges), uint64(ix.merges), obsEncDynamic,
+			uint8(ix.cfg.Static), obs.TriggerMerge, false, true, 0,
+			time.Since(t0).Nanoseconds())
+		x.RecordSnapshot(obs.Snapshot{
+			Epoch:      uint32(ix.merges),
+			Migrations: 1,
+			UsedBytes:  ix.Bytes(),
+			Encodings: []obs.EncodingClass{
+				{Name: encodingName(uint8(ix.cfg.Static)), Units: int64(ix.static.n), Bytes: ix.static.bytes()},
+				{Name: "dynamic", Units: int64(ix.dynN), Bytes: ix.dynamic.Bytes() + int64(ix.filter.Bytes())},
+			},
+		})
+	}
 }

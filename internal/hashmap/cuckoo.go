@@ -288,12 +288,22 @@ func (c *Cuckoo[K, V]) Clear() {
 
 // Bytes approximates the heap footprint of all shard tables.
 func (c *Cuckoo[K, V]) Bytes() int {
-	total := 0
+	_, b := c.Stats()
+	return b
+}
+
+// Stats returns the entry count and approximate byte footprint from one
+// pass over the shards, reading both figures under the same shard lock.
+// Calling Len and Bytes back to back instead makes two passes, and a
+// delete landing between them yields a (size, bytes) pair no single
+// moment ever exhibited.
+func (c *Cuckoo[K, V]) Stats() (size, bytes int) {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		total += len(s.table.buckets) * cuckooSlots * bucketSize[K, V]()
+		size += s.table.size
+		bytes += len(s.table.buckets) * cuckooSlots * bucketSize[K, V]()
 		s.mu.Unlock()
 	}
-	return total
+	return size, bytes
 }

@@ -4,6 +4,7 @@ import (
 	"ahi/internal/art"
 	"ahi/internal/core"
 	"ahi/internal/hashmap"
+	"ahi/internal/obs"
 )
 
 // Ctx is the tracked context per boundary handle: the parent node, the key
@@ -35,6 +36,11 @@ type AdaptiveConfig struct {
 	Epsilon, Delta   float64
 	MaxSampleSize    int
 	OnAdapt          func(core.AdaptInfo)
+	// Obs attaches an observability sink (metrics, migration trace, epoch
+	// snapshots); nil disables all instrumentation. ObsSource labels the
+	// trie's series in a shared registry.
+	Obs       *obs.Observability
+	ObsSource string
 }
 
 // Adaptive is the workload-adaptive Hybrid Trie. The paper evaluates the
@@ -91,8 +97,46 @@ func WireAdaptive(t *Trie, cfg AdaptiveConfig) *Adaptive {
 			}
 		},
 	}
+	if cfg.Obs != nil {
+		mcfg.Obs = cfg.Obs.Index(cfg.ObsSource, EncodingName)
+		mcfg.Distribution = a.distribution
+		mcfg.EncodingOf = func(id uint64) (core.Encoding, bool) {
+			if art.Handle(id).Kind() == art.KindFST {
+				return EncFST, true
+			}
+			return EncART, true
+		}
+	}
 	a.Mgr = core.New(mcfg)
 	return a
+}
+
+// EncodingName names the trie's encodings for observability output.
+func EncodingName(e uint8) string {
+	switch core.Encoding(e) {
+	case EncFST:
+		return "fst"
+	case EncART:
+		return "art"
+	default:
+		return "unknown"
+	}
+}
+
+// distribution reports the compact (FST) vs. expanded (ART) population for
+// epoch snapshots. The FST's byte figure is the static structure; the ART
+// class carries the overlay's full footprint.
+func (a *Adaptive) distribution() []obs.EncodingClass {
+	t := a.Trie
+	expanded := t.expandedCnt
+	total := int64(t.fst.NumNodes())
+	if total < expanded {
+		total = expanded
+	}
+	return []obs.EncodingClass{
+		{Name: "fst", Units: total - expanded, Bytes: t.FSTBytes()},
+		{Name: "art", Units: expanded, Bytes: t.ARTBytes()},
+	}
 }
 
 // unitCounts: the compact units are the FST's non-expanded nodes (their

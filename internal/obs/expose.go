@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every instrument in Prometheus text exposition
+// format (counters as *_total, histograms with _bucket/_sum/_count).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	type line struct{ name, val string }
+	lines := make([]line, 0, len(r.byName))
+	for _, c := range r.counters {
+		lines = append(lines, line{c.name, strconv.FormatInt(c.Load(), 10)})
+	}
+	for _, g := range r.gauges {
+		lines = append(lines, line{g.name, strconv.FormatInt(g.Load(), 10)})
+	}
+	for _, gf := range r.funcs {
+		lines = append(lines, line{gf.name, strconv.FormatInt(gf.f(), 10)})
+	}
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		fmt.Fprintf(w, "%s %s\n", l.name, l.val)
+	}
+	for _, h := range hists {
+		// Compose the le label into any existing label set.
+		bucket := func(le string) string {
+			if h.labels == "" {
+				return fmt.Sprintf(`%s_bucket{le=%q}`, h.name, le)
+			}
+			return fmt.Sprintf(`%s_bucket{%s,le=%q}`, h.name, h.labels, le)
+		}
+		suffix := func(s string) string {
+			if h.labels == "" {
+				return h.name + s
+			}
+			return h.name + s + "{" + h.labels + "}"
+		}
+		var cum int64
+		counts := h.Counts()
+		for i, b := range h.bounds {
+			cum += counts[i]
+			fmt.Fprintf(w, "%s %d\n", bucket(strconv.FormatInt(b, 10)), cum)
+		}
+		cum += counts[len(counts)-1]
+		fmt.Fprintf(w, "%s %d\n", bucket("+Inf"), cum)
+		fmt.Fprintf(w, "%s %d\n", suffix("_sum"), h.Sum())
+		fmt.Fprintf(w, "%s %d\n", suffix("_count"), h.Count())
+	}
+}
+
+// Handler returns the debug endpoint mux:
+//
+//	/metrics         Prometheus text exposition
+//	/metrics.json    flat name → value JSON
+//	/trace.json      retained migration trace (oldest first)
+//	/snapshots.json  retained per-epoch snapshots (oldest first)
+//	/dump.json       full Dump (what ahimon --attach polls)
+//	/debug/pprof/*   net/http/pprof handlers
+func (o *Observability) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(v)
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		o.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, o.Reg.metricsSnapshot())
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, o.Trace.Events())
+	})
+	mux.HandleFunc("/snapshots.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, o.Snaps.Snapshots())
+	})
+	mux.HandleFunc("/dump.json", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, o.Dump())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug endpoint on addr (e.g. "localhost:6060"; an
+// addr ending in ":0" picks a free port). It returns the server (shut it
+// down with Close/Shutdown) and the bound address.
+func (o *Observability) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}
+
+// PublishExpvar publishes the registry under the given expvar name (a
+// map of metric name → value). Publishing an already-taken name is a
+// no-op: expvar panics on duplicates and tests re-create bundles.
+func (o *Observability) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return o.Reg.metricsSnapshot() }))
+}

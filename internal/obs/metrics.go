@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension ({source="shard3"}-style).
+type Label struct{ K, V string }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v    atomic.Int64
+	name string // rendered name incl. labels
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (d < 0 is ignored: counters are monotonic).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v    atomic.Int64
+	name string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram with atomic bucket counters: the
+// observe path is a binary search over the immutable bounds plus three
+// atomic adds — no locks, no allocation, no pooling.
+type Histogram struct {
+	bounds  []int64 // upper bounds, ascending; implicit +Inf bucket after
+	counts  []atomic.Int64
+	sum     atomic.Int64
+	n       atomic.Int64
+	name    string
+	labels  string // pre-rendered label body without braces ("" if none)
+	lbounds []string
+}
+
+// DefaultLatencyBucketsNs covers 250ns..1s exponentially — tight enough at
+// the bottom to resolve a leaf re-encode, wide enough at the top for a
+// full drain.
+var DefaultLatencyBucketsNs = []int64{
+	250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+	250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+	25_000_000, 50_000_000, 100_000_000, 250_000_000, 1_000_000_000,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bounds returns the bucket upper bounds (the last bucket is +Inf).
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Counts returns a copy of the per-bucket counts (len = len(Bounds())+1;
+// the final entry is the +Inf bucket).
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation within the owning bucket; values in the +Inf bucket clamp
+// to the largest bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (rank - cum) / c
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Registry is the named-metric store. Instrument lookups take a mutex;
+// the instruments themselves are lock-free, so emitting code resolves its
+// instruments once and never touches the registry again.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]any
+	// insertion-ordered views for stable exposition
+	counters []*Counter
+	gauges   []*Gauge
+	funcs    []gaugeFunc
+	hists    []*Histogram
+}
+
+type gaugeFunc struct {
+	name string
+	f    func() int64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]any{}}
+}
+
+// renderName composes a Prometheus-style series name from base + labels.
+func renderName(base string, labels []Label) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(l.V)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.K + `="` + l.V + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	full := renderName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.byName[full]; ok {
+		return v.(*Counter)
+	}
+	c := &Counter{name: full}
+	r.byName[full] = c
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	full := renderName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.byName[full]; ok {
+		return v.(*Gauge)
+	}
+	g := &Gauge{name: full}
+	r.byName[full] = g
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// GaugeFunc registers a pull-style gauge evaluated at exposition time
+// (e.g. live index bytes). Re-registering a name replaces the function.
+func (r *Registry) GaugeFunc(name string, labels []Label, f func() int64) {
+	full := renderName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.funcs {
+		if r.funcs[i].name == full {
+			r.funcs[i].f = f
+			return
+		}
+	}
+	r.funcs = append(r.funcs, gaugeFunc{name: full, f: f})
+}
+
+// Histogram returns (creating on first use) the histogram for name+labels
+// with the given bucket upper bounds (ascending; an implicit +Inf bucket
+// is appended). Bounds are only consulted on creation.
+func (r *Registry) Histogram(name string, bounds []int64, labels ...Label) *Histogram {
+	full := renderName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.byName[full]; ok {
+		return v.(*Histogram)
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+		name:   name,
+		labels: renderLabels(labels),
+	}
+	r.byName[full] = h
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// metricsSnapshot flattens every instrument into name → value. Histograms
+// contribute _count, _sum and interpolated _p50/_p99 entries.
+func (r *Registry) metricsSnapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.byName)+4*len(r.hists))
+	for _, c := range r.counters {
+		out[c.name] = float64(c.Load())
+	}
+	for _, g := range r.gauges {
+		out[g.name] = float64(g.Load())
+	}
+	for _, gf := range r.funcs {
+		out[gf.name] = float64(gf.f())
+	}
+	for _, h := range r.hists {
+		base := renderName(h.name, nil)
+		if h.labels != "" {
+			base = h.name + "{" + h.labels + "}"
+		}
+		out[base+"_count"] = float64(h.Count())
+		out[base+"_sum"] = float64(h.Sum())
+		out[base+"_p50"] = float64(h.Quantile(0.50))
+		out[base+"_p99"] = float64(h.Quantile(0.99))
+	}
+	return out
+}

@@ -31,12 +31,14 @@
 package shard
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"ahi/internal/btree"
+	"ahi/internal/obs"
 )
 
 // Config configures a ShardedBTree.
@@ -53,6 +55,11 @@ type Config struct {
 	// RebalanceEvery is the number of batches between automatic budget
 	// re-splits (default 64; < 0 disables automatic rebalancing).
 	RebalanceEvery int
+	// Obs attaches one shared observability sink to every shard: shard i
+	// labels its series source="shard<i>", so the single registry holds the
+	// aggregate view across the front-end while each shard's trace events
+	// and snapshots stay attributable. Overrides Adaptive.Obs/ObsSource.
+	Obs *obs.Observability
 }
 
 func (c *Config) setDefaults() {
@@ -148,6 +155,10 @@ func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
 		acfg := cfg.Adaptive
 		if s.total > 0 {
 			acfg.MemoryBudget = s.total / int64(n) // even split until hotness data exists
+		}
+		if cfg.Obs != nil {
+			acfg.Obs = cfg.Obs
+			acfg.ObsSource = fmt.Sprintf("shard%d", i)
 		}
 		var a *btree.Adaptive
 		if keys != nil {

@@ -20,6 +20,12 @@ type Recorder struct {
 	cap       int
 	seen      int64
 	rng       uint64
+	// sorted is the percentile scratch: a copy of the reservoir, sorted
+	// lazily on the first Percentile call and reused until the next
+	// Observe/Reset. The reservoir itself is never reordered, so sampling
+	// stays uniform across interleaved Percentile calls.
+	sorted      []time.Duration
+	sortedValid bool
 }
 
 // NewRecorder creates a recorder with a reservoir of the given size.
@@ -35,6 +41,7 @@ func (r *Recorder) Observe(d time.Duration) {
 	r.sum += d
 	r.count++
 	r.seen++
+	r.sortedValid = false
 	if len(r.reservoir) < r.cap {
 		r.reservoir = append(r.reservoir, d)
 		return
@@ -59,27 +66,33 @@ func (r *Recorder) Mean() time.Duration {
 	return time.Duration(int64(r.sum) / r.count)
 }
 
-// Percentile returns the p-th percentile (p in [0,100]) from the reservoir.
+// Percentile returns the p-th percentile (p in [0,100]) from the
+// reservoir. Consecutive calls without an intervening Observe reuse one
+// sorted copy, so the usual p50/p95/p99 triplet sorts once.
 func (r *Recorder) Percentile(p float64) time.Duration {
 	if len(r.reservoir) == 0 {
 		return 0
 	}
-	tmp := append([]time.Duration(nil), r.reservoir...)
-	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
-	idx := int(math.Ceil(p/100*float64(len(tmp)))) - 1
+	if !r.sortedValid {
+		r.sorted = append(r.sorted[:0], r.reservoir...)
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+		r.sortedValid = true
+	}
+	idx := int(math.Ceil(p/100*float64(len(r.sorted)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(tmp) {
-		idx = len(tmp) - 1
+	if idx >= len(r.sorted) {
+		idx = len(r.sorted) - 1
 	}
-	return tmp[idx]
+	return r.sorted[idx]
 }
 
 // Reset clears all observations.
 func (r *Recorder) Reset() {
 	r.sum, r.count, r.seen = 0, 0, 0
 	r.reservoir = r.reservoir[:0]
+	r.sortedValid = false
 }
 
 // Point is one interval of a time series: mean latency and index size after

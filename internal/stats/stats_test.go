@@ -123,3 +123,47 @@ func TestReservoirIsRepresentative(t *testing.T) {
 		t.Fatalf("reservoir p50 %v far from population median", p50)
 	}
 }
+
+func TestPercentileDoesNotPerturbSampling(t *testing.T) {
+	// Interleaving Percentile calls with Observe must leave the reservoir's
+	// sampling decisions untouched: Percentile sorts a private scratch, so
+	// two recorders fed the same stream end with identical reservoirs even
+	// when only one of them was queried midway.
+	a, b := NewRecorder(64), NewRecorder(64)
+	for i := 1; i <= 10_000; i++ {
+		d := time.Duration(i*7919 + 13)
+		a.Observe(d)
+		b.Observe(d)
+		if i%1000 == 0 {
+			a.Percentile(50)
+			a.Percentile(99)
+		}
+	}
+	if len(a.reservoir) != len(b.reservoir) {
+		t.Fatalf("reservoir sizes diverged: %d vs %d", len(a.reservoir), len(b.reservoir))
+	}
+	for i := range a.reservoir {
+		if a.reservoir[i] != b.reservoir[i] {
+			t.Fatalf("reservoir slot %d diverged: %v vs %v", i, a.reservoir[i], b.reservoir[i])
+		}
+	}
+}
+
+func TestPercentileCacheInvalidation(t *testing.T) {
+	r := NewRecorder(16)
+	for i := 1; i <= 10; i++ {
+		r.Observe(time.Duration(i))
+	}
+	if got := r.Percentile(100); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+	// A later Observe must invalidate the cached sorted scratch.
+	r.Observe(1000)
+	if got := r.Percentile(100); got != 1000 {
+		t.Fatalf("p100 after new max = %v, want 1000", got)
+	}
+	r.Reset()
+	if got := r.Percentile(100); got != 0 {
+		t.Fatalf("p100 after reset = %v, want 0", got)
+	}
+}
