@@ -126,18 +126,22 @@ func renderEpochs(w io.Writer, src string, snaps []obs.Snapshot) {
 		name = "(default)"
 	}
 	fmt.Fprintf(w, "== %s: %d epochs ==\n", name, len(snaps))
-	fmt.Fprintf(w, "%5s %6s %7s %5s %5s %5s %5s %5s %6s  %s\n",
-		"epoch", "skip", "sample", "hot", "migr", "queue", "fall", "dedup", "track", "encodings (units)")
+	fmt.Fprintf(w, "%5s %6s %7s %5s %5s %5s %5s %5s %5s %6s  %s\n",
+		"epoch", "skip", "sample", "hot", "migr", "queue", "bpres", "coal", "dedup", "track", "encodings (units)")
 	for i := range snaps {
 		s := &snaps[i]
-		fmt.Fprintf(w, "%5d %6d %7d %5d %5d %5d %5d %5d %6d  %s\n",
+		fmt.Fprintf(w, "%5d %6d %7d %5d %5d %5d %5d %5d %5d %6d  %s\n",
 			s.Epoch, s.Skip, s.SampleSize, s.Hot, s.Migrations, s.Queued,
-			s.InlineFallbacks, s.Deduped, s.TrackedUnits, encodingBar(s.Encodings))
+			s.Backpressured, s.Coalesced, s.Deduped, s.TrackedUnits, encodingBar(s.Encodings))
 	}
 	last := &snaps[len(snaps)-1]
 	if last.BudgetBytes > 0 {
 		fmt.Fprintf(w, "budget %s used %s headroom %s\n",
 			mib(last.BudgetBytes), mib(last.UsedBytes), mib(last.Headroom()))
+	}
+	if last.RetireDepth > 0 || last.EpochLag > 0 {
+		fmt.Fprintf(w, "reclaim: retire-list depth %d, reader epoch lag %d\n",
+			last.RetireDepth, last.EpochLag)
 	}
 	fmt.Fprintln(w)
 }

@@ -109,8 +109,16 @@ func Registry(repoRoot string, csv bool) map[string]Experiment {
 		res, t := RunServing(sc)
 		render(t, w)
 		if !csv {
-			fmt.Fprintf(w, "pipeline: queued=%d inline_fallbacks=%d max_depth=%d last_drain=%.1fus\n\n",
-				res.Queued, res.InlineFallbacks, res.MaxPipeDepth, res.LastDrainUs)
+			fmt.Fprintf(w, "pipeline: queued=%d inline_fallbacks=%d backpressured=%d coalesced=%d steals=%d max_depth=%d last_drain=%.1fus\n\n",
+				res.Queued, res.InlineFallbacks, res.Backpressured, res.Coalesced, res.Steals, res.MaxPipeDepth, res.LastDrainUs)
+		}
+		return nil
+	}})
+	add(Experiment{ID: "scaling", Title: "multi-core scaling sweep (procs x shards x clients)", Run: func(sc Scale, w io.Writer) error {
+		res, t := RunScaling(sc)
+		render(t, w)
+		if !csv {
+			fmt.Fprintf(w, "pipeline: backpressured=%d steals=%d\n\n", res.Backpressured, res.Steals)
 		}
 		return nil
 	}})

@@ -48,10 +48,19 @@ type ServingRow struct {
 // every adaptation phase of every shard).
 type ServingResult struct {
 	Rows []ServingRow
-	// Queued counts migrations handed to the asynchronous pipeline;
-	// InlineFallbacks those that ran inline because the queue was full.
+	// Queued counts migrations accepted into the asynchronous pipeline.
+	// InlineFallbacks is kept for schema continuity and is always 0 now:
+	// a full queue parks the trigger as backpressure instead of migrating
+	// on the serve path.
 	Queued          int64
 	InlineFallbacks int64
+	// Backpressured counts triggers parked as deferred intents because
+	// the queue was full; Coalesced the repeat triggers folded into an
+	// already-parked intent.
+	Backpressured int64
+	Coalesced     int64
+	// Steals counts migrations executed by a non-home pool worker.
+	Steals int64
 	// MaxPipeDepth is the deepest queue observed at any phase end.
 	MaxPipeDepth int
 	// LastDrainUs is the slowest final DrainMigrations across shards.
@@ -178,10 +187,13 @@ func servingSweep(sc Scale, keys, vals []uint64, budget int64, shards, ops int, 
 	for i := 0; i < s.Shards(); i++ {
 		mgr := s.Shard(i).Mgr
 		res.InlineFallbacks += mgr.InlineFallbacks()
+		res.Backpressured += mgr.Backpressured()
+		res.Coalesced += mgr.CoalescedTriggers()
 		if us := float64(mgr.LastDrainNs()) / 1e3; us > res.LastDrainUs {
 			res.LastDrainUs = us
 		}
 	}
+	res.Steals += s.Steals()
 	s.Close()
 	// Level the field between sweeps: each builds and abandons a full
 	// tree, so without a collection here later sweeps would be timed
@@ -271,8 +283,8 @@ func servingPass(s *shard.ShardedBTree, keys []uint64, batch, ops int, wl servin
 func RecordServing(sc Scale, path string, w io.Writer) error {
 	res, tbl := RunServing(sc)
 	tbl.Render(w)
-	fmt.Fprintf(w, "pipeline: queued=%d inline_fallbacks=%d max_depth=%d last_drain=%.1fus\n",
-		res.Queued, res.InlineFallbacks, res.MaxPipeDepth, res.LastDrainUs)
+	fmt.Fprintf(w, "pipeline: queued=%d inline_fallbacks=%d backpressured=%d coalesced=%d steals=%d max_depth=%d last_drain=%.1fus\n",
+		res.Queued, res.InlineFallbacks, res.Backpressured, res.Coalesced, res.Steals, res.MaxPipeDepth, res.LastDrainUs)
 	doc := struct {
 		Recorded string             `json:"recorded"`
 		Command  string             `json:"command"`
@@ -300,6 +312,9 @@ func RecordServing(sc Scale, path string, w io.Writer) error {
 	}
 	doc.Metrics["pipeline/queued"] = float64(res.Queued)
 	doc.Metrics["pipeline/inline_fallbacks"] = float64(res.InlineFallbacks)
+	doc.Metrics["pipeline/backpressured"] = float64(res.Backpressured)
+	doc.Metrics["pipeline/coalesced"] = float64(res.Coalesced)
+	doc.Metrics["pipeline/steals"] = float64(res.Steals)
 	doc.Metrics["pipeline/max_depth"] = float64(res.MaxPipeDepth)
 	doc.Metrics["pipeline/last_drain_us"] = round2(res.LastDrainUs)
 	out, err := json.MarshalIndent(doc, "", "  ")

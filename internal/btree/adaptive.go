@@ -38,7 +38,15 @@ type AdaptiveConfig struct {
 	// stable). Call Close to flush the pipeline when retiring the tree.
 	AsyncMigrations  bool
 	MigrationWorkers int // pipeline pool size (default 2)
-	MigrationQueue   int // pipeline queue depth (default 256)
+	MigrationQueue   int // pipeline queue depth (default 256·GOMAXPROCS)
+	// ExternalMigrations suppresses the internal worker pool: accepted
+	// migrations wait in the queue until an embedder goroutine applies
+	// them via RunQueuedMigration. The shard layer uses this to run a
+	// shared, work-stealing migrator pool across many trees.
+	ExternalMigrations bool
+	// OnMigrationQueued is invoked (outside locks) whenever a migration
+	// is accepted, so external executors can wake instead of polling.
+	OnMigrationQueued func()
 	// NoEagerExpand disables the eager expand-on-insert policy (ablation;
 	// writes then re-encode leaves in place, preserving their encoding).
 	NoEagerExpand bool
@@ -106,9 +114,18 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 		Workers:        cfg.Workers,
 		OnAdapt:        cfg.OnAdapt,
 
-		AsyncMigrations:  cfg.AsyncMigrations,
-		MigrationWorkers: cfg.MigrationWorkers,
-		MigrationQueue:   cfg.MigrationQueue,
+		AsyncMigrations:    cfg.AsyncMigrations,
+		MigrationWorkers:   cfg.MigrationWorkers,
+		MigrationQueue:     cfg.MigrationQueue,
+		ExternalMigrations: cfg.ExternalMigrations,
+		OnMigrationQueued:  cfg.OnMigrationQueued,
+	}
+	if cfg.AsyncMigrations {
+		// Concurrent migrations retire displaced leaf images instead of
+		// dropping them: enable the tree's epoch domain so readers pin
+		// and recycled Gapped slabs stay out of reach until they drain.
+		t.epochs = newEpochs()
+		mcfg.ReclaimStats = t.epochs.stats
 	}
 	if cfg.Obs != nil {
 		mcfg.Obs = cfg.Obs.Index(cfg.ObsSource,
@@ -216,6 +233,14 @@ func (a *Adaptive) migrate(l *Leaf, _ LeafCtx, target core.Encoding) (*Leaf, boo
 // DrainMigrations blocks until every queued asynchronous migration has
 // been applied. No-op without AsyncMigrations.
 func (a *Adaptive) DrainMigrations() { a.Mgr.DrainMigrations() }
+
+// RunQueuedMigration executes one queued migration on the calling
+// goroutine (ExternalMigrations mode). Returns false when no work was
+// available.
+func (a *Adaptive) RunQueuedMigration() bool { return a.Mgr.RunQueuedMigration() }
+
+// MigrationBacklog reports queued plus backpressure-deferred migrations.
+func (a *Adaptive) MigrationBacklog() int { return a.Mgr.MigrationBacklog() }
 
 // Close flushes and stops the asynchronous migration pipeline. Safe to
 // call multiple times, and a no-op without AsyncMigrations.

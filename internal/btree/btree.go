@@ -123,6 +123,13 @@ type Tree struct {
 	expansions  atomic.Int64
 	compactions atomic.Int64
 
+	// epochs is the grace-period reclamation domain for leaf images
+	// displaced by migrations (epoch.go). Nil — the default — disables
+	// reclamation: read paths skip pinning and retired images fall to
+	// the garbage collector. wireAdaptive enables it alongside the
+	// asynchronous migration pipeline.
+	epochs *epochs
+
 	// onLeafSplit, if set, is invoked after a leaf split with the split
 	// leaf and its (new) parent-side context; the adaptive layer uses it
 	// to refresh tracked contexts.
@@ -297,11 +304,15 @@ func (t *Tree) Lookup(k uint64) (uint64, bool) {
 
 // lookupLeaf additionally returns the leaf that held (or would hold) k.
 func (t *Tree) lookupLeaf(k uint64) (uint64, *Leaf, bool) {
+	slot := t.epochs.pin()
 	leaf, _ := t.descend(k, nil)
 	leaf, b := moveRightLeaf(leaf, k)
 	if i, found := b.p.search(k); found {
-		return b.p.valAt(i), leaf, true
+		v := b.p.valAt(i)
+		t.epochs.unpin(slot)
+		return v, leaf, true
 	}
+	t.epochs.unpin(slot)
 	return 0, leaf, false
 }
 
@@ -312,8 +323,13 @@ func (t *Tree) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
 	return t.scanLeaves(from, n, fn, nil)
 }
 
-// scanLeaves is Scan plus a per-leaf callback for access tracking.
+// scanLeaves is Scan plus a per-leaf callback for access tracking. The
+// whole scan runs under one reader pin: scans are bounded by n, so the
+// slot is held for a bounded walk, and per-leaf re-pinning would cost a
+// CAS per hop.
 func (t *Tree) scanLeaves(from uint64, n int, fn func(k, v uint64) bool, onLeaf func(*Leaf)) int {
+	slot := t.epochs.pin()
+	defer t.epochs.unpin(slot)
 	leaf, _ := t.descend(from, nil)
 	leaf, b := moveRightLeaf(leaf, from)
 	visited := 0
@@ -640,31 +656,61 @@ func (t *Tree) Expansions() int64 { return t.expansions.Add(0) }
 // Compactions returns the number of compacting migrations.
 func (t *Tree) Compactions() int64 { return t.compactions.Add(0) }
 
-// MigrateLeaf re-encodes one leaf to the target encoding under its lock.
-// It reports whether the encoding changed.
+// MigrateLeaf re-encodes one leaf to the target encoding. The new image
+// is built optimistically outside the leaf's lock from a box snapshot
+// (pinned, so the snapshot's payload cannot be recycled mid-decode); the
+// lock is then taken only for the O(1) pointer re-validation and swap.
+// Earlier revisions held the write lock across the whole O(decode+encode)
+// build, which stalled every writer — and, before copy-on-write boxes,
+// every reader — for the full re-encode. A box that changed between
+// snapshot and lock means foreground writes are landing on the leaf; one
+// retry covers the common single racing write, after which the migration
+// gives up and lets a later phase re-propose. It reports whether the
+// encoding changed. The displaced image is retired into the epoch domain
+// (when enabled) and freed only after all in-flight readers drain.
 func (t *Tree) MigrateLeaf(l *Leaf, target core.Encoding) bool {
-	if !l.lock.writeLock() {
-		return false
+	for attempt := 0; ; attempt++ {
+		// Pin before loading the snapshot: a box loaded under the pin
+		// cannot finish its grace period (and have its payload recycled)
+		// until we unpin, so the decode below reads stable memory even if
+		// a concurrent migration displaces the box meanwhile.
+		slot := t.epochs.pin()
+		b := l.box.Load()
+		if b.p.encoding() == target {
+			t.epochs.unpin(slot)
+			return false
+		}
+		np := reencode(b.p, target)
+		t.epochs.unpin(slot)
+		if !l.lock.writeLock() {
+			return false
+		}
+		if l.box.Load() != b {
+			l.lock.unlock()
+			if attempt == 0 {
+				continue
+			}
+			return false
+		}
+		if b.p.encoding() < target {
+			t.expansions.Add(1)
+		} else {
+			t.compactions.Add(1)
+		}
+		t.swapLeafBox(l, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
+		l.lock.unlock()
+		t.epochs.retire(b)
+		return true
 	}
-	defer l.lock.unlock()
-	b := l.box.Load()
-	if b.p.encoding() == target {
-		return false
-	}
-	if b.p.encoding() < target {
-		t.expansions.Add(1)
-	} else {
-		t.compactions.Add(1)
-	}
-	np := reencode(b.p, target)
-	t.swapLeafBox(l, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
-	return true
 }
 
 // WalkLeaves visits every leaf left to right until fn returns false. It
 // takes a consistent entry into the chain but, like scans, observes
-// concurrent splits only through the sibling links.
+// concurrent splits only through the sibling links. The walk holds one
+// reader pin, so images the callback loads stay valid throughout.
 func (t *Tree) WalkLeaves(fn func(*Leaf) bool) {
+	slot := t.epochs.pin()
+	defer t.epochs.unpin(slot)
 	node := t.root.Load()
 	for {
 		b := node.box.Load()

@@ -2,15 +2,22 @@ package btree
 
 import "ahi/internal/core"
 
-// Iterator is a pull-style ordered cursor over the tree. Each leaf image
-// it enters is an immutable snapshot; like scans, the iterator observes
-// concurrent splits only through sibling links and never blocks writers.
-// The zero value is invalid; obtain one from Tree.NewIterator or
+// Iterator is a pull-style ordered cursor over the tree. Each leaf it
+// enters is decoded into the iterator's private buffer under a short
+// reader pin, so the cursor observes an immutable per-leaf snapshot —
+// like scans, it sees concurrent splits only through sibling links and
+// never blocks writers. Copying matters under epoch reclamation: a
+// cursor parked between Next calls holds no shared payload, so it can
+// neither block nor race with the recycling of a migrated leaf's old
+// image. The zero value is invalid; obtain one from Tree.NewIterator or
 // Session.NewIterator and position it with Seek/SeekFirst.
 type Iterator struct {
-	tree  *Tree
-	leaf  *Leaf
-	box   *leafBox
+	tree *Tree
+	leaf *Leaf
+	next *Leaf
+	// keys/vals hold the decoded image of the current leaf.
+	keys  []uint64
+	vals  []uint64
 	i     int
 	valid bool
 	// onLeaf observes every leaf the iterator enters (used by tracked
@@ -24,10 +31,13 @@ func (t *Tree) NewIterator() *Iterator { return &Iterator{tree: t} }
 
 // Seek positions at the first key >= k.
 func (it *Iterator) Seek(k uint64) bool {
-	leaf, _ := it.tree.descend(k, nil)
+	t := it.tree
+	slot := t.epochs.pin()
+	leaf, _ := t.descend(k, nil)
 	leaf, box := moveRightLeaf(leaf, k)
 	it.enter(leaf, box)
-	i, _ := box.p.search(k)
+	t.epochs.unpin(slot)
+	i, _ := searchBinaryScalar(it.keys, k)
 	it.i = i
 	it.valid = true
 	return it.skipEmpty()
@@ -36,8 +46,12 @@ func (it *Iterator) Seek(k uint64) bool {
 // SeekFirst positions at the smallest key.
 func (it *Iterator) SeekFirst() bool { return it.Seek(0) }
 
+// enter decodes the leaf image into the cursor's buffer. Must run under
+// a reader pin when reclamation is enabled.
 func (it *Iterator) enter(leaf *Leaf, box *leafBox) {
-	it.leaf, it.box = leaf, box
+	it.leaf = leaf
+	it.next = box.next
+	it.keys, it.vals = box.p.appendAll(it.keys[:0], it.vals[:0])
 	if it.onLeaf != nil {
 		it.onLeaf(leaf)
 	}
@@ -45,13 +59,16 @@ func (it *Iterator) enter(leaf *Leaf, box *leafBox) {
 
 // skipEmpty advances across empty leaves until a key is under the cursor.
 func (it *Iterator) skipEmpty() bool {
-	for it.i >= it.box.p.count() {
-		next := it.box.next
-		if next == nil {
+	for it.i >= len(it.keys) {
+		n := it.next
+		if n == nil {
 			it.valid = false
 			return false
 		}
-		it.enter(next, next.box.Load())
+		t := it.tree
+		slot := t.epochs.pin()
+		it.enter(n, n.box.Load())
+		t.epochs.unpin(slot)
 		it.i = 0
 	}
 	return true
@@ -73,10 +90,10 @@ func (it *Iterator) Next() bool {
 func (it *Iterator) Valid() bool { return it.valid }
 
 // Key returns the current key (Valid must hold).
-func (it *Iterator) Key() uint64 { return it.box.p.keyAt(it.i) }
+func (it *Iterator) Key() uint64 { return it.keys[it.i] }
 
 // Value returns the current value (Valid must hold).
-func (it *Iterator) Value() uint64 { return it.box.p.valAt(it.i) }
+func (it *Iterator) Value() uint64 { return it.vals[it.i] }
 
 // NewIterator returns a tracked iterator: if the iterator creation is
 // sampled, every leaf the cursor enters is tracked with the Scan access

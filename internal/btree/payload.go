@@ -79,13 +79,47 @@ type gapped struct {
 }
 
 func newGapped(keys, vals []uint64) *gapped {
-	g := &gapped{
-		keys: make([]uint64, len(keys), LeafCap),
-		vals: make([]uint64, len(vals), LeafCap),
+	if len(keys) > LeafCap || len(vals) > LeafCap {
+		// Defensive: oversized transients bypass the slab pool.
+		g := &gapped{keys: make([]uint64, len(keys)), vals: make([]uint64, len(vals))}
+		copy(g.keys, keys)
+		copy(g.vals, vals)
+		return g
 	}
+	sl := slabPool.Get().(*kvSlab)
+	g := &gapped{keys: sl.keys[:len(keys)], vals: sl.vals[:len(vals)]}
 	copy(g.keys, keys)
 	copy(g.vals, vals)
 	return g
+}
+
+// kvSlab is a pair of LeafCap-capacity arrays backing a Gapped payload.
+// Slabs cycle between newGapped and the epoch reclaimer (epoch.go): a
+// retired Gapped image's arrays return to the pool once its grace period
+// has passed, so steady-state migration churn reuses payload memory
+// instead of allocating 4 KiB per re-encode.
+type kvSlab struct{ keys, vals []uint64 }
+
+var slabPool = sync.Pool{New: func() any {
+	return &kvSlab{
+		keys: make([]uint64, 0, LeafCap),
+		vals: make([]uint64, 0, LeafCap),
+	}
+}}
+
+// recyclePayload returns a retired payload's buffers to the slab pool,
+// reporting whether anything was recycled. Only Gapped payloads carrying
+// the uniform slab capacity qualify; Packed and Succinct footprints are
+// irregular and fall to the garbage collector. The caller must guarantee
+// no reader can still hold the payload (the epoch grace period) — the
+// arrays are overwritten by the next newGapped.
+func recyclePayload(p payload) bool {
+	g, ok := p.(*gapped)
+	if !ok || cap(g.keys) != LeafCap || cap(g.vals) != LeafCap {
+		return false
+	}
+	slabPool.Put(&kvSlab{keys: g.keys[:0], vals: g.vals[:0]})
+	return true
 }
 
 func (g *gapped) encoding() core.Encoding { return EncGapped }

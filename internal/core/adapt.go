@@ -80,13 +80,18 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 	}
 
 	// 2. Evaluate the CSHF for every tracked unit and apply migrations —
-	//    inline by default, or handed to the pipeline's worker pool when
-	//    AsyncMigrations is on (inline fallback when the queue is full).
-	//    Evicting migrations always run inline: their tracking entry is
-	//    deleted here, so a later re-key would have nothing to move.
+	//    inline by default, or handed to the pipeline when AsyncMigrations
+	//    is on. The pipeline path never re-encodes here: a full queue
+	//    parks the job as a deferred intent (backpressure) and repeat
+	//    triggers for a parked unit coalesce into it, so the proposing
+	//    goroutine returns after classification no matter how hot the
+	//    queue is. Evicting migrations may enqueue too: their tracking
+	//    entry is deleted below either way, and a re-key recorded for an
+	//    untracked unit is a no-op.
 	budget := m.budget(units)
 	env := Env{Epoch: epoch}
-	migrations, queued, evictions, fallbacks, deduped := 0, 0, 0, 0, 0
+	migrations, queued, evictions, deduped := 0, 0, 0, 0
+	backpressured, coalescedTriggers := 0, 0
 	for i := range cands {
 		c := &cands[i]
 		c.stats.PushClassification(c.hot)
@@ -115,8 +120,7 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 					from = int16(e)
 				}
 			}
-			handled := false
-			if m.pipe != nil && !act.Evict {
+			if m.pipe != nil {
 				job := migrationJob[ID, Ctx]{id: c.id, ctx: c.ctx, target: act.Target,
 					epoch: epoch, from: from, trig: trig}
 				if x != nil {
@@ -125,21 +129,27 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 				switch m.pipe.enqueue(job) {
 				case enqOK:
 					queued++
-					handled = true
 				case enqDup:
 					// The identical job is already queued or executing;
-					// running it inline too would re-encode the unit
-					// twice. Count the absorbed churn and move on.
+					// running it again would re-encode the unit twice.
+					// Count the absorbed churn and move on.
 					deduped++
-					handled = true
-				default:
-					// Queue full or closing: the lossless contract demands
-					// the migration runs inline, and the bench wants to see
-					// that pressure.
-					fallbacks++
+				case enqDeferred:
+					// Queue full: the intent is parked and will execute
+					// when a slot frees up. The serve path proceeds on the
+					// old encoding — backpressure, never a synchronous
+					// re-encode.
+					backpressured++
+				case enqCoalesced:
+					// Queue full and the unit already holds a parked
+					// intent: this trigger folded into it.
+					backpressured++
+					coalescedTriggers++
+				case enqClosed:
+					// Shutting down: drop the trigger; the unit keeps its
+					// current encoding.
 				}
-			}
-			if !handled {
+			} else {
 				var t0 time.Time
 				if x != nil {
 					t0 = time.Now()
@@ -161,7 +171,8 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		}
 	}
 	m.totalMigrations.Add(int64(migrations))
-	m.inlineFallbacks.Add(int64(fallbacks))
+	m.backpressured.Add(int64(backpressured))
+	m.coalesced.Add(int64(coalescedTriggers))
 	m.dedupedEnqueues.Add(int64(deduped))
 	m.totalAdapts.Add(1)
 	uniqueSamples := len(cands)
@@ -172,15 +183,22 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 	//    sampled accesses steers the skip length within [MinSkip, MaxSkip].
 	sampled := m.sampled.Load()
 	if m.cfg.AdaptiveSkip && sampled > 0 {
-		// Queued migrations count as churn: the decision was made this
-		// phase even if the re-encoding executes asynchronously.
-		share := float64(migrations+queued) / float64(sampled)
 		skip := m.globalSkip.Load()
-		switch {
-		case share > 0.30:
-			skip /= 2
-		case share < 0.10:
+		if backpressured > 0 {
+			// The pipeline queue is hot: decay trigger sensitivity so the
+			// next phase samples (and proposes) less while the backlog
+			// clears, instead of parking ever more intents.
 			skip *= 2
+		} else {
+			// Queued migrations count as churn: the decision was made this
+			// phase even if the re-encoding executes asynchronously.
+			share := float64(migrations+queued) / float64(sampled)
+			switch {
+			case share > 0.30:
+				skip /= 2
+			case share < 0.10:
+				skip *= 2
+			}
 		}
 		if skip < int64(m.cfg.MinSkip) {
 			skip = int64(m.cfg.MinSkip)
@@ -203,28 +221,35 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		adaptNs := time.Since(phaseStart).Nanoseconds()
 		x.Adapts.Inc()
 		x.AdaptNs.Observe(adaptNs)
-		x.Fallbacks.Add(int64(fallbacks))
+		x.Backpressure.Add(int64(backpressured))
+		x.Coalesced.Add(int64(coalescedTriggers))
 		x.Deduped.Add(int64(deduped))
 		x.Evictions.Add(int64(evictions))
 		tracked, fwBytes := m.StoreStats()
 		snap := obs.Snapshot{
-			Epoch:           epoch,
-			Skip:            int(m.globalSkip.Load()),
-			SampleSize:      newSize,
-			SampledTotal:    sampled,
-			UniqueSamples:   uniqueSamples,
-			Hot:             hotCount,
-			K:               k,
-			Migrations:      migrations + queued,
-			Queued:          queued,
-			InlineFallbacks: fallbacks,
-			Deduped:         deduped,
-			Evicted:         evictions,
-			PipeDepth:       m.QueuedMigrations(),
-			TrackedUnits:    tracked,
-			FrameworkBytes:  fwBytes,
-			UsedBytes:       m.cfg.UsedMemory(),
-			AdaptNs:         adaptNs,
+			Epoch:          epoch,
+			Skip:           int(m.globalSkip.Load()),
+			SampleSize:     newSize,
+			SampledTotal:   sampled,
+			UniqueSamples:  uniqueSamples,
+			Hot:            hotCount,
+			K:              k,
+			Migrations:     migrations + queued,
+			Queued:         queued,
+			Backpressured:  backpressured,
+			Coalesced:      coalescedTriggers,
+			Deduped:        deduped,
+			Evicted:        evictions,
+			PipeDepth:      m.QueuedMigrations(),
+			TrackedUnits:   tracked,
+			FrameworkBytes: fwBytes,
+			UsedBytes:      m.cfg.UsedMemory(),
+			AdaptNs:        adaptNs,
+		}
+		if m.cfg.ReclaimStats != nil {
+			snap.RetireDepth, snap.EpochLag = m.cfg.ReclaimStats()
+			x.RetireDepth.Set(snap.RetireDepth)
+			x.EpochLag.Set(snap.EpochLag)
 		}
 		if budget != math.MaxInt64 {
 			snap.BudgetBytes = budget
@@ -237,20 +262,22 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 
 	if m.cfg.OnAdapt != nil {
 		m.cfg.OnAdapt(AdaptInfo{
-			Epoch:           epoch,
-			UniqueSamples:   uniqueSamples,
-			SampledTotal:    sampled,
-			Hot:             hotCount,
-			Migrations:      migrations,
-			Queued:          queued,
-			InlineFallbacks: fallbacks,
-			Deduped:         deduped,
-			PipeDepth:       m.QueuedMigrations(),
-			LastDrainNs:     m.lastDrainNs.Load(),
-			Evicted:         evictions,
-			NewSkip:         int(m.globalSkip.Load()),
-			NewSampleSize:   newSize,
-			K:               k,
+			Epoch:         epoch,
+			UniqueSamples: uniqueSamples,
+			SampledTotal:  sampled,
+			Hot:           hotCount,
+			Migrations:    migrations,
+			Queued:        queued,
+			Backpressured: backpressured,
+			Coalesced:     coalescedTriggers,
+			Deduped:       deduped,
+			PipeDepth:     m.QueuedMigrations(),
+			Backlog:       m.MigrationBacklog(),
+			LastDrainNs:   m.lastDrainNs.Load(),
+			Evicted:       evictions,
+			NewSkip:       int(m.globalSkip.Load()),
+			NewSampleSize: newSize,
+			K:             k,
 		})
 	}
 }

@@ -185,10 +185,20 @@ type AdaptInfo struct {
 	Migrations int
 	Queued     int
 	// InlineFallbacks counts migrations this phase that were meant for the
-	// asynchronous pipeline but ran inline because its queue was full (or
-	// closing) — the pipeline's backpressure signal. Included in
-	// Migrations; always 0 without AsyncMigrations.
+	// asynchronous pipeline but ran inline on the proposing path. Always 0
+	// since the backpressure rework (queue-full triggers park as deferred
+	// intents instead); kept so recorded benchmarks can assert the
+	// fallback path stays dead.
 	InlineFallbacks int
+	// Backpressured counts proposed migrations this phase that found the
+	// pipeline queue full and were parked as deferred intents — the
+	// pipeline's backpressure signal. Not included in Migrations or
+	// Queued; the parked intents execute asynchronously once slots free
+	// up. Always 0 without AsyncMigrations.
+	Backpressured int
+	// Coalesced counts the subset of Backpressured triggers that folded
+	// into an intent already parked for the same unit.
+	Coalesced int
 	// Deduped counts proposed migrations this phase that were dropped
 	// because an identical job (same unit, same target encoding) was
 	// already queued or executing — re-classification churn the pipeline
@@ -196,8 +206,10 @@ type AdaptInfo struct {
 	// AsyncMigrations.
 	Deduped int
 	// PipeDepth is the number of migrations still waiting in the pipeline
-	// queue when the phase completed (0 without AsyncMigrations).
+	// queue when the phase completed (0 without AsyncMigrations); Backlog
+	// additionally includes parked (deferred) intents.
 	PipeDepth int
+	Backlog   int
 	// LastDrainNs is the duration of the most recent DrainMigrations call
 	// in nanoseconds (0 if never drained or without AsyncMigrations).
 	LastDrainNs   int64

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -81,13 +82,35 @@ type Config[ID comparable, Ctx any] struct {
 	// instead of re-encoding inline, so the sampler that triggers a phase
 	// returns after classification. Requires Migrate to be safe against
 	// concurrent foreground access and concurrent Migrate calls; when the
-	// queue is full, adapt() falls back to inline migration. Call
-	// Manager.Close to flush the pipeline when retiring the index.
+	// queue is full, adapt() parks the job as a deferred intent
+	// (backpressure) instead of re-encoding inline — the serve path is
+	// never charged for a migration. Call Manager.Close to flush the
+	// pipeline when retiring the index.
 	AsyncMigrations bool
 	// MigrationWorkers sizes the pipeline's worker pool (default 2).
+	// Ignored when ExternalMigrations is set.
 	MigrationWorkers int
-	// MigrationQueue bounds the pipeline's queue (default 256 actions).
+	// MigrationQueue bounds the pipeline's queue. The default scales with
+	// parallelism — 256 slots per GOMAXPROCS at Manager creation — so a
+	// many-core host saturates its migration workers before triggers park.
 	MigrationQueue int
+	// ExternalMigrations suppresses the pipeline's internal worker pool:
+	// the embedder owns the executors and runs jobs via
+	// Manager.RunQueuedMigration (the sharded front's work-stealing
+	// migrators do this). Drain and Close still make progress on the
+	// calling goroutine, so the contract stays lossless even if the
+	// external executors are idle or gone.
+	ExternalMigrations bool
+	// OnMigrationQueued, if set, is invoked (outside pipeline locks)
+	// whenever a job enters the queue — the wake-up hook for external
+	// executor pools. May be called from any goroutine, including
+	// concurrently with itself.
+	OnMigrationQueued func()
+	// ReclaimStats, optional, reports the index's deferred-reclamation
+	// state — the retire-list depth and the epoch lag between the global
+	// reclamation epoch and the oldest in-flight reader. Consulted once
+	// per adaptation phase for snapshots; ignored without Obs.
+	ReclaimStats func() (retired int64, lag int64)
 
 	// OnAdapt, if set, observes every completed adaptation phase.
 	OnAdapt func(AdaptInfo)
@@ -143,8 +166,11 @@ func (c *Config[ID, Ctx]) setDefaults() {
 	if c.MigrationWorkers <= 0 {
 		c.MigrationWorkers = 2
 	}
+	if c.ExternalMigrations {
+		c.MigrationWorkers = 0
+	}
 	if c.MigrationQueue <= 0 {
-		c.MigrationQueue = 256
+		c.MigrationQueue = 256 * runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -188,6 +214,8 @@ type Manager[ID comparable, Ctx any] struct {
 	totalAdapts     atomic.Int64
 	samplerBytes    atomic.Int64
 	inlineFallbacks atomic.Int64
+	backpressured   atomic.Int64
+	coalesced       atomic.Int64
 	dedupedEnqueues atomic.Int64
 	lastDrainNs     atomic.Int64
 
@@ -291,9 +319,22 @@ func (m *Manager[ID, Ctx]) Migrations() int64 { return m.totalMigrations.Load() 
 func (m *Manager[ID, Ctx]) Adaptations() int64 { return m.totalAdapts.Load() }
 
 // InlineFallbacks returns how many migrations intended for the
-// asynchronous pipeline ran inline because its queue was full — cumulative
-// queue-pressure over the manager's lifetime (0 without AsyncMigrations).
+// asynchronous pipeline ran inline on the proposing path. Always 0 since
+// the backpressure rework — queue-full triggers park as deferred intents
+// (see Backpressured) instead of re-encoding synchronously — but kept so
+// recorded benchmarks can assert the fallback path stays dead.
 func (m *Manager[ID, Ctx]) InlineFallbacks() int64 { return m.inlineFallbacks.Load() }
+
+// Backpressured returns how many proposed migrations found the pipeline
+// queue full and were parked as deferred intents instead of running
+// inline — cumulative queue-pressure over the manager's lifetime (0
+// without AsyncMigrations).
+func (m *Manager[ID, Ctx]) Backpressured() int64 { return m.backpressured.Load() }
+
+// CoalescedTriggers returns how many repeat triggers were folded into an
+// already-parked intent for the same unit while the queue was hot (0
+// without AsyncMigrations).
+func (m *Manager[ID, Ctx]) CoalescedTriggers() int64 { return m.coalesced.Load() }
 
 // DedupedEnqueues returns how many proposed migrations were dropped
 // because an identical job (same unit, same target encoding) was already

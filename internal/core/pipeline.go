@@ -10,10 +10,11 @@ import (
 // This file implements the off-critical-path migration pipeline: when
 // Config.AsyncMigrations is set, Phase II (adapt) no longer re-encodes
 // nodes inline. It pushes migration actions into a bounded queue and
-// returns; a fixed pool of worker goroutines drains the queue and runs
-// the index's Migrate callback concurrently with foreground traffic.
+// returns; a pool of worker goroutines (or external executors, see
+// ExternalMigrations) drains the queue and runs the index's Migrate
+// callback concurrently with foreground traffic.
 //
-// Two invariants keep this safe:
+// Three invariants keep this safe:
 //
 //  1. The sample-store entry is written back (history, identity) inline
 //     by adapt() before the job is enqueued, so the store never waits on
@@ -23,13 +24,24 @@ import (
 //     collecting candidates — workers never touch the sample stores,
 //     which are unsynchronized in SingleThreaded mode.
 //
-//  2. The queue is bounded and lossless: when it is full (or the
-//     pipeline is closing), adapt() falls back to migrating inline, so
-//     backpressure degrades to the old behaviour instead of dropping
-//     reorganization work. A proposed migration that exactly matches a
-//     job already queued or executing (same unit, same target) is
-//     deduplicated instead: the pending job will perform it, so running
-//     it inline too would re-encode the unit twice.
+//  2. Adaptation never re-encodes on the proposing path. When the queue
+//     is full the job is parked as a deferred intent (at most one per
+//     unit — repeat triggers for the same unit coalesce into the parked
+//     intent) and promoted into the queue by workers as slots free up.
+//     The serve path proceeds on the old encoding; backpressure shows up
+//     as counters and as a decayed trigger sensitivity (adapt() raises
+//     the skip length while intents are parked), never as a synchronous
+//     re-encode. Earlier revisions fell back to migrating inline here,
+//     which both re-introduced the trigger latency the pipeline exists
+//     to remove and could re-encode a unit twice when a queued job and
+//     its inline fallback raced.
+//
+//  3. The pipeline is lossless: every accepted trigger (enqOK or a
+//     deferred intent) eventually executes — workers promote intents,
+//     drain() waits for them, and close() flushes both the queue and the
+//     parked intents before returning. A proposed migration that exactly
+//     matches a job already queued or executing (same unit, same target)
+//     is deduplicated instead of accepted.
 //
 // Requirements on the index: Migrate must be safe to call concurrently
 // with foreground reads/writes and with other Migrate calls (the Hybrid
@@ -59,21 +71,31 @@ type enqueueStatus uint8
 const (
 	// enqOK: the job was accepted and will execute asynchronously.
 	enqOK enqueueStatus = iota
-	// enqFull: the queue is at capacity; the caller must migrate inline.
-	enqFull
-	// enqClosed: the pipeline is shutting down; migrate inline.
-	enqClosed
 	// enqDup: an identical job (unit, target) is already queued or
 	// executing; the caller should skip the migration entirely.
 	enqDup
+	// enqDeferred: the queue is at capacity; the job was parked as a
+	// deferred intent and will be promoted when a slot frees up. The
+	// caller proceeds on the old encoding (backpressure, not fallback).
+	enqDeferred
+	// enqCoalesced: the queue is at capacity and an intent for the same
+	// unit was already parked; this trigger was folded into it.
+	enqCoalesced
+	// enqClosed: the pipeline is shutting down; the trigger is dropped.
+	enqClosed
 )
 
 // migrationPipeline is the bounded worker pool behind AsyncMigrations.
 type migrationPipeline[ID comparable, Ctx any] struct {
 	m     *Manager[ID, Ctx]
 	queue chan migrationJob[ID, Ctx]
+	// external: no internal workers were started; an embedder-owned
+	// executor pool (e.g. the sharded front's stealing migrators) runs
+	// jobs via runOne. drain() helps execute in this mode so it cannot
+	// deadlock when the external executors are idle or gone.
+	external bool
 
-	mu     sync.Mutex // guards queue sends vs. close, rekeys, inflight, and pending
+	mu     sync.Mutex // guards queue sends vs. close, rekeys, inflight, deferred, pending
 	closed bool
 	rekeys []rekeyPair[ID]
 	// inflight tracks the target encoding of every queued or executing
@@ -82,12 +104,17 @@ type migrationPipeline[ID comparable, Ctx any] struct {
 	// the first job's completion then clears it early, so dedup may
 	// under-deduplicate across retargets — it never drops distinct work.
 	inflight map[ID]Encoding
+	// deferred holds at most one parked intent per unit, bounded by the
+	// number of tracked units (an intent is a few words; the sample store
+	// already holds the unit). Workers promote intents into the queue
+	// after each job completes.
+	deferred map[ID]migrationJob[ID, Ctx]
 
 	wg sync.WaitGroup // running workers
-	// pending counts queued or executing jobs. A plain counter under mu
-	// with a condition variable — not a WaitGroup — because drain() must
-	// tolerate racing enqueues: WaitGroup.Add concurrent with Wait while
-	// the counter passes zero is documented misuse.
+	// pending counts queued, executing, or deferred jobs. A plain counter
+	// under mu with a condition variable — not a WaitGroup — because
+	// drain() must tolerate racing enqueues: WaitGroup.Add concurrent
+	// with Wait while the counter passes zero is documented misuse.
 	pending int
 	idle    *sync.Cond
 }
@@ -97,6 +124,8 @@ func newMigrationPipeline[ID comparable, Ctx any](m *Manager[ID, Ctx], workers, 
 		m:        m,
 		queue:    make(chan migrationJob[ID, Ctx], depth),
 		inflight: make(map[ID]Encoding, depth),
+		deferred: make(map[ID]migrationJob[ID, Ctx]),
+		external: workers == 0,
 	}
 	p.idle = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
@@ -109,59 +138,185 @@ func newMigrationPipeline[ID comparable, Ctx any](m *Manager[ID, Ctx], workers, 
 func (p *migrationPipeline[ID, Ctx]) run() {
 	defer p.wg.Done()
 	for job := range p.queue {
-		x := p.m.cfg.Obs
-		var wait int64
-		var t0 time.Time
-		if x != nil {
-			if job.enqueuedAt > 0 {
-				wait = time.Now().UnixNano() - job.enqueuedAt
-				if wait < 0 {
-					wait = 0
-				}
-			}
-			t0 = time.Now()
-		}
-		newID, ok := p.m.cfg.Migrate(job.id, job.ctx, job.target)
-		if x != nil {
-			x.RecordMigration(job.epoch, p.m.cfg.Hash(job.id), job.from,
-				uint8(job.target), job.trig, true, ok, wait, time.Since(t0).Nanoseconds())
-		}
-		p.mu.Lock()
-		delete(p.inflight, job.id)
-		if ok {
-			p.m.totalMigrations.Add(1)
-			if newID != job.id {
-				p.rekeys = append(p.rekeys, rekeyPair[ID]{old: job.id, new: newID})
-			}
-		}
-		p.pending--
-		if p.pending == 0 {
-			p.idle.Broadcast()
-		}
-		p.mu.Unlock()
+		p.execute(job)
+		p.promoteDeferred()
 	}
 }
 
-// enqueue hands a migration to the pool. enqFull/enqClosed mean the
-// caller must migrate inline; enqDup means an identical job is already
-// pending and the caller should skip the unit this phase.
+// execute runs one job's Migrate callback and retires its bookkeeping.
+func (p *migrationPipeline[ID, Ctx]) execute(job migrationJob[ID, Ctx]) {
+	x := p.m.cfg.Obs
+	var wait int64
+	var t0 time.Time
+	if x != nil {
+		if job.enqueuedAt > 0 {
+			wait = time.Now().UnixNano() - job.enqueuedAt
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		t0 = time.Now()
+	}
+	newID, ok := p.m.cfg.Migrate(job.id, job.ctx, job.target)
+	if x != nil {
+		x.RecordMigration(job.epoch, p.m.cfg.Hash(job.id), job.from,
+			uint8(job.target), job.trig, true, ok, wait, time.Since(t0).Nanoseconds())
+	}
+	p.mu.Lock()
+	delete(p.inflight, job.id)
+	if ok {
+		p.m.totalMigrations.Add(1)
+		if newID != job.id {
+			p.rekeys = append(p.rekeys, rekeyPair[ID]{old: job.id, new: newID})
+		}
+	}
+	p.pending--
+	if p.pending == 0 {
+		p.idle.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// enqueue hands a migration to the pool. No status requires the caller
+// to re-encode inline: enqDeferred/enqCoalesced report backpressure (the
+// intent is parked and will execute later), enqDup and enqClosed mean the
+// unit should simply be skipped this phase.
 func (p *migrationPipeline[ID, Ctx]) enqueue(job migrationJob[ID, Ctx]) enqueueStatus {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return enqClosed
 	}
 	if tgt, dup := p.inflight[job.id]; dup && tgt == job.target {
+		p.mu.Unlock()
 		return enqDup
+	}
+	// A parked intent for the unit absorbs the new trigger regardless of
+	// queue headroom, so a unit never holds a queue slot and a park slot
+	// at once (the promote path would otherwise race a fresh enqueue into
+	// executing the unit twice).
+	if _, parked := p.deferred[job.id]; parked {
+		p.deferred[job.id] = job // coalesce: latest target wins
+		p.mu.Unlock()
+		return enqCoalesced
 	}
 	select {
 	case p.queue <- job:
 		p.inflight[job.id] = job.target
 		p.pending++
+		if p.external {
+			p.idle.Broadcast() // wake helping drainers
+		}
+		p.mu.Unlock()
+		p.notifyQueued()
 		return enqOK
 	default:
-		return enqFull
+		p.deferred[job.id] = job
+		p.pending++
+		if p.external {
+			p.idle.Broadcast()
+		}
+		p.mu.Unlock()
+		p.notifyQueued()
+		return enqDeferred
 	}
+}
+
+// notifyQueued signals an embedder-owned executor pool that work exists.
+// Called outside p.mu: the hook may itself call back into the pipeline
+// (RunQueuedMigration) from another goroutine it wakes.
+func (p *migrationPipeline[ID, Ctx]) notifyQueued() {
+	if f := p.m.cfg.OnMigrationQueued; f != nil {
+		f()
+	}
+}
+
+// popDeferredLocked removes one parked intent, marks it inflight, and
+// returns it for execution. Intents whose (unit, target) matches a job
+// already queued or executing are dropped as duplicates. ok=false means
+// nothing promotable remains.
+func (p *migrationPipeline[ID, Ctx]) popDeferredLocked() (migrationJob[ID, Ctx], bool) {
+	for id, job := range p.deferred {
+		delete(p.deferred, id)
+		if tgt, dup := p.inflight[id]; dup && tgt == job.target {
+			// A retarget re-queued the same (unit, target) while this
+			// intent was parked: the queued job will perform it.
+			p.m.dedupedEnqueues.Add(1)
+			if x := p.m.cfg.Obs; x != nil {
+				x.Deduped.Inc()
+			}
+			p.pending--
+			if p.pending == 0 {
+				p.idle.Broadcast()
+			}
+			continue
+		}
+		p.inflight[id] = job.target
+		return job, true
+	}
+	var zero migrationJob[ID, Ctx]
+	return zero, false
+}
+
+// promoteDeferred moves parked intents into freed queue slots. Workers
+// call it after every job, so a non-empty deferred set always drains as
+// long as the queue keeps moving.
+func (p *migrationPipeline[ID, Ctx]) promoteDeferred() {
+	promoted := false
+	p.mu.Lock()
+	for !p.closed && len(p.deferred) > 0 {
+		job, ok := p.popDeferredLocked()
+		if !ok {
+			break
+		}
+		select {
+		case p.queue <- job:
+			promoted = true
+			continue
+		default:
+			// No slot after all: park it again and revert the marker.
+			delete(p.inflight, job.id)
+			p.deferred[job.id] = job
+		}
+		break
+	}
+	p.mu.Unlock()
+	if promoted {
+		p.notifyQueued()
+	}
+}
+
+// runOne executes one queued job (or, when the queue is empty, one
+// parked intent) on the caller's goroutine. It returns false when no
+// work was available — including after close() has flushed everything.
+// This is the execution primitive for external migrator pools.
+func (p *migrationPipeline[ID, Ctx]) runOne() bool {
+	select {
+	case job, ok := <-p.queue:
+		if !ok {
+			return false
+		}
+		p.execute(job)
+		p.promoteDeferred()
+		return true
+	default:
+	}
+	p.mu.Lock()
+	job, ok := p.popDeferredLocked()
+	p.mu.Unlock()
+	if !ok {
+		return false
+	}
+	p.execute(job)
+	return true
+}
+
+// backlog reports queued plus parked (not yet promoted) jobs.
+func (p *migrationPipeline[ID, Ctx]) backlog() int {
+	p.mu.Lock()
+	n := len(p.queue) + len(p.deferred)
+	p.mu.Unlock()
+	return n
 }
 
 // takeRekeys returns and clears the accumulated identity changes.
@@ -173,16 +328,33 @@ func (p *migrationPipeline[ID, Ctx]) takeRekeys() []rekeyPair[ID] {
 	return r
 }
 
-// drain blocks until every queued job has executed.
+// drain blocks until every accepted job (queued, executing, or parked)
+// has executed. In external mode the drainer helps execute, so progress
+// does not depend on the embedder's executors being awake.
 func (p *migrationPipeline[ID, Ctx]) drain() {
 	p.mu.Lock()
 	for p.pending > 0 {
+		if p.external {
+			p.mu.Unlock()
+			if p.runOne() {
+				p.mu.Lock()
+				continue
+			}
+			p.mu.Lock()
+			if p.pending == 0 {
+				break
+			}
+			// Nothing runnable but pending > 0: another executor is
+			// mid-job; its completion (or a fresh enqueue) broadcasts.
+		}
 		p.idle.Wait()
 	}
 	p.mu.Unlock()
 }
 
-// close flushes remaining jobs and stops the workers.
+// close flushes remaining jobs — both queued and parked — and stops the
+// workers. The flush keeps the lossless contract: every accepted trigger
+// executes before close returns.
 func (p *migrationPipeline[ID, Ctx]) close() {
 	p.mu.Lock()
 	if p.closed {
@@ -193,6 +365,22 @@ func (p *migrationPipeline[ID, Ctx]) close() {
 	close(p.queue)
 	p.mu.Unlock()
 	p.wg.Wait()
+	// In external mode (no workers) the closed queue still holds jobs;
+	// with workers this range sees an already-drained channel.
+	for job := range p.queue {
+		p.execute(job)
+	}
+	// Workers stop promoting once closed is set; flush parked intents
+	// here on the closing goroutine.
+	for {
+		p.mu.Lock()
+		job, ok := p.popDeferredLocked()
+		p.mu.Unlock()
+		if !ok {
+			return
+		}
+		p.execute(job)
+	}
 }
 
 // applyRekeys moves sample-store entries whose identity changed under an
@@ -234,7 +422,7 @@ func (m *Manager[ID, Ctx]) applyRekeys() {
 	}
 }
 
-// DrainMigrations blocks until every migration queued so far has been
+// DrainMigrations blocks until every migration accepted so far has been
 // applied. No-op without AsyncMigrations. Foreground samplers may keep
 // enqueueing while this waits; it returns once the jobs present at call
 // time (and any racing additions) have executed.
@@ -246,8 +434,33 @@ func (m *Manager[ID, Ctx]) DrainMigrations() {
 	}
 }
 
+// RunQueuedMigration executes at most one pending migration — a queued
+// job, or a parked intent when the queue is empty — on the calling
+// goroutine, returning whether it did any work. This is the execution
+// primitive for embedders that own their migration workers (see
+// Config.ExternalMigrations); it is also safe to call alongside internal
+// workers as an opportunistic helper. Returns false without
+// AsyncMigrations.
+func (m *Manager[ID, Ctx]) RunQueuedMigration() bool {
+	if m.pipe == nil {
+		return false
+	}
+	return m.pipe.runOne()
+}
+
+// MigrationBacklog reports queued plus parked (deferred) migrations —
+// the work an external executor pool still owes. 0 without
+// AsyncMigrations.
+func (m *Manager[ID, Ctx]) MigrationBacklog() int {
+	if m.pipe == nil {
+		return 0
+	}
+	return m.pipe.backlog()
+}
+
 // QueuedMigrations reports how many migrations are waiting in the
-// pipeline's queue right now (0 without AsyncMigrations).
+// pipeline's queue right now (0 without AsyncMigrations). Parked intents
+// are not included; see MigrationBacklog.
 func (m *Manager[ID, Ctx]) QueuedMigrations() int {
 	if m.pipe == nil {
 		return 0
@@ -255,10 +468,10 @@ func (m *Manager[ID, Ctx]) QueuedMigrations() int {
 	return len(m.pipe.queue)
 }
 
-// Close flushes the migration pipeline — remaining queued migrations are
-// executed — and stops its workers, then applies any pending identity
-// re-keys. Safe to call multiple times; a Manager without AsyncMigrations
-// needs no Close (it is a no-op there).
+// Close flushes the migration pipeline — remaining queued migrations and
+// parked intents are executed — and stops its workers, then applies any
+// pending identity re-keys. Safe to call multiple times; a Manager
+// without AsyncMigrations needs no Close (it is a no-op there).
 func (m *Manager[ID, Ctx]) Close() {
 	if m.pipe == nil {
 		return

@@ -117,7 +117,7 @@ func TestAsyncRekeyAppliedOnNextAdapt(t *testing.T) {
 	}
 }
 
-func TestAsyncQueueFullRejectsEnqueue(t *testing.T) {
+func TestAsyncQueueFullDefersEnqueue(t *testing.T) {
 	block := make(chan struct{})
 	var calls atomic.Int32
 	ix := newMockIndex(10)
@@ -143,16 +143,25 @@ func TestAsyncQueueFullRejectsEnqueue(t *testing.T) {
 	if p.enqueue(migrationJob[int, struct{}]{id: 2, target: 1}) != enqOK {
 		t.Fatal("second enqueue must fill the depth-1 queue")
 	}
-	if p.enqueue(migrationJob[int, struct{}]{id: 3, target: 1}) != enqFull {
-		t.Fatal("third enqueue must report a full queue (inline fallback)")
+	// Queue full: the trigger parks as a deferred intent, never rejected.
+	if p.enqueue(migrationJob[int, struct{}]{id: 3, target: 1}) != enqDeferred {
+		t.Fatal("third enqueue must defer under backpressure")
+	}
+	// A repeat trigger for the parked unit coalesces (latest target wins).
+	if p.enqueue(migrationJob[int, struct{}]{id: 3, target: 2}) != enqCoalesced {
+		t.Fatal("repeat trigger for a parked unit must coalesce")
 	}
 	if q := m.QueuedMigrations(); q != 1 {
 		t.Fatalf("QueuedMigrations=%d want 1", q)
 	}
+	if b := m.MigrationBacklog(); b != 2 {
+		t.Fatalf("MigrationBacklog=%d want 2 (1 queued + 1 deferred)", b)
+	}
 	close(block)
 	m.DrainMigrations()
-	if calls.Load() != 2 {
-		t.Fatalf("calls=%d want 2", calls.Load())
+	// The deferred intent executes exactly once despite two triggers.
+	if calls.Load() != 3 {
+		t.Fatalf("calls=%d want 3", calls.Load())
 	}
 	m.Close()
 	if p.enqueue(migrationJob[int, struct{}]{id: 4, target: 1}) != enqClosed {
@@ -160,9 +169,10 @@ func TestAsyncQueueFullRejectsEnqueue(t *testing.T) {
 	}
 }
 
-func TestAsyncTinyQueueFallsBackInline(t *testing.T) {
-	// With a depth-1 queue and a deliberately slow worker, most phase-II
-	// migrations must run inline — the pipeline degrades, never drops work.
+func TestAsyncTinyQueueBackpressure(t *testing.T) {
+	// With a depth-1 queue and a deliberately slow worker, phase-II
+	// migrations park as deferred intents: the serve path NEVER migrates
+	// inline, and no accepted trigger is dropped — Close flushes the rest.
 	const n = 600
 	ix := newMockIndex(n)
 	cfg := asyncConfig(ix, SingleThreaded, 1)
@@ -173,16 +183,29 @@ func TestAsyncTinyQueueFallsBackInline(t *testing.T) {
 		time.Sleep(100 * time.Microsecond)
 		return ix.migrate(id, c, t)
 	}
-	inline := 0
-	cfg.OnAdapt = func(ai AdaptInfo) { inline += ai.Migrations }
+	inline, backpressured := 0, 0
+	cfg.OnAdapt = func(ai AdaptInfo) {
+		inline += ai.Migrations
+		backpressured += ai.Backpressured
+	}
 	m := New(cfg)
 	driveSkewed(m, n, 1_500_000, 5)
 	m.Close()
-	if inline == 0 {
-		t.Fatal("full queue never fell back to inline migration")
+	if inline != 0 {
+		t.Fatalf("inline migrations = %d, want 0 (backpressure replaces fallback)", inline)
+	}
+	if backpressured == 0 {
+		t.Fatal("a wedged depth-1 queue must surface backpressure")
+	}
+	if m.Backpressured() != int64(backpressured) {
+		t.Fatalf("cumulative backpressured %d != summed phase counts %d",
+			m.Backpressured(), backpressured)
+	}
+	if m.InlineFallbacks() != 0 {
+		t.Fatalf("InlineFallbacks = %d, want 0 always", m.InlineFallbacks())
 	}
 	if !ix.isExpanded(0) {
-		t.Fatal("hottest unit not expanded despite fallback")
+		t.Fatal("hottest unit not expanded despite backpressure")
 	}
 }
 
@@ -265,7 +288,8 @@ func TestPipelineEnqueueCloseDrainRace(t *testing.T) {
 			defer wg.Done()
 			<-start
 			for i := 0; i < 5000; i++ {
-				if p.enqueue(migrationJob[int, struct{}]{id: g*5000 + i, target: 1}) == enqOK {
+				switch p.enqueue(migrationJob[int, struct{}]{id: g*5000 + i, target: 1}) {
+				case enqOK, enqDeferred:
 					accepted.Add(1)
 				}
 			}
@@ -295,8 +319,8 @@ func TestPipelineEnqueueCloseDrainRace(t *testing.T) {
 	if got, want := executed.Load(), accepted.Load(); got != want {
 		t.Fatalf("executed %d of %d accepted jobs (lossless contract broken)", got, want)
 	}
-	if p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}) == enqOK {
-		t.Fatal("enqueue after Close must be rejected")
+	if got := p.enqueue(migrationJob[int, struct{}]{id: 1, target: 1}); got != enqClosed {
+		t.Fatalf("enqueue after Close = %d, want enqClosed", got)
 	}
 	if got, want := executed.Load(), accepted.Load(); got != want {
 		t.Fatalf("post-close enqueue changed execution count: %d vs %d", got, want)
@@ -304,8 +328,9 @@ func TestPipelineEnqueueCloseDrainRace(t *testing.T) {
 }
 
 // TestAdaptInfoSurfacesPipelinePressure pins the new observability fields:
-// a full queue shows up as InlineFallbacks (per phase and cumulatively)
-// and DrainMigrations records its latency.
+// a wedged queue shows up as Backpressured/Coalesced (per phase and
+// cumulatively, never as inline fallbacks), the backlog includes parked
+// intents, and DrainMigrations records its latency.
 func TestAdaptInfoSurfacesPipelinePressure(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{}, 2)
@@ -317,7 +342,7 @@ func TestAdaptInfoSurfacesPipelinePressure(t *testing.T) {
 	cfg.Migrate = func(id int, c struct{}, tgt Encoding) (int, bool) {
 		if id >= 1000 {
 			// Sentinel wedge jobs: block the worker so the queue stays
-			// full. Real (inline fallback) migrations never block.
+			// full while the phases below run.
 			started <- struct{}{}
 			<-block
 			return id, true
@@ -337,24 +362,49 @@ func TestAdaptInfoSurfacesPipelinePressure(t *testing.T) {
 	}
 	s := m.NewSampler()
 	// Track distinct hot units so the phase proposes several expansions;
-	// with the queue wedged full, every one must fall back inline.
+	// with the queue wedged full, every one must park as backpressure.
+	for i := 0; i < 8; i++ {
+		s.Track(i, Read, struct{}{})
+		s.Track(i, Read, struct{}{})
+	}
+	skipBefore := m.SkipLength()
+	m.adapt(m.epoch.Load())
+	if last.Backpressured == 0 {
+		t.Fatal("wedged depth-1 queue must surface backpressure in AdaptInfo")
+	}
+	if last.InlineFallbacks != 0 {
+		t.Fatalf("InlineFallbacks = %d, want 0 (serve path never migrates)", last.InlineFallbacks)
+	}
+	if last.Migrations != 0 {
+		t.Fatalf("inline Migrations = %d, want 0 under backpressure", last.Migrations)
+	}
+	if last.PipeDepth == 0 {
+		t.Fatal("a full queue must surface a non-zero PipeDepth")
+	}
+	if last.Backlog <= last.PipeDepth {
+		t.Fatalf("Backlog (%d) must include parked intents beyond the queue (%d)",
+			last.Backlog, last.PipeDepth)
+	}
+	if m.Backpressured() != int64(last.Backpressured) {
+		t.Fatalf("cumulative backpressured %d != phase count %d",
+			m.Backpressured(), last.Backpressured)
+	}
+	// Backpressure decays trigger sensitivity: the skip length must grow.
+	if m.SkipLength() <= skipBefore {
+		t.Fatalf("skip length %d did not grow from %d under backpressure",
+			m.SkipLength(), skipBefore)
+	}
+	// A second phase re-proposing the same parked targets coalesces.
 	for i := 0; i < 8; i++ {
 		s.Track(i, Read, struct{}{})
 		s.Track(i, Read, struct{}{})
 	}
 	m.adapt(m.epoch.Load())
-	if last.InlineFallbacks == 0 {
-		t.Fatal("wedged depth-1 queue must surface inline fallbacks in AdaptInfo")
+	if last.Coalesced == 0 {
+		t.Fatal("repeat triggers for parked units must surface as Coalesced")
 	}
-	if last.PipeDepth == 0 {
-		t.Fatal("a full queue must surface a non-zero PipeDepth")
-	}
-	if m.InlineFallbacks() != int64(last.InlineFallbacks) {
-		t.Fatalf("cumulative fallbacks %d != phase fallbacks %d", m.InlineFallbacks(), last.InlineFallbacks)
-	}
-	if last.Migrations < last.InlineFallbacks {
-		t.Fatalf("fallbacks (%d) are inline migrations and must be included in Migrations (%d)",
-			last.InlineFallbacks, last.Migrations)
+	if m.CoalescedTriggers() == 0 {
+		t.Fatal("cumulative CoalescedTriggers must grow with phase Coalesced")
 	}
 	close(block)
 	m.DrainMigrations()
@@ -362,6 +412,12 @@ func TestAdaptInfoSurfacesPipelinePressure(t *testing.T) {
 		t.Fatal("DrainMigrations must record its latency")
 	}
 	m.Close()
+	// Lossless: every parked expansion executed by drain/close.
+	for i := 0; i < 8; i++ {
+		if !ix.isExpanded(i) {
+			t.Fatalf("parked expansion of unit %d was dropped", i)
+		}
+	}
 }
 
 // TestSetMemoryBudgetOverride checks that the runtime budget override
@@ -426,6 +482,59 @@ func TestEnqueueDedupStatuses(t *testing.T) {
 	m.Close()
 	if calls.Load() != 3 {
 		t.Fatalf("executed %d jobs, want 3 (dups must not run)", calls.Load())
+	}
+}
+
+func TestExternalMigrationsRunOnEmbedderGoroutine(t *testing.T) {
+	// ExternalMigrations suppresses the internal worker pool: accepted
+	// jobs wait until the embedder runs them via RunQueuedMigration (or a
+	// drain/close flushes them).
+	var calls atomic.Int32
+	var wakes atomic.Int32
+	ix := newMockIndex(10)
+	cfg := asyncConfig(ix, SingleThreaded, 1)
+	cfg.ExternalMigrations = true
+	cfg.OnMigrationQueued = func() { wakes.Add(1) }
+	cfg.MigrationQueue = 4
+	cfg.Migrate = func(id int, _ struct{}, _ Encoding) (int, bool) {
+		calls.Add(1)
+		return id, true
+	}
+	m := New(cfg)
+	for i := 0; i < 6; i++ { // 4 queued + 2 deferred
+		switch m.pipe.enqueue(migrationJob[int, struct{}]{id: i, target: 1}) {
+		case enqOK, enqDeferred:
+		default:
+			t.Fatalf("enqueue %d not accepted", i)
+		}
+	}
+	if wakes.Load() != 6 {
+		t.Fatalf("wake hook fired %d times, want 6", wakes.Load())
+	}
+	if calls.Load() != 0 {
+		t.Fatal("no internal worker may execute in external mode")
+	}
+	if b := m.MigrationBacklog(); b != 6 {
+		t.Fatalf("backlog = %d, want 6", b)
+	}
+	ran := 0
+	for m.RunQueuedMigration() {
+		ran++
+	}
+	if ran != 6 || calls.Load() != 6 {
+		t.Fatalf("RunQueuedMigration executed %d (calls %d), want 6", ran, calls.Load())
+	}
+	// Drain with pending work helps execute on the draining goroutine.
+	m.pipe.enqueue(migrationJob[int, struct{}]{id: 7, target: 1})
+	m.DrainMigrations()
+	if calls.Load() != 7 {
+		t.Fatalf("drain did not help-execute: calls = %d, want 7", calls.Load())
+	}
+	// Close flushes whatever is still parked.
+	m.pipe.enqueue(migrationJob[int, struct{}]{id: 8, target: 1})
+	m.Close()
+	if calls.Load() != 8 {
+		t.Fatalf("close did not flush: calls = %d, want 8", calls.Load())
 	}
 }
 

@@ -69,7 +69,9 @@ type Index struct {
 	Adapts       *Counter   // completed adaptation phases
 	Migrations   *Counter   // successful migrations (inline + async)
 	Failures     *Counter   // Migrate calls that reported ok=false
-	Fallbacks    *Counter   // queue-full migrations that ran inline
+	Fallbacks    *Counter   // legacy inline-fallback count (stays 0; see Backpressure)
+	Backpressure *Counter   // queue-full triggers parked as deferred intents
+	Coalesced    *Counter   // repeat triggers folded into a parked intent
 	Deduped      *Counter   // re-enqueues dropped as duplicates
 	Evictions    *Counter   // units evicted from tracking
 	QueueWaitNs  *Histogram // async job wait between enqueue and execution
@@ -80,6 +82,8 @@ type Index struct {
 	TrackedUnits *Gauge     // units in the sample store
 	FwBytes      *Gauge     // framework footprint in bytes
 	IndexBytes   *Gauge     // index footprint in bytes
+	RetireDepth  *Gauge     // epoch-reclamation retire-list depth at last phase
+	EpochLag     *Gauge     // reclamation epochs the oldest in-flight reader lags
 
 	migByTrigger [numTriggers]*Counter
 }
@@ -102,6 +106,8 @@ func (o *Observability) Index(source string, encName func(uint8) string) *Index 
 	x.Migrations = r.Counter("ahi_migrations_total", lbl()...)
 	x.Failures = r.Counter("ahi_migration_failures_total", lbl()...)
 	x.Fallbacks = r.Counter("ahi_inline_fallbacks_total", lbl()...)
+	x.Backpressure = r.Counter("ahi_backpressure_total", lbl()...)
+	x.Coalesced = r.Counter("ahi_coalesced_triggers_total", lbl()...)
 	x.Deduped = r.Counter("ahi_deduped_enqueues_total", lbl()...)
 	x.Evictions = r.Counter("ahi_evictions_total", lbl()...)
 	x.QueueWaitNs = r.Histogram("ahi_queue_wait_ns", DefaultLatencyBucketsNs, lbl()...)
@@ -112,6 +118,8 @@ func (o *Observability) Index(source string, encName func(uint8) string) *Index 
 	x.TrackedUnits = r.Gauge("ahi_tracked_units", lbl()...)
 	x.FwBytes = r.Gauge("ahi_framework_bytes", lbl()...)
 	x.IndexBytes = r.Gauge("ahi_index_bytes", lbl()...)
+	x.RetireDepth = r.Gauge("ahi_retire_list_depth", lbl()...)
+	x.EpochLag = r.Gauge("ahi_epoch_lag", lbl()...)
 	for t := Trigger(0); t < numTriggers; t++ {
 		x.migByTrigger[t] = r.Counter("ahi_migrations_by_trigger_total",
 			append(lbl(), Label{"trigger", t.String()})...)

@@ -31,16 +31,28 @@ type Snapshot struct {
 	SampleSize int `json:"sample_size"`
 
 	// What the completed phase saw and did.
-	SampledTotal    int64 `json:"sampled_total"`
-	UniqueSamples   int   `json:"unique_samples"`
-	Hot             int   `json:"hot"`
-	K               int   `json:"k"`
-	Migrations      int   `json:"migrations"`
-	Queued          int   `json:"queued"`
-	InlineFallbacks int   `json:"inline_fallbacks"`
-	Deduped         int   `json:"deduped"`
-	Evicted         int   `json:"evicted"`
-	PipeDepth       int   `json:"pipe_depth"`
+	SampledTotal  int64 `json:"sampled_total"`
+	UniqueSamples int   `json:"unique_samples"`
+	Hot           int   `json:"hot"`
+	K             int   `json:"k"`
+	Migrations    int   `json:"migrations"`
+	Queued        int   `json:"queued"`
+	// InlineFallbacks stays 0 since the backpressure rework; kept in the
+	// schema so dumps can assert the fallback path stays dead.
+	InlineFallbacks int `json:"inline_fallbacks"`
+	// Backpressured counts queue-full triggers parked as deferred
+	// intents this phase; Coalesced the subset folded into an intent
+	// already parked for the same unit.
+	Backpressured int `json:"backpressured"`
+	Coalesced     int `json:"coalesced"`
+	Deduped       int `json:"deduped"`
+	Evicted       int `json:"evicted"`
+	PipeDepth     int `json:"pipe_depth"`
+	// Epoch-reclamation state at phase end: retired node images awaiting
+	// their grace period, and how many reclamation epochs the oldest
+	// in-flight reader lags behind the global epoch.
+	RetireDepth int64 `json:"retire_depth,omitempty"`
+	EpochLag    int64 `json:"epoch_lag,omitempty"`
 
 	// Footprints and budget headroom. BudgetBytes is 0 when unbounded;
 	// headroom is BudgetBytes − UsedBytes when bounded.

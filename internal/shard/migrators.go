@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ahi/internal/obs"
+)
+
+// This file implements the front-end's shared migration executor: one
+// pool of migrator goroutines that applies every shard's queued leaf
+// re-encodings, with cross-shard work stealing.
+//
+// Without it each shard's manager runs its own private worker pool, so a
+// front-end with S shards spawns S·W goroutines that cannot help each
+// other: a hot shard's migration backlog grows while cold shards' workers
+// sleep. The shared pool flips the shards into ExternalMigrations mode
+// (no internal workers) and sizes itself to the machine, not the shard
+// count. Each worker owns a home shard (worker index modulo shards) it
+// serves first; when the home queue is empty it steals from the shard
+// with the deepest backlog, so migration capacity follows the workload
+// the same way the memory budget does in Rebalance.
+
+// parkInterval bounds how long an idle migrator sleeps between backlog
+// re-scans when no enqueue notification arrives. Wake-ups normally come
+// from the managers' OnMigrationQueued hook; the timer only covers the
+// window where a notification raced ahead of the queue insert.
+const parkInterval = time.Millisecond
+
+// migratorPool is the shared executor. Created by build when the shard
+// config enables async migrations, stopped by ShardedBTree.Close before
+// the per-shard managers shut down.
+type migratorPool struct {
+	s      *ShardedBTree
+	notify chan struct{} // buffered(1) wake signal from any shard's manager
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	steals atomic.Int64
+	stealC *obs.Counter // nil without an observability sink
+}
+
+func newMigratorPool(s *ShardedBTree, workers int, reg *obs.Registry) *migratorPool {
+	p := &migratorPool{
+		s:      s,
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	if reg != nil {
+		p.stealC = reg.Counter("ahi_migration_steals_total")
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// wake is the OnMigrationQueued hook shared by every shard's manager:
+// a nonblocking send on the buffered channel collapses any burst of
+// enqueues into one pending wake-up.
+func (p *migratorPool) wake() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+// stop shuts the pool down and waits for the workers to park. Queued
+// work left behind is not lost: the managers' Close flushes it on the
+// closing goroutine.
+func (p *migratorPool) stop() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// victim picks the shard with the deepest migration backlog other than
+// home, or -1 when every other shard is idle.
+func (p *migratorPool) victim(home int) int {
+	best, depth := -1, 0
+	for g, sh := range p.s.shards {
+		if g == home {
+			continue
+		}
+		if d := sh.a.MigrationBacklog(); d > depth {
+			best, depth = g, d
+		}
+	}
+	return best
+}
+
+func (p *migratorPool) worker(id int) {
+	defer p.wg.Done()
+	home := id % len(p.s.shards)
+	timer := time.NewTimer(parkInterval)
+	defer timer.Stop()
+	for {
+		// Home shard first: keeps the common case cache- and
+		// contention-friendly (one worker per shard when workers == shards).
+		if p.s.shards[home].a.RunQueuedMigration() {
+			continue
+		}
+		if g := p.victim(home); g >= 0 && p.s.shards[g].a.RunQueuedMigration() {
+			p.steals.Add(1)
+			if p.stealC != nil {
+				p.stealC.Inc()
+			}
+			continue
+		}
+		// Nothing anywhere: park until an enqueue wakes us or the timer
+		// forces a defensive re-scan.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(parkInterval)
+		select {
+		case <-p.quit:
+			return
+		case <-p.notify:
+		case <-timer.C:
+		}
+	}
+}
+
+// Steals reports how many migrations ran on a non-home worker (bench and
+// test introspection).
+func (s *ShardedBTree) Steals() int64 {
+	if s.migrators == nil {
+		return 0
+	}
+	return s.migrators.steals.Load()
+}
+
+// MigrationBacklog sums queued plus deferred migrations across shards.
+func (s *ShardedBTree) MigrationBacklog() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.a.MigrationBacklog()
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func asyncConfig(shards, migrators int) Config {
+	cfg := testConfig(shards, 1)
+	cfg.Adaptive.AsyncMigrations = true
+	cfg.Adaptive.InitialSkip = 2
+	cfg.Adaptive.MinSkip = 2
+	cfg.Adaptive.MaxSkip = 8
+	cfg.Adaptive.RelativeBudget = 3.0
+	cfg.MigrationWorkers = migrators
+	return cfg
+}
+
+// TestSharedPoolReplacesInternalWorkers: with the shared migrator pool
+// on, every shard's manager is in external mode — queued migrations are
+// applied by the pool, and drain leaves no backlog behind.
+func TestSharedPoolReplacesInternalWorkers(t *testing.T) {
+	keys, vals := loadKeys(40_000)
+	s := BulkLoad(asyncConfig(4, 2), keys, vals)
+	defer s.Close()
+	if s.migrators == nil {
+		t.Fatal("shared migrator pool not created")
+	}
+	// Skewed single-key traffic into shard 0's range to provoke
+	// expansions there.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200_000; i++ {
+		s.Lookup(keys[rng.Intn(len(keys)/8)])
+	}
+	s.DrainMigrations()
+	if s.MigrationBacklog() != 0 {
+		t.Fatalf("backlog = %d after drain, want 0", s.MigrationBacklog())
+	}
+	migrated := int64(0)
+	for i := 0; i < s.Shards(); i++ {
+		migrated += s.Shard(i).Tree.Expansions() + s.Shard(i).Tree.Compactions()
+	}
+	if migrated == 0 {
+		t.Fatal("skewed traffic produced no migrations through the pool")
+	}
+}
+
+// TestDisabledPoolKeepsInternalWorkers: MigrationWorkers < 0 opts out of
+// the shared pool; shards fall back to their managers' own workers.
+func TestDisabledPoolKeepsInternalWorkers(t *testing.T) {
+	cfg := asyncConfig(2, -1)
+	keys, vals := loadKeys(10_000)
+	s := BulkLoad(cfg, keys, vals)
+	defer s.Close()
+	if s.migrators != nil {
+		t.Fatal("shared pool must be disabled with MigrationWorkers < 0")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50_000; i++ {
+		s.Lookup(keys[rng.Intn(len(keys)/8)])
+	}
+	s.DrainMigrations()
+	if s.MigrationBacklog() != 0 {
+		t.Fatalf("backlog = %d after drain, want 0", s.MigrationBacklog())
+	}
+}
+
+// TestWorkStealingDrainsSkewedBacklog drives all adaptation churn into
+// one shard while running more pool workers than that shard would get on
+// its own: the extra workers must steal from the loaded shard's queue.
+// Run under -race — stealing makes foreign workers execute a shard's
+// migrations concurrently with its readers.
+func TestWorkStealingDrainsSkewedBacklog(t *testing.T) {
+	keys, vals := loadKeys(60_000)
+	cfg := asyncConfig(4, 4)
+	// A tiny queue keeps the home worker saturated so victims exist.
+	cfg.Adaptive.MigrationQueue = 4
+	s := BulkLoad(cfg, keys, vals)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			bk := make([]uint64, 128)
+			bv := make([]uint64, 128)
+			bf := make([]bool, 128)
+			hot := keys[:len(keys)/4] // shard 0's range only
+			for i := 0; i < 400; i++ {
+				for j := range bk {
+					bk[j] = hot[rng.Intn(len(hot))]
+				}
+				s.LookupBatch(bk, bv, bf)
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.MigrationBacklog() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.DrainMigrations()
+	if s.MigrationBacklog() != 0 {
+		t.Fatalf("backlog = %d, want 0 (stealing pool must drain the hot shard)", s.MigrationBacklog())
+	}
+	if s.Shard(0).Tree.Expansions() == 0 {
+		t.Fatal("hot shard saw no expansions; workload did not provoke migrations")
+	}
+}
+
+// TestCloseStopsPoolBeforeManagers: Close with queued work must not
+// deadlock or drop accepted migrations, in any order of pool vs manager
+// shutdown. Exercised repeatedly to shake out shutdown races.
+func TestCloseStopsPoolBeforeManagers(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		keys, vals := loadKeys(20_000)
+		s := BulkLoad(asyncConfig(2, 2), keys, vals)
+		rng := rand.New(rand.NewSource(int64(round)))
+		for i := 0; i < 30_000; i++ {
+			s.Lookup(keys[rng.Intn(len(keys)/8)])
+		}
+		s.Close() // must flush whatever is still queued or parked
+		if s.MigrationBacklog() != 0 {
+			t.Fatalf("round %d: backlog survived Close", round)
+		}
+	}
+}

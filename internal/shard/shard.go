@@ -55,6 +55,11 @@ type Config struct {
 	// RebalanceEvery is the number of batches between automatic budget
 	// re-splits (default 64; < 0 disables automatic rebalancing).
 	RebalanceEvery int
+	// MigrationWorkers sizes the shared cross-shard migrator pool (only
+	// with Adaptive.AsyncMigrations). Default min(GOMAXPROCS, Shards);
+	// < 0 disables the shared pool and keeps each shard's internal
+	// manager workers instead.
+	MigrationWorkers int
 	// Obs attaches one shared observability sink to every shard: shard i
 	// labels its series source="shard<i>", so the single registry holds the
 	// aggregate view across the front-end while each shard's trace events
@@ -74,6 +79,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.RebalanceEvery == 0 {
 		c.RebalanceEvery = 64
+	}
+	if c.MigrationWorkers == 0 {
+		c.MigrationWorkers = runtime.GOMAXPROCS(0)
+		if c.MigrationWorkers > c.Shards {
+			c.MigrationWorkers = c.Shards
+		}
 	}
 }
 
@@ -100,6 +111,10 @@ type ShardedBTree struct {
 	sem     chan struct{} // bounded fan-out pool
 	batches atomic.Int64  // batch counter driving automatic rebalance
 	total   int64         // total memory budget split across shards
+
+	// migrators is the shared cross-shard migration executor (nil when
+	// async migrations are off or the shared pool is disabled).
+	migrators *migratorPool
 }
 
 // New creates an empty ShardedBTree whose shards split the uint64 key
@@ -151,10 +166,30 @@ func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
 		sem:    make(chan struct{}, cfg.Workers),
 		total:  cfg.Adaptive.MemoryBudget,
 	}
+	sharedPool := cfg.Adaptive.AsyncMigrations && cfg.MigrationWorkers > 0
 	for i := 0; i < n; i++ {
 		acfg := cfg.Adaptive
 		if s.total > 0 {
 			acfg.MemoryBudget = s.total / int64(n) // even split until hotness data exists
+		}
+		if sharedPool {
+			// The shared pool replaces the per-shard internal workers:
+			// managers only queue, the pool executes (and steals).
+			acfg.ExternalMigrations = true
+			acfg.OnMigrationQueued = func() {
+				if p := s.migrators; p != nil {
+					p.wake()
+				}
+			}
+			if acfg.MigrationQueue <= 0 {
+				// Split the core default queue budget across shards instead
+				// of multiplying it by the shard count.
+				if q := 256 * runtime.GOMAXPROCS(0) / n; q > 128 {
+					acfg.MigrationQueue = q
+				} else {
+					acfg.MigrationQueue = 128
+				}
+			}
 		}
 		if cfg.Obs != nil {
 			acfg.Obs = cfg.Obs
@@ -168,6 +203,13 @@ func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
 			a = btree.NewAdaptive(acfg)
 		}
 		s.shards[i] = &shardState{a: a, session: a.NewSession()}
+	}
+	if sharedPool {
+		var reg *obs.Registry
+		if cfg.Obs != nil {
+			reg = cfg.Obs.Reg
+		}
+		s.migrators = newMigratorPool(s, cfg.MigrationWorkers, reg)
 	}
 	return s
 }
@@ -451,16 +493,24 @@ func (s *ShardedBTree) Rebalance() {
 		return
 	}
 	ns := int64(len(s.shards))
+	// Hotness weight: decayed operation count plus the shard's migration
+	// backlog (scaled up — a queued re-encoding is worth more signal than
+	// one routed op, it means the shard is actively churning encodings).
+	// Queue-depth awareness sends budget where adaptation pressure is,
+	// not just where traffic was.
+	weight := func(sh *shardState) int64 {
+		return sh.ops.Load() + 64*int64(sh.a.MigrationBacklog())
+	}
 	var sum int64
 	for _, sh := range s.shards {
-		sum += sh.ops.Load()
+		sum += weight(sh)
 	}
 	reserve := s.total / 4
 	weighted := s.total - reserve
 	for _, sh := range s.shards {
 		share := reserve / ns
 		if sum > 0 {
-			share += weighted * sh.ops.Load() / sum
+			share += weighted * weight(sh) / sum
 		} else {
 			share += weighted / ns
 		}
@@ -505,8 +555,13 @@ func (s *ShardedBTree) DrainMigrations() {
 	}
 }
 
-// Close flushes and stops every shard's migration pipeline.
+// Close flushes and stops every shard's migration pipeline. The shared
+// migrator pool stops first so no worker races the managers' shutdown
+// flush; work still queued at that point is executed by Close itself.
 func (s *ShardedBTree) Close() {
+	if s.migrators != nil {
+		s.migrators.stop()
+	}
 	for _, sh := range s.shards {
 		sh.a.Close()
 	}
