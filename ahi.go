@@ -130,11 +130,23 @@ type BTreeOptions struct {
 	// AsyncMigrations moves leaf re-encodings off the critical path into
 	// a bounded worker pipeline (call Close on the tree when retiring it).
 	AsyncMigrations bool
+	// CacheFraction, in (0, 1), dedicates that slice of MemoryBudget to a
+	// per-tree hot-key result cache probed before the tree walk. The cache
+	// bytes are charged against the budget (encodings + cache never exceed
+	// it) and admission follows the adaptation sampler's hotness signal.
+	// Requires an absolute MemoryBudget; 0 disables the cache. 0.05–0.10
+	// is a good starting range for skewed read-heavy workloads.
+	CacheFraction float64
+	// NegFilterBits, when > 0, attaches a Bloom filter with that many bits
+	// per key to every Succinct (cold) leaf, rejecting lookups of absent
+	// keys before the compressed search. 6 bits/key ≈ 1.6% false-positive
+	// rate; the filter bytes count toward the leaf's budget footprint.
+	NegFilterBits int
 }
 
 func (o BTreeOptions) config() btree.AdaptiveConfig {
 	return btree.AdaptiveConfig{
-		Tree:            btree.Config{DefaultEncoding: o.ColdEncoding},
+		Tree:            btree.Config{DefaultEncoding: o.ColdEncoding, NegFilterBits: o.NegFilterBits},
 		MemoryBudget:    o.MemoryBudget,
 		RelativeBudget:  o.RelativeBudget,
 		InitialSkip:     o.InitialSkip,
@@ -143,6 +155,7 @@ func (o BTreeOptions) config() btree.AdaptiveConfig {
 		MaxSampleSize:   o.MaxSampleSize,
 		OnAdapt:         o.OnAdapt,
 		AsyncMigrations: o.AsyncMigrations,
+		CacheFraction:   o.CacheFraction,
 	}
 }
 

@@ -117,7 +117,101 @@ func render(w io.Writer, d *obs.Dump, tail int) {
 	for _, src := range sources {
 		renderEpochs(w, src, bySource[src])
 	}
+	renderCache(w, d)
 	renderTrace(w, d, tail)
+}
+
+// renderCache summarizes the read-path cache and negative-filter metrics
+// per source: hit rate, admission/eviction churn, invalidations, and the
+// bytes the cache charges against the memory budget. Silent when no cache
+// metrics are present (CacheFraction unset).
+func renderCache(w io.Writer, d *obs.Dump) {
+	type row struct {
+		hits, misses, admitted, rejected float64
+		invalidations, evictions, bytes  float64
+		negHits                          float64
+	}
+	rows := map[string]*row{}
+	get := func(src string) *row {
+		r := rows[src]
+		if r == nil {
+			r = &row{}
+			rows[src] = r
+		}
+		return r
+	}
+	for name, v := range d.Metrics {
+		base, src := splitMetric(name)
+		switch base {
+		case "ahi_cache_hits_total":
+			get(src).hits = v
+		case "ahi_cache_misses_total":
+			get(src).misses = v
+		case "ahi_cache_admitted_total":
+			get(src).admitted = v
+		case "ahi_cache_rejected_total":
+			get(src).rejected = v
+		case "ahi_cache_invalidations_total":
+			get(src).invalidations = v
+		case "ahi_cache_evictions_total":
+			get(src).evictions = v
+		case "ahi_cache_bytes":
+			get(src).bytes = v
+		case "ahi_negfilter_hits_total":
+			get(src).negHits = v
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	var srcs []string
+	for s := range rows {
+		srcs = append(srcs, s)
+	}
+	sort.Strings(srcs)
+	fmt.Fprintln(w, "== read-path cache ==")
+	fmt.Fprintf(w, "%-10s %9s %7s %9s %9s %9s %9s %9s %9s\n",
+		"source", "hits", "rate", "misses", "admit", "reject", "inval", "evict", "neg-hits")
+	for _, s := range srcs {
+		r := rows[s]
+		name := s
+		if name == "" {
+			name = "(default)"
+		}
+		rate := "-"
+		if tot := r.hits + r.misses; tot > 0 {
+			rate = fmt.Sprintf("%5.1f%%", 100*r.hits/tot)
+		}
+		fmt.Fprintf(w, "%-10s %9.0f %7s %9.0f %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+			name, r.hits, rate, r.misses, r.admitted, r.rejected,
+			r.invalidations, r.evictions, r.negHits)
+		if r.bytes > 0 {
+			fmt.Fprintf(w, "%-10s cache footprint %s (charged against the memory budget)\n",
+				"", mib(int64(r.bytes)))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// splitMetric splits a rendered metric key like `name{source="s0"}` into
+// its base name and source label ("" when unlabeled).
+func splitMetric(name string) (base, src string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	base = name[:i]
+	rest := name[i:]
+	const tag = `source="`
+	j := strings.Index(rest, tag)
+	if j < 0 {
+		return base, ""
+	}
+	rest = rest[j+len(tag):]
+	if k := strings.IndexByte(rest, '"'); k >= 0 {
+		return base, rest[:k]
+	}
+	return base, ""
 }
 
 func renderEpochs(w io.Writer, src string, snaps []obs.Snapshot) {
@@ -136,8 +230,14 @@ func renderEpochs(w io.Writer, src string, snaps []obs.Snapshot) {
 	}
 	last := &snaps[len(snaps)-1]
 	if last.BudgetBytes > 0 {
-		fmt.Fprintf(w, "budget %s used %s headroom %s\n",
-			mib(last.BudgetBytes), mib(last.UsedBytes), mib(last.Headroom()))
+		if last.ChargedBytes > 0 {
+			fmt.Fprintf(w, "budget %s used %s cache %s headroom %s\n",
+				mib(last.BudgetBytes), mib(last.UsedBytes),
+				mib(last.ChargedBytes), mib(last.Headroom()))
+		} else {
+			fmt.Fprintf(w, "budget %s used %s headroom %s\n",
+				mib(last.BudgetBytes), mib(last.UsedBytes), mib(last.Headroom()))
+		}
 	}
 	if last.RetireDepth > 0 || last.EpochLag > 0 {
 		fmt.Fprintf(w, "reclaim: retire-list depth %d, reader epoch lag %d\n",

@@ -1,0 +1,171 @@
+// Command benchgate is a dependency-free benchstat-style gate for CI.
+//
+// It parses `go test -bench` output (use -count to repeat; the fastest
+// repetition per benchmark is kept, the usual noise floor for shared
+// runners) and enforces two checks:
+//
+//	benchgate -new new.txt -old old.txt -threshold 10
+//	    fail if any benchmark present in both files regressed by more
+//	    than threshold percent (ns/op, min over repetitions)
+//	benchgate -new new.txt -zero-allocs 'LookupBatch'
+//	    fail if any benchmark matching the regex reports a nonzero
+//	    allocs/op, or if none match (wiring rot), or if the run was
+//	    missing -benchmem
+//
+// Both checks may be combined in one invocation. Exit status 1 on any
+// violation, with a per-benchmark report either way.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	nsOp      float64
+	allocsOp  float64
+	hasAllocs bool
+}
+
+// parse reads go-test bench output, keeping the fastest ns/op and the
+// worst allocs/op seen per benchmark name across repetitions. The
+// -GOMAXPROCS suffix is stripped so runs from differently sized runners
+// still line up.
+func parse(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		r, seen := out[name]
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				if !seen || v < r.nsOp {
+					r.nsOp = v
+				}
+			case "allocs/op":
+				if !r.hasAllocs || v > r.allocsOp {
+					r.allocsOp = v
+				}
+				r.hasAllocs = true
+			}
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	var (
+		newPath   = flag.String("new", "", "bench output to check (required)")
+		oldPath   = flag.String("old", "", "baseline bench output to compare against")
+		threshold = flag.Float64("threshold", 10, "max allowed ns/op regression, percent")
+		zeroRe    = flag.String("zero-allocs", "", "regex of benchmarks that must report allocs/op == 0")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -new is required")
+		os.Exit(2)
+	}
+	cur, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark results in %s\n", *newPath)
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	failed := false
+	if *oldPath != "" {
+		base, err := parse(*oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		compared := 0
+		for _, n := range names {
+			b, ok := base[n]
+			if !ok {
+				fmt.Printf("%-44s %10.1f ns/op  (new benchmark)\n", n, cur[n].nsOp)
+				continue
+			}
+			compared++
+			delta := 100 * (cur[n].nsOp - b.nsOp) / b.nsOp
+			verdict := "ok"
+			if delta > *threshold {
+				verdict = fmt.Sprintf("REGRESSION (limit +%.0f%%)", *threshold)
+				failed = true
+			}
+			fmt.Printf("%-44s %10.1f -> %10.1f ns/op  %+6.1f%%  %s\n", n, b.nsOp, cur[n].nsOp, delta, verdict)
+		}
+		if compared == 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: no common benchmarks between old and new")
+			failed = true
+		}
+	}
+
+	if *zeroRe != "" {
+		re, err := regexp.Compile(*zeroRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		matched := 0
+		for _, n := range names {
+			if !re.MatchString(n) {
+				continue
+			}
+			matched++
+			r := cur[n]
+			switch {
+			case !r.hasAllocs:
+				fmt.Printf("%-44s no allocs/op reported — run with -benchmem\n", n)
+				failed = true
+			case r.allocsOp != 0:
+				fmt.Printf("%-44s %g allocs/op, want 0\n", n, r.allocsOp)
+				failed = true
+			default:
+				fmt.Printf("%-44s 0 allocs/op  ok\n", n)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchgate: no benchmark matches -zero-allocs %q\n", *zeroRe)
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

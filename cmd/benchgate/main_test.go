@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	const out = `goos: linux
+goarch: amd64
+BenchmarkLookupBatchCache10-8   	  500000	       231.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkLookupBatchCache10-8   	  600000	       215.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSessionLookupNoCache-8 	  300000	       410.0 ns/op
+BenchmarkLeaky-8                	  100000	       999.0 ns/op	      16 B/op	       2 allocs/op
+PASS
+`
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parse(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -8 suffix stripped; fastest repetition kept.
+	r, ok := got["BenchmarkLookupBatchCache10"]
+	if !ok || r.nsOp != 215.2 {
+		t.Fatalf("LookupBatchCache10 = %+v, %v", r, ok)
+	}
+	if !r.hasAllocs || r.allocsOp != 0 {
+		t.Fatalf("allocs not parsed: %+v", r)
+	}
+	// No -benchmem columns: hasAllocs must stay false.
+	if r := got["BenchmarkSessionLookupNoCache"]; r.hasAllocs || r.nsOp != 410 {
+		t.Fatalf("SessionLookupNoCache = %+v", r)
+	}
+	if r := got["BenchmarkLeaky"]; r.allocsOp != 2 {
+		t.Fatalf("Leaky allocs = %+v", r)
+	}
+}

@@ -122,6 +122,16 @@ func Registry(repoRoot string, csv bool) map[string]Experiment {
 		}
 		return nil
 	}})
+	add(Experiment{ID: "cache", Title: "read-path cache & negative filters", Run: func(sc Scale, w io.Writer) error {
+		res, t := RunCache(sc)
+		render(t, w)
+		if !csv {
+			renderCacheReplay(w, res.ReplayRows)
+			renderCacheMiss(w, res.MissRows)
+			fmt.Fprintln(w)
+		}
+		return nil
+	}})
 	add(wrap("ext-paging", "extension: paging under a DRAM ceiling", func(sc Scale) Table { _, t := RunPaging(sc); return t }))
 	return reg
 }

@@ -74,18 +74,27 @@ type servingWorkload struct {
 	dist   func(phase, n int) workload.Dist
 }
 
+// Serving workload seeds. Every sub-run (each warmup and each timed pass)
+// re-seeds by calling wl.dist afresh, so all repetitions and batch sizes
+// draw the identical key sequence — cells differ only in batching, never
+// in workload noise. The seeds are recorded in BENCH_serving.json.
+const (
+	servingSkewedSeed       = 7  // static Zipfian draw sequence
+	servingShiftingSeedBase = 31 // phase p draws with seed base+p
+)
+
 func servingWorkloads() []servingWorkload {
 	return []servingWorkload{
 		// Static Zipfian reads: hot keys cluster at the low end of the key
 		// space, so sorted batches collapse onto few leaves.
 		{name: "skewed", phases: 1, dist: func(_, n int) workload.Dist {
-			return workload.NewZipf(n, 1.1, 7)
+			return workload.NewZipf(n, 1.1, servingSkewedSeed)
 		}},
 		// A 5%-of-keyspace hot set serving 90% of reads, jumping to the
 		// next quarter of the key space each phase — the adaptation
 		// managers keep migrating behind the moving range.
 		{name: "shifting", phases: 4, dist: func(p, n int) workload.Dist {
-			return workload.NewHotSet(n, (p*n)/4, 0.05, 0.9, int64(31+p))
+			return workload.NewHotSet(n, (p*n)/4, 0.05, 0.9, int64(servingShiftingSeedBase+p))
 		}},
 	}
 }
@@ -291,6 +300,7 @@ func RecordServing(sc Scale, path string, w io.Writer) error {
 		Scale    string             `json:"scale"`
 		CPU      string             `json:"cpu"`
 		Procs    int                `json:"procs"`
+		Seeds    map[string]int64   `json:"seeds"`
 		Notes    string             `json:"notes"`
 		Metrics  map[string]float64 `json:"metrics"`
 	}{
@@ -300,7 +310,13 @@ func RecordServing(sc Scale, path string, w io.Writer) error {
 			sc.Name, sc.ConsecU64, sc.OpsPerPhase/4),
 		CPU:   cpuModel(),
 		Procs: runtime.GOMAXPROCS(0),
+		Seeds: map[string]int64{
+			"skewed":        servingSkewedSeed,
+			"shifting_base": servingShiftingSeedBase, // phase p uses base+p
+		},
 		Notes: "speedups are vs the batch=1/shards=1 cell of the same workload; " +
+			"every sub-run re-seeds its distribution from the documented seeds, " +
+			"so all cells replay identical key sequences; " +
 			"on a single-core host shard counts > 1 cannot add aggregate throughput " +
 			"(no parallel workers), so multi-shard rows measure routing overhead only",
 		Metrics: map[string]float64{},

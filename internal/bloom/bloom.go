@@ -103,6 +103,24 @@ func (f *Filter) AddIfNew(h uint64) bool {
 	return fresh
 }
 
+// LeafBitsPerKey is the default sizing for per-leaf negative-lookup
+// filters in front of compressed leaf encodings: ~6 bits/key gives a
+// false-positive rate around 5% at k=4, cheap enough that a 256-key leaf
+// costs at most one 256-byte filter (~3% of its succinct footprint).
+const LeafBitsPerKey = 6
+
+// FromHashes builds a filter pre-populated with hashes in one shot. It is
+// the constructor for immutable per-leaf negative filters: built when a
+// leaf is (re-)encoded, never mutated afterwards, so concurrent readers
+// can probe without synchronization.
+func FromHashes(hashes []uint64, bitsPerKey int) *Filter {
+	f := New(len(hashes), bitsPerKey)
+	for _, h := range hashes {
+		f.Add(h)
+	}
+	return f
+}
+
 // Reset clears the filter; the adaptation manager calls this at the start
 // of every sampling phase.
 func (f *Filter) Reset() {

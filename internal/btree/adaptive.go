@@ -1,6 +1,7 @@
 package btree
 
 import (
+	"ahi/internal/cache"
 	"ahi/internal/core"
 	"ahi/internal/hashmap"
 	"ahi/internal/obs"
@@ -54,6 +55,15 @@ type AdaptiveConfig struct {
 	// classification instead of waiting for two consecutive ones
 	// (ablation of the history byte).
 	ImpatientCompaction bool
+	// CacheFraction sizes a hot-key result cache as this fraction of the
+	// absolute MemoryBudget (0 disables it). The cache's bytes are
+	// charged against the adaptation budget — encodings plus cache never
+	// exceed MemoryBudget — and its admission signal reuses the hotness
+	// sampler: sampled lookups bypass the cache (keeping the adaptation
+	// signal exact) and admit their result pre-warmed. Requires an
+	// absolute MemoryBudget; fractions of a RelativeBudget would need
+	// the initial data size, which isn't known at construction.
+	CacheFraction float64
 	// OnAdapt observes adaptation phases.
 	OnAdapt func(core.AdaptInfo)
 	// Obs attaches an observability sink: the manager then emits metrics,
@@ -72,6 +82,7 @@ type Adaptive struct {
 	Mgr  *core.Manager[*Leaf, LeafCtx]
 
 	impatient bool
+	cacheFrac float64
 }
 
 // NewAdaptive builds an empty adaptive tree. The tree uses eager
@@ -120,6 +131,16 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 		ExternalMigrations: cfg.ExternalMigrations,
 		OnMigrationQueued:  cfg.OnMigrationQueued,
 	}
+	if cfg.CacheFraction > 0 && cfg.MemoryBudget > 0 {
+		// The result cache is carved out of the adaptation budget, not
+		// added on top: ChargedBytes makes the manager treat cache bytes
+		// exactly like index bytes when computing budget headroom.
+		t.rcache = cache.New(int64(cfg.CacheFraction * float64(cfg.MemoryBudget)))
+		if t.rcache != nil {
+			a.cacheFrac = cfg.CacheFraction
+			mcfg.ChargedBytes = t.rcache.Bytes
+		}
+	}
 	if cfg.AsyncMigrations {
 		// Concurrent migrations retire displaced leaf images instead of
 		// dropping them: enable the tree's epoch domain so readers pin
@@ -132,6 +153,7 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 			func(e uint8) string { return EncodingName(core.Encoding(e)) })
 		mcfg.Distribution = a.distribution
 		mcfg.EncodingOf = func(l *Leaf) (core.Encoding, bool) { return l.Encoding(), true }
+		registerReadPathMetrics(cfg.Obs.Reg, cfg.ObsSource, t)
 	}
 	a.Mgr = core.New(mcfg)
 	// Keep tracked contexts fresh across splits (§4.1.4: "in case a leaf
@@ -144,6 +166,55 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 	}
 	return a
 }
+
+// registerReadPathMetrics exposes the hot-key cache and negative-filter
+// counters as pull-style gauges under the ahi_cache_/ahi_negfilter_
+// prefixes, labelled like every other per-tree series.
+func registerReadPathMetrics(reg *obs.Registry, source string, t *Tree) {
+	var lbl []obs.Label
+	if source != "" {
+		lbl = []obs.Label{{K: "source", V: source}}
+	}
+	if t.cfg.NegFilterBits > 0 {
+		reg.GaugeFunc("ahi_negfilter_hits_total", lbl, t.negHits.Load)
+	}
+	rc := t.rcache
+	if rc == nil {
+		return
+	}
+	for _, m := range []struct {
+		name string
+		f    func() int64
+	}{
+		{"ahi_cache_hits_total", func() int64 { return rc.Stats().Hits }},
+		{"ahi_cache_misses_total", func() int64 { return rc.Stats().Misses }},
+		{"ahi_cache_admitted_total", func() int64 { return rc.Stats().Admitted }},
+		{"ahi_cache_rejected_total", func() int64 { return rc.Stats().Rejected }},
+		{"ahi_cache_invalidations_total", func() int64 { return rc.Stats().Invalidations }},
+		{"ahi_cache_evictions_total", func() int64 { return rc.Stats().Evictions }},
+		{"ahi_cache_bytes", rc.Bytes},
+	} {
+		reg.GaugeFunc(m.name, lbl, m.f)
+	}
+}
+
+// ResizeCache re-targets the result cache to the configured fraction of
+// a new memory budget (shard rebalancing moves budgets between trees).
+// Growth is clamped to the cache's original allocation; a resize drops
+// the cached working set, so callers should resize only on real budget
+// shifts. No-op without a cache.
+func (a *Adaptive) ResizeCache(budget int64) {
+	if a.Tree.rcache == nil {
+		return
+	}
+	a.Tree.rcache.Resize(int64(a.cacheFrac * float64(budget)))
+}
+
+// CacheStats snapshots the result cache counters (zero without a cache).
+func (a *Adaptive) CacheStats() cache.Stats { return a.Tree.rcache.Stats() }
+
+// CacheBytes reports the cache's budget charge (0 without a cache).
+func (a *Adaptive) CacheBytes() int64 { return a.Tree.rcache.Bytes() }
 
 // distribution reports the per-encoding leaf population for epoch
 // snapshots, straight off the tree's atomic per-encoding counters.
@@ -248,27 +319,75 @@ func (a *Adaptive) Close() { a.Mgr.Close() }
 
 // Session is a per-goroutine handle that performs tracked index
 // operations: the embedded sampler holds the thread-local skip counter and
-// (in TLS mode) the thread-local sample map.
+// (in TLS mode) the thread-local sample map. It also owns the cache-path
+// scratch and pre-bound tracking callbacks, keeping the batch hot path
+// free of allocations.
 type Session struct {
 	a       *Adaptive
 	sampler *core.Sampler[*Leaf, LeafCtx]
+
+	c         *cache.Cache // the tree's cache (nil = disabled)
+	cb        *cacheBatch
+	sampleBuf []int
+	admitTick uint32
+
+	trackReadFn func(int, *Leaf)
+	trackMissFn func(int, *Leaf)
+	trackInsFn  func(int, *Leaf, bool)
 }
 
 // NewSession creates a tracked session. Each goroutine needs its own.
 func (a *Adaptive) NewSession() *Session {
-	return &Session{a: a, sampler: a.Mgr.NewSampler()}
+	s := &Session{a: a, sampler: a.Mgr.NewSampler(), c: a.Tree.rcache, cb: &cacheBatch{}}
+	s.trackReadFn = s.trackRead
+	s.trackMissFn = s.trackMiss
+	s.trackInsFn = s.trackInsert
+	return s
 }
 
-// Lookup is a tracked point query.
+// Lookup is a tracked point query. Sampled lookups bypass the cache: they
+// walk the tree and track their leaf exactly as without a cache — the
+// adaptation signal must not see the cache's hit filtering — and their
+// result is admitted pre-warmed (the sampler just declared the key hot).
 func (s *Session) Lookup(k uint64) (uint64, bool) {
 	sample := s.sampler.IsSample()
-	if !sample {
-		v, _, ok := s.a.Tree.lookupLeaf(k)
+	if s.c == nil {
+		v, leaf, ok := s.a.Tree.lookupLeaf(k)
+		if sample {
+			s.sampler.Track(leaf, core.Read, LeafCtx{})
+		}
 		return v, ok
 	}
+	var snap uint64 // taken before the tree read; Admit re-validates it
+	if sample {
+		snap = s.c.Snap(k)
+	} else if v, sn, ok := s.c.ProbeOrSnap(k); ok {
+		return v, true
+	} else {
+		snap = sn
+	}
 	v, leaf, ok := s.a.Tree.lookupLeaf(k)
-	s.sampler.Track(leaf, core.Read, LeafCtx{})
+	if sample {
+		s.sampler.Track(leaf, core.Read, LeafCtx{})
+	}
+	if ok {
+		s.c.Admit(k, v, snap, sample, sample || s.admitGate())
+	}
 	return v, ok
+}
+
+// admitGate is the admission doorkeeper for non-sampled misses: under a
+// skewed workload most misses are tail singletons, and evicting a live
+// entry for each one churns the cache. The verdict only matters when the
+// bucket is full of other keys — Admit always allows refreshing a key's
+// own slot or filling an empty way, so an invalidated hot key re-enters
+// on its first post-write miss — and letting every fourth miss evict
+// quarters the churn while a genuinely hot key still lands in the cache
+// within a handful of occurrences. Sampler-declared hot keys bypass the
+// gate entirely.
+func (s *Session) admitGate() bool {
+	s.admitTick++
+	return s.admitTick&3 == 0
 }
 
 // Insert is a tracked insert. A write that eagerly expanded its leaf is

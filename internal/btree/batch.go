@@ -202,7 +202,7 @@ func (t *Tree) lookupBatchTracked(keys, vals []uint64, found []bool, track func(
 	// would issue up to batchRing redundant descents to the same leaf.
 	leaf, _ := t.descend(keys[order[0]], nil)
 	leaf, lb := moveRightLeaf(leaf, keys[order[0]])
-	cursor := serveRuns(leaf, lb, keys, vals, found, order, 0, 1, track)
+	cursor := t.serveRuns(leaf, lb, keys, vals, found, order, 0, 1, track)
 	if cursor >= n {
 		batchPool.Put(sc)
 		return
@@ -247,7 +247,7 @@ func (t *Tree) lookupBatchTracked(keys, vals []uint64, found []bool, track func(
 			// of the cursor is claimed by exactly one slot, so nothing is
 			// processed twice.
 			leaf, lb := moveRightLeaf(c.leaf, k)
-			cursor = serveRuns(leaf, lb, keys, vals, found, order, st.j, cursor, track)
+			cursor = t.serveRuns(leaf, lb, keys, vals, found, order, st.j, cursor, track)
 			if cursor < n {
 				st.j = cursor
 				st.node = t.root.Load()
@@ -267,9 +267,9 @@ func (t *Tree) lookupBatchTracked(keys, vals []uint64, found []bool, track func(
 // so walking right is valid routing, and in the skewed hot region the
 // next run's leaf is typically one or two hops away — far cheaper than
 // another root-to-leaf descent.
-func serveRuns(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
+func (t *Tree) serveRuns(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
 	order []int, head, cursor int, track func(int, *Leaf)) int {
-	cursor = serveLeafRun(leaf, lb, keys, vals, found, order, head, cursor, track)
+	cursor = t.serveLeafRun(leaf, lb, keys, vals, found, order, head, cursor, track)
 	for cursor < len(order) {
 		nl, nb, ok := chainRight(lb, keys[order[cursor]])
 		if !ok {
@@ -277,7 +277,7 @@ func serveRuns(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
 		}
 		h := cursor
 		cursor++
-		cursor = serveLeafRun(nl, nb, keys, vals, found, order, h, cursor, track)
+		cursor = t.serveLeafRun(nl, nb, keys, vals, found, order, h, cursor, track)
 		lb = nb
 	}
 	return cursor
@@ -315,7 +315,7 @@ func chainRight(lb *leafBox, k uint64) (*Leaf, *leafBox, bool) {
 // previous probe's result; distinct keys probe with an ascending seed
 // (searchFrom), so the whole run scans the payload at most once instead of
 // restarting every probe at the leaf head.
-func serveLeafRun(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
+func (t *Tree) serveLeafRun(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
 	order []int, head, cursor int, track func(int, *Leaf)) int {
 	if g, ok := lb.p.(*gapped); ok {
 		// The expanded (hot) encoding serves most of a skewed batch; a
@@ -323,12 +323,24 @@ func serveLeafRun(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
 		return serveGappedRun(leaf, g, lb, keys, vals, found, order, head, cursor, track)
 	}
 	p := lb.p
+	// Succinct leaves may carry a negative filter: probing it per distinct
+	// key folds the membership test into the run loop, so batch misses on
+	// cold leaves skip the bit-unpacking search entirely.
+	sp, _ := p.(*succinct)
 	i := order[head]
 	lastK := keys[i]
-	pos, lastOK := p.search(lastK)
-	var lastV uint64
-	if lastOK {
-		lastV = p.valAt(pos)
+	var (
+		pos    int
+		lastOK bool
+		lastV  uint64
+	)
+	if sp != nil && !sp.mayContain(lastK) {
+		t.negHits.Add(1) // pos stays 0: every key is still a valid seed target
+	} else {
+		pos, lastOK = p.search(lastK)
+		if lastOK {
+			lastV = p.valAt(pos)
+		}
 	}
 	vals[i], found[i] = lastV, lastOK
 	if track != nil {
@@ -347,15 +359,22 @@ func serveLeafRun(leaf *Leaf, lb *leafBox, keys, vals []uint64, found []bool,
 			if !lb.covers(k) {
 				break
 			}
-			pos, lastOK = p.searchFrom(k, from)
-			lastV = 0
-			if lastOK {
-				lastV = p.valAt(pos)
-			}
-			lastK = k
-			from = pos
-			if lastOK {
-				from++
+			if sp != nil && !sp.mayContain(k) {
+				// Definitely absent; from is untouched — the prefix below it
+				// is < lastK < k, so it remains a valid seed.
+				t.negHits.Add(1)
+				lastOK, lastV, lastK = false, 0, k
+			} else {
+				pos, lastOK = p.searchFrom(k, from)
+				lastV = 0
+				if lastOK {
+					lastV = p.valAt(pos)
+				}
+				lastK = k
+				from = pos
+				if lastOK {
+					from++
+				}
 			}
 		}
 		vals[i], found[i] = lastV, lastOK
@@ -515,10 +534,11 @@ func (t *Tree) insertRun(keys, vals []uint64, inserted []bool,
 		// Full leaf: overwrite in place if the key exists, otherwise take
 		// the per-key split path for just this key.
 		if pos, found := p.search(k); found {
-			np := clonePayload(p)
+			np := t.clonePayload(p)
 			np.(mutablePayload).update(pos, vals[head])
 			t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
 			leaf.lock.unlock()
+			t.cacheInvalidate(k)
 			inserted[head] = false
 			if track != nil {
 				track(head, leaf, false)
@@ -571,17 +591,30 @@ func (t *Tree) insertRun(keys, vals []uint64, inserted []bool,
 				newKeys++
 			}
 		}
-		if track != nil {
-			// Only the run head reports the expansion: under per-key
-			// inserts the first write expands the leaf and later keys see
-			// it already Gapped.
-			track(idx, leaf, expanded && j == cursor)
-		}
 		j++
 	}
-	np := encodePayload(target, g.keys, g.vals)
+	np := t.encode(target, g.keys, g.vals)
 	t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
 	leaf.lock.unlock()
+	if track != nil {
+		// Tracked AFTER the lock is released: a tracked insert can complete a
+		// sampling phase, whose synchronous adaptation may migrate this very
+		// leaf — taking its write lock. Only the run head reports the
+		// expansion: under per-key inserts the first write expands the leaf
+		// and later keys see it already Gapped.
+		for jj := cursor; jj < j; jj++ {
+			track(order[jj], leaf, expanded && jj == cursor)
+		}
+	}
+	if t.rcache != nil {
+		// Overwrites (inserted[idx] == false) must leave the cache before
+		// this batch returns; fresh keys have nothing cached.
+		for jj := cursor; jj < j; jj++ {
+			if idx := order[jj]; !inserted[idx] {
+				t.rcache.Invalidate(keys[idx])
+			}
+		}
+	}
 	putKV(scratch, g.keys, g.vals)
 	if newKeys > 0 {
 		t.keyCount.Add(int64(newKeys))
@@ -592,41 +625,147 @@ func (t *Tree) insertRun(keys, vals []uint64, inserted []bool,
 // LookupBatch is the tracked batch lookup: the batch runs through the
 // interleaved kernel, and the (rare) sampled keys track their leaf with
 // the Read access type, exactly as per-key Lookup would.
+//
+// With a cache attached, non-sampled keys probe it first and only the
+// misses descend into the tree (through the same interleaved kernel over
+// a compacted key slice); found misses are admitted afterwards under the
+// stripe snapshot taken before the descent. Sampled keys bypass the
+// probe entirely — they must reach the tree so the hotness signal the
+// adaptation manager sees is identical with and without the cache — and
+// double as high-confidence (pre-warmed) admissions.
+//
+// The whole path is allocation-free: scratch lives on the session (one
+// goroutine) and the tracking callbacks are bound once at construction.
 func (s *Session) LookupBatch(keys, vals []uint64, found []bool) {
+	n := len(keys)
 	// Draw the sampling decisions up front so the skip counter advances
 	// exactly as under per-key lookups. Samples are rare (skip >= 50), so
-	// the offsets list is almost always nil and the draw is O(samples).
-	sampled := s.sampler.SampleOffsets(len(keys), nil)
-	if len(sampled) == 0 {
-		s.a.Tree.LookupBatch(keys, vals, found)
+	// the offsets list is almost always empty and the draw is O(samples).
+	if s.c == nil {
+		s.sampleBuf = s.sampler.SampleOffsets(n, s.sampleBuf[:0])
+		if len(s.sampleBuf) == 0 {
+			s.a.Tree.LookupBatch(keys, vals, found)
+			return
+		}
+		s.a.Tree.lookupBatchTracked(keys, vals, found, s.trackReadFn)
 		return
 	}
-	s.a.Tree.lookupBatchTracked(keys, vals, found, func(i int, l *Leaf) {
-		for _, si := range sampled {
-			if si == i {
-				s.sampler.Track(l, core.Read, LeafCtx{})
-				return
-			}
+	if len(vals) < n || len(found) < n {
+		panic("btree: LookupBatch result slices shorter than keys")
+	}
+	cb := s.cb
+	cb.grow(n)
+	cb.sampled = s.sampler.SampleOffsets(n, cb.sampled[:0])
+	miss, si := 0, 0
+	for i := 0; i < n; i++ {
+		k := keys[i]
+		// Stripe snapshots are taken BEFORE the tree read (inside
+		// ProbeOrSnap, or directly for sampled keys): Admit re-validates
+		// them, so a write landing in between aborts the entry.
+		var snap uint64
+		if si < len(cb.sampled) && cb.sampled[si] == i {
+			si++ // sampled: full walk, keeps the adaptation signal intact
+			snap = s.c.Snap(k)
+		} else if v, sn, ok := s.c.ProbeOrSnap(k); ok {
+			vals[i], found[i] = v, true
+			continue
+		} else {
+			snap = sn
 		}
-	})
+		cb.keys[miss], cb.pos[miss], cb.snaps[miss] = k, int32(i), snap
+		miss++
+	}
+	if miss == 0 {
+		return
+	}
+	mk, mv, mf := cb.keys[:miss], cb.vals[:miss], cb.found[:miss]
+	if len(cb.sampled) == 0 {
+		s.a.Tree.lookupBatchTracked(mk, mv, mf, nil)
+	} else {
+		s.a.Tree.lookupBatchTracked(mk, mv, mf, s.trackMissFn)
+	}
+	// Scatter results back and admit the hits.
+	si = 0
+	for j := 0; j < miss; j++ {
+		i := int(cb.pos[j])
+		vals[i], found[i] = mv[j], mf[j]
+		if mf[j] {
+			for si < len(cb.sampled) && cb.sampled[si] < i {
+				si++
+			}
+			hot := si < len(cb.sampled) && cb.sampled[si] == i
+			s.c.Admit(keys[i], mv[j], cb.snaps[j], hot, hot || s.admitGate())
+		}
+	}
+}
+
+// trackRead is the cache-off sampled-batch callback (bound once).
+func (s *Session) trackRead(i int, l *Leaf) {
+	for _, si := range s.sampleBuf {
+		if si == i {
+			s.sampler.Track(l, core.Read, LeafCtx{})
+			return
+		}
+	}
+}
+
+// trackMiss maps a miss-slice index back to its original batch offset
+// and tracks it when sampled (bound once as trackMissFn).
+func (s *Session) trackMiss(j int, l *Leaf) {
+	orig := int(s.cb.pos[j])
+	for _, si := range s.cb.sampled {
+		if si == orig {
+			s.sampler.Track(l, core.Read, LeafCtx{})
+			return
+		}
+	}
 }
 
 // InsertBatch is the tracked batch insert. Writes that eagerly expanded
 // their leaf are always tracked — sampled or not — preserving the deferred
 // compaction protocol of §5.2 (an expanded leaf the manager never hears
-// about could not be compacted again).
+// about could not be compacted again). Cache coherence needs no work
+// here: the tree's write paths invalidate overwritten keys before the
+// batch returns.
 func (s *Session) InsertBatch(keys, vals []uint64, inserted []bool) {
-	sampled := s.sampler.SampleOffsets(len(keys), nil)
-	s.a.Tree.insertBatchTracked(keys, vals, inserted, func(i int, l *Leaf, expanded bool) {
-		if expanded {
+	s.sampleBuf = s.sampler.SampleOffsets(len(keys), s.sampleBuf[:0])
+	s.a.Tree.insertBatchTracked(keys, vals, inserted, s.trackInsFn)
+}
+
+// trackInsert is the insert-batch callback (bound once).
+func (s *Session) trackInsert(i int, l *Leaf, expanded bool) {
+	if expanded {
+		s.sampler.Track(l, core.Insert, LeafCtx{})
+		return
+	}
+	for _, si := range s.sampleBuf {
+		if si == i {
 			s.sampler.Track(l, core.Insert, LeafCtx{})
 			return
 		}
-		for _, si := range sampled {
-			if si == i {
-				s.sampler.Track(l, core.Insert, LeafCtx{})
-				return
-			}
-		}
-	})
+	}
+}
+
+// cacheBatch is the session-owned scratch of the cached batch path: the
+// compacted miss batch (keys/pos/snaps in batch order) and its results.
+// Sessions are single-goroutine, so no pooling or locking is needed and
+// the buffers amortize to zero allocations per batch.
+type cacheBatch struct {
+	keys    []uint64
+	vals    []uint64
+	found   []bool
+	pos     []int32
+	snaps   []uint64
+	sampled []int
+}
+
+func (cb *cacheBatch) grow(n int) {
+	if cap(cb.keys) >= n {
+		return
+	}
+	cb.keys = make([]uint64, n)
+	cb.vals = make([]uint64, n)
+	cb.found = make([]bool, n)
+	cb.pos = make([]int32, n)
+	cb.snaps = make([]uint64, n)
 }

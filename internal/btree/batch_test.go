@@ -229,3 +229,37 @@ func TestSessionBatchTracksExpansions(t *testing.T) {
 		}
 	}
 }
+
+// TestInsertBatchAdaptMidRun pins the lock protocol between batched
+// inserts and synchronous adaptation. A tracked insert can complete a
+// sampling phase whose adaptation wants to migrate the very leaf the run
+// just wrote; the migration takes that leaf's write lock, so tracking must
+// happen only after the run releases it. This deadlocked: sample-every-key
+// knobs put a phase boundary inside a merged insert run and InsertBatch
+// hung forever in MigrateLeaf.
+func TestInsertBatchAdaptMidRun(t *testing.T) {
+	keys, vals := sortedPairs(50000, 9)
+	base := BulkLoad(Config{DefaultEncoding: EncSuccinct}, keys, vals)
+	a := BulkLoadAdaptive(AdaptiveConfig{
+		Tree:        Config{DefaultEncoding: EncSuccinct, ExpandOnInsert: true},
+		InitialSkip: 1, MinSkip: 1, MaxSkip: 1,
+		MaxSampleSize: 8, // a phase every 8 tracked ops: adapt lands mid-batch
+		MemoryBudget:  base.Bytes() + 2*(LeafCap*16+leafHeaderBytes),
+	}, keys, vals)
+	defer a.Close()
+	s := a.NewSession()
+	const hot = 256
+	ik := make([]uint64, hot)
+	iv := make([]uint64, hot)
+	ib := make([]bool, hot)
+	for round := 0; round < 200; round++ {
+		for i := range ik {
+			ik[i] = keys[i%hot] // one or two leaves: whole batch merges into runs
+			iv[i] = uint64(round)
+		}
+		s.InsertBatch(ik, iv, ib)
+	}
+	if err := a.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ahi/internal/cache"
 	"ahi/internal/core"
 )
 
@@ -103,6 +104,12 @@ type Config struct {
 	// write hits them (the adaptive tree's policy, §5.2); without it,
 	// writes re-encode in place, preserving the leaf's encoding.
 	ExpandOnInsert bool
+	// NegFilterBits, when positive, embeds a negative-lookup filter of
+	// that many bits per key into every Succinct leaf (built at encode
+	// time, immutable afterwards). Point lookups consult it before the
+	// bit-unpacking search, so misses on cold leaves short-circuit. The
+	// filter bytes are part of the leaf footprint and hence the budget.
+	NegFilterBits int
 }
 
 // Tree is the Hybrid B+-tree. The zero value is not usable; construct via
@@ -134,6 +141,18 @@ type Tree struct {
 	// leaf and its (new) parent-side context; the adaptive layer uses it
 	// to refresh tracked contexts.
 	onLeafSplit func(left, right *Leaf)
+
+	// rcache is the attached hot-key result cache (nil = disabled).
+	// Write paths keep it strictly coherent: every mutation of k bumps
+	// k's invalidation stripe and clears matching slots before returning,
+	// and leaf migrations publish an invalidation epoch for the retired
+	// image's keys. Read integration (probe/admit) lives in the adaptive
+	// Session so it can reuse the hotness sampler as admission signal.
+	rcache *cache.Cache
+
+	// negHits counts point lookups short-circuited by a leaf's negative
+	// filter (misses that skipped the succinct search entirely).
+	negHits atomic.Int64
 }
 
 // New creates an empty tree.
@@ -142,7 +161,7 @@ func New(cfg Config) *Tree {
 		cfg.Occupancy = 0.70
 	}
 	t := &Tree{cfg: cfg}
-	leaf := t.newLeaf(encodePayload(cfg.DefaultEncoding, nil, nil), nil, 0, false)
+	leaf := t.newLeaf(t.encode(cfg.DefaultEncoding, nil, nil), nil, 0, false)
 	root := &Inner{}
 	rb := &innerBox{children: []childRef{{leaf: leaf}}, depth: 1}
 	root.box.Store(rb)
@@ -200,7 +219,7 @@ func BulkLoad(cfg Config, keys, vals []uint64) *Tree {
 		if end > len(keys) {
 			end = len(keys)
 		}
-		p := encodePayload(cfg.DefaultEncoding, keys[i:end], vals[i:end])
+		p := t.encode(cfg.DefaultEncoding, keys[i:end], vals[i:end])
 		leaves = append(leaves, t.newLeaf(p, nil, 0, false))
 		if i > 0 {
 			seps = append(seps, keys[i])
@@ -307,6 +326,12 @@ func (t *Tree) lookupLeaf(k uint64) (uint64, *Leaf, bool) {
 	slot := t.epochs.pin()
 	leaf, _ := t.descend(k, nil)
 	leaf, b := moveRightLeaf(leaf, k)
+	if s, ok := b.p.(*succinct); ok && !s.mayContain(k) {
+		// Negative filter: definitely absent, skip the unpacking search.
+		t.negHits.Add(1)
+		t.epochs.unpin(slot)
+		return 0, leaf, false
+	}
 	if i, found := b.p.search(k); found {
 		v := b.p.valAt(i)
 		t.epochs.unpin(slot)
@@ -394,10 +419,11 @@ func (t *Tree) insertTracked(k, v uint64) (bool, *Leaf, bool) {
 
 		// Overwrite in place if the key exists.
 		if i, found := p.search(k); found {
-			np := clonePayload(p)
+			np := t.clonePayload(p)
 			np.(mutablePayload).update(i, v)
 			t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
 			leaf.lock.unlock()
+			t.cacheInvalidate(k)
 			return false, leaf, false
 		}
 
@@ -412,7 +438,7 @@ func (t *Tree) insertTracked(k, v uint64) (bool, *Leaf, bool) {
 			keys, vals := p.appendAll(nil, nil)
 			g := gapped{keys: keys, vals: vals}
 			g.insert(k, v)
-			np := encodePayload(target, g.keys, g.vals)
+			np := t.encode(target, g.keys, g.vals)
 			t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
 			leaf.lock.unlock()
 			t.keyCount.Add(1)
@@ -429,8 +455,8 @@ func (t *Tree) insertTracked(k, v uint64) (bool, *Leaf, bool) {
 		if t.cfg.ExpandOnInsert {
 			enc = EncGapped
 		}
-		right := t.newLeaf(encodePayload(enc, g.keys[mid:], g.vals[mid:]), b.next, b.highKey, b.hasHigh)
-		left := &leafBox{p: encodePayload(enc, g.keys[:mid], g.vals[:mid]), next: right, highKey: sep, hasHigh: true}
+		right := t.newLeaf(t.encode(enc, g.keys[mid:], g.vals[mid:]), b.next, b.highKey, b.hasHigh)
+		left := &leafBox{p: t.encode(enc, g.keys[:mid], g.vals[:mid]), next: right, highKey: sep, hasHigh: true}
 		t.swapLeafBox(leaf, b, left)
 		leaf.lock.unlock()
 		t.keyCount.Add(1)
@@ -474,10 +500,11 @@ func (t *Tree) Delete(k uint64) bool {
 			leaf.lock.unlock()
 			return false
 		}
-		np := clonePayload(b.p).(mutablePayload).remove(i)
+		np := t.clonePayload(b.p).(mutablePayload).remove(i)
 		t.swapLeafBox(leaf, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
 		leaf.lock.unlock()
 		t.keyCount.Add(-1)
+		t.cacheInvalidate(k)
 		return true
 	}
 }
@@ -488,6 +515,53 @@ func clonePayload(p payload) payload {
 	keys, vals := p.appendAll(nil, nil)
 	return encodePayload(p.encoding(), keys, vals)
 }
+
+// encode is encodePayload honoring per-tree encoding options: succinct
+// leaves grow negative-lookup filters when cfg.NegFilterBits is set. The
+// free function remains for baseline trees and tests.
+func (t *Tree) encode(enc core.Encoding, keys, vals []uint64) payload {
+	if enc == EncSuccinct && t.cfg.NegFilterBits > 0 {
+		return newSuccinctNeg(keys, vals, t.cfg.NegFilterBits)
+	}
+	return encodePayload(enc, keys, vals)
+}
+
+// clonePayload is the tree-aware clone: a succinct clone shares the
+// source's immutable negative filter (same key set) instead of hashing
+// every key again; mutating ops that change the key set rebuild it.
+func (t *Tree) clonePayload(p payload) payload {
+	if s, ok := p.(*succinct); ok {
+		keys, vals := s.appendAll(nil, nil)
+		ns := newSuccinct(keys, vals)
+		ns.neg, ns.negBits = s.neg, s.negBits
+		return ns
+	}
+	return clonePayload(p)
+}
+
+// reencodeLeaf is reencode honoring per-tree encoding options.
+func (t *Tree) reencodeLeaf(p payload, target core.Encoding) payload {
+	if p.encoding() == target {
+		return p
+	}
+	sc := kvPool.Get().(*kvScratch)
+	keys, vals := p.appendAll(sc.keys[:0], sc.vals[:0])
+	np := t.encode(target, keys, vals)
+	putKV(sc, keys, vals)
+	return np
+}
+
+// cacheInvalidate removes k from the attached result cache after a tree
+// write. Nil-safe; called after the leaf swap is published so a probe
+// that misses re-reads the new image.
+func (t *Tree) cacheInvalidate(k uint64) {
+	if t.rcache != nil {
+		t.rcache.Invalidate(k)
+	}
+}
+
+// NegFilterHits reports lookups short-circuited by negative filters.
+func (t *Tree) NegFilterHits() int64 { return t.negHits.Load() }
 
 // insertSeparator inserts (sep, right) into the level childDepth+1,
 // walking the descent stack upward; it grows a new root when the stack is
@@ -680,7 +754,7 @@ func (t *Tree) MigrateLeaf(l *Leaf, target core.Encoding) bool {
 			t.epochs.unpin(slot)
 			return false
 		}
-		np := reencode(b.p, target)
+		np := t.reencodeLeaf(b.p, target)
 		t.epochs.unpin(slot)
 		if !l.lock.writeLock() {
 			return false
@@ -699,6 +773,18 @@ func (t *Tree) MigrateLeaf(l *Leaf, target core.Encoding) bool {
 		}
 		t.swapLeafBox(l, b, &leafBox{p: np, next: b.next, highKey: b.highKey, hasHigh: b.hasHigh})
 		l.lock.unlock()
+		if t.rcache != nil {
+			// Publish an invalidation epoch for every key of the retired
+			// image: cached values stay correct (migration preserves the
+			// key→value mapping) but in-flight admissions that read the
+			// displaced payload must abort rather than race the swap.
+			var mask [4]uint64
+			for i, n := 0, b.p.count(); i < n; i++ {
+				st := cache.StripeOf(b.p.keyAt(i))
+				mask[st>>6] |= 1 << (st & 63)
+			}
+			t.rcache.BumpStripes(&mask)
+		}
 		t.epochs.retire(b)
 		return true
 	}

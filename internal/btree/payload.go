@@ -4,7 +4,9 @@ import (
 	"sync"
 
 	"ahi/internal/bitutil"
+	"ahi/internal/bloom"
 	"ahi/internal/core"
+	"ahi/internal/hashmap"
 )
 
 // Leaf encodings, ordered from most to least compact. The adaptation
@@ -256,20 +258,61 @@ func putKV(sc *kvScratch, keys, vals []uint64) {
 // succinct combines frame-of-reference coding with bit packing for both
 // keys and values (Figure 8 bottom). Random access survives, at the cost
 // of extra shift/mask work per probe; writes re-encode the whole leaf.
+//
+// neg, when present, is a negative-lookup filter over the leaf's keys:
+// point lookups consult it before paying the bit-unpacking search, so
+// misses on cold leaves short-circuit. The filter is immutable once the
+// payload is published (writes re-encode the leaf and rebuild it), which
+// lets concurrent readers probe without synchronization.
 type succinct struct {
-	keys bitutil.FORArray
-	vals bitutil.FORArray
+	keys    bitutil.FORArray
+	vals    bitutil.FORArray
+	neg     *bloom.Filter
+	negBits int32 // bits/key used to build neg; preserved across rewrites
 }
 
 func newSuccinct(keys, vals []uint64) *succinct {
 	return &succinct{keys: bitutil.NewFORArray(keys), vals: bitutil.NewFORArray(vals)}
 }
 
+// newSuccinctNeg is newSuccinct plus a freshly built negative filter at
+// bitsPerKey bits per key (0 disables).
+func newSuccinctNeg(keys, vals []uint64, bitsPerKey int) *succinct {
+	s := newSuccinct(keys, vals)
+	if bitsPerKey > 0 {
+		s.neg = negFilterFor(keys, bitsPerKey)
+		s.negBits = int32(bitsPerKey)
+	}
+	return s
+}
+
+// negFilterFor builds the per-leaf filter. Key hashes reuse the sampler's
+// hash so filter quality matches the rest of the system.
+func negFilterFor(keys []uint64, bitsPerKey int) *bloom.Filter {
+	f := bloom.New(len(keys), bitsPerKey)
+	for _, k := range keys {
+		f.Add(hashmap.HashU64(k))
+	}
+	return f
+}
+
+// mayContain is the miss fast path: false means k is definitely absent
+// from this leaf. Always true when no filter is attached.
+func (s *succinct) mayContain(k uint64) bool {
+	return s.neg == nil || s.neg.Contains(hashmap.HashU64(k))
+}
+
 func (s *succinct) encoding() core.Encoding { return EncSuccinct }
 func (s *succinct) count() int              { return s.keys.Len() }
 func (s *succinct) keyAt(i int) uint64      { return s.keys.Get(i) }
 func (s *succinct) valAt(i int) uint64      { return s.vals.Get(i) }
-func (s *succinct) bytes() int              { return s.keys.Bytes() + s.vals.Bytes() }
+func (s *succinct) bytes() int {
+	n := s.keys.Bytes() + s.vals.Bytes()
+	if s.neg != nil {
+		n += s.neg.Bytes() // the filter is part of the leaf's budget charge
+	}
+	return n
+}
 
 func (s *succinct) search(k uint64) (int, bool) {
 	pos := s.keys.SearchSkip(k)
@@ -289,7 +332,7 @@ func (s *succinct) insert(k, v uint64) payload {
 	sc := kvPool.Get().(*kvScratch)
 	g := gapped{keys: s.keys.AppendTo(sc.keys[:0]), vals: s.vals.AppendTo(sc.vals[:0])}
 	g.insert(k, v)
-	np := newSuccinct(g.keys, g.vals)
+	np := newSuccinctNeg(g.keys, g.vals, int(s.negBits))
 	putKV(sc, g.keys, g.vals)
 	return np
 }
@@ -308,7 +351,7 @@ func (s *succinct) remove(i int) payload {
 	keys, vals := s.appendAll(sc.keys[:0], sc.vals[:0])
 	copy(keys[i:], keys[i+1:])
 	copy(vals[i:], vals[i+1:])
-	np := newSuccinct(keys[:len(keys)-1], vals[:len(vals)-1])
+	np := newSuccinctNeg(keys[:len(keys)-1], vals[:len(vals)-1], int(s.negBits))
 	putKV(sc, keys, vals)
 	return np
 }

@@ -1,0 +1,406 @@
+// Package cache implements a lock-cheap hot-key result cache for the
+// adaptive index read path.
+//
+// Layout: a fixed allocation of set-associative buckets (4–7 ways, sized
+// to spend the configured byte budget — see New). Every slot
+// field is atomic and guarded by a per-slot seqlock (ver odd = writer in
+// the critical section), so readers never block and the package is clean
+// under -race. Admission follows the S3-FIFO/CLOCK spirit: new entries
+// enter on probation (freq 0), probe hits bump a saturating frequency,
+// eviction picks the minimum-frequency way and ages the rest. Entries
+// observed by the hotness sampler are admitted pre-warmed.
+//
+// Strictness: values enter only through Admit, which carries a stripe
+// epoch snapshot taken BEFORE the tree lookup that produced the value.
+// Every tree write (insert-overwrite, delete, leaf migration/rekey) first
+// bumps the key's stripe epoch and then clears any matching slot. Admit
+// re-checks the stripe epoch while holding the slot seqlock and aborts if
+// it moved; invalidation scans spin on (never skip) locked slots. Either
+// the admitter's in-lock check sees the bump and aborts, or the admitter
+// finished first and the invalidation scan waits on its lock and clears
+// the entry. Stale hits are therefore impossible once a write returns.
+package cache
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// ways is the MINIMUM bucket associativity. A slot is 32 bytes, so a
+	// 4-way bucket is two cache lines. The bucket count must be a power
+	// of two (the index is a mask), which alone would strand up to half
+	// the configured bytes; the constructor instead widens buckets up to
+	// maxWays to spend the remainder, so a budget slice between powers of
+	// two still buys capacity (associativity helps hit rate too).
+	ways    = 4
+	maxWays = 7
+	// slotBytes is the accounted footprint of one slot.
+	slotBytes = 32
+	// stripeCount is the number of invalidation epochs. Writers bump one
+	// stripe per key; admitters validate against it.
+	stripeCount = 256
+	// maxMeta caps the CLOCK frequency at 3: meta = (freq<<1)|1.
+	maxMeta = 7
+	// minBytes is the smallest useful cache: below one bucket of slack
+	// the constructor reports nil and the caller runs uncached.
+	minBytes = 4 * ways * slotBytes
+)
+
+// slot is one cached (key, value) pair. ver is a seqlock: odd while a
+// writer owns the slot; key/val/meta only change under an odd ver. meta
+// is 0 when empty, otherwise (freq<<1)|1; frequency maintenance uses CAS
+// outside the lock so it can never resurrect a concurrently-cleared slot.
+type slot struct {
+	ver  atomic.Uint64
+	key  atomic.Uint64
+	val  atomic.Uint64
+	meta atomic.Uint64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Admitted      int64
+	Rejected      int64 // admissions aborted by a stripe epoch move or lock contention
+	Invalidations int64 // write-path slot clears (entry was present)
+	Evictions     int64 // occupied slots overwritten by admission
+}
+
+// Cache is a per-tree (per-shard) result cache. The slot array is
+// allocated once; Resize moves an active-bucket mask within it so the
+// accounted footprint can follow budget rebalancing without reallocation.
+type Cache struct {
+	slots   []slot
+	ways    uint64        // bucket associativity, fixed at construction
+	mask    atomic.Uint64 // active bucket count - 1 (power of two)
+	stripes [stripeCount]atomic.Uint64
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+	invals   atomic.Int64
+	evicts   atomic.Int64
+
+	resizeMu sync.Mutex
+	alloc    uint64 // allocated bucket count
+}
+
+// New builds a cache fitting in bytes: the largest power-of-two bucket
+// count at minimum associativity, then buckets widened (up to maxWays
+// slots each) to spend what the power-of-two rounding would strand.
+// Returns nil when bytes is too small to be useful — callers treat a nil
+// *Cache as "disabled".
+func New(bytes int64) *Cache {
+	if bytes < minBytes {
+		return nil
+	}
+	buckets := pow2Floor(uint64(bytes) / (ways * slotBytes))
+	w := uint64(bytes) / (buckets * slotBytes)
+	if w > maxWays {
+		w = maxWays
+	}
+	c := &Cache{
+		slots: make([]slot, buckets*w),
+		ways:  w,
+		alloc: buckets,
+	}
+	c.mask.Store(buckets - 1)
+	return c
+}
+
+func pow2Floor(n uint64) uint64 {
+	p := uint64(1)
+	for p<<1 <= n {
+		p <<= 1
+	}
+	return p
+}
+
+// mix is splitmix64's finalizer: full-avalanche so bucket bits (low) and
+// stripe bits (high) are independent.
+func mix(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+// StripeOf reports which invalidation stripe covers key k. Exported so
+// callers batching invalidations (leaf migration) can dedup stripes.
+func StripeOf(k uint64) uint64 { return mix(k) >> 56 }
+
+// Snap returns the current invalidation epoch for k's stripe. Callers
+// take it BEFORE the authoritative tree lookup and pass it to Admit.
+func (c *Cache) Snap(k uint64) uint64 {
+	return c.stripes[mix(k)>>56].Load()
+}
+
+// Probe looks k up. A hit is always the value of a tree read linearized
+// no earlier than the last completed write of k (writers clear slots
+// synchronously before returning).
+func (c *Cache) Probe(k uint64) (uint64, bool) {
+	v, _, ok := c.probe(mix(k), k, false)
+	return v, ok
+}
+
+// ProbeOrSnap combines Probe with the miss-path stripe snapshot: one hash
+// and one stripe-line touch instead of two. On a hit snap is meaningless;
+// on a miss it is the invalidation epoch to pass to Admit.
+func (c *Cache) ProbeOrSnap(k uint64) (v, snap uint64, ok bool) {
+	return c.probe(mix(k), k, true)
+}
+
+func (c *Cache) probe(h, k uint64, wantSnap bool) (v, snap uint64, ok bool) {
+	base := (h & c.mask.Load()) * c.ways
+	for i := uint64(0); i < c.ways; i++ {
+		sl := &c.slots[base+i]
+		v1 := sl.ver.Load()
+		key := sl.key.Load()
+		if v1&1 != 0 || key != k {
+			continue
+		}
+		m := sl.meta.Load()
+		val := sl.val.Load()
+		if sl.ver.Load() != v1 || m&1 == 0 {
+			continue // torn or empty: treat as miss, the tree is authoritative
+		}
+		if m < maxMeta {
+			sl.meta.CompareAndSwap(m, m+2) // best-effort frequency bump
+		}
+		c.hits.Add(1)
+		return val, 0, true
+	}
+	c.misses.Add(1)
+	if wantSnap {
+		snap = c.stripes[h>>56].Load()
+	}
+	return 0, snap, false
+}
+
+// Admit publishes (k, v) obtained from a tree lookup that began after
+// stripe snapshot snap. hot marks entries the hotness sampler observed:
+// they enter with frequency 2 instead of on probation. evictOK is the
+// caller's admission-doorkeeper verdict: refreshing k's own slot or
+// filling an empty way is always allowed (an invalidated hot key re-enters
+// on its first post-write miss), but displacing a live entry needs hot or
+// evictOK — under a skewed workload most misses are tail singletons not
+// worth an eviction. Admission is best-effort: contention or a concurrent
+// write of k drops it.
+func (c *Cache) Admit(k, v uint64, snap uint64, hot, evictOK bool) {
+	h := mix(k)
+	stripe := &c.stripes[h>>56]
+	if stripe.Load() != snap {
+		c.rejected.Add(1)
+		return
+	}
+	base := (h & c.mask.Load()) * c.ways
+	// Victim choice: k's own slot if cached, else an empty way, else the
+	// minimum-frequency way (CLOCK).
+	var victim *slot
+	ownerK := false
+	minMeta := uint64(maxMeta + 2)
+	for i := uint64(0); i < c.ways; i++ {
+		sl := &c.slots[base+i]
+		m := sl.meta.Load()
+		if m&1 == 0 {
+			if minMeta != 0 {
+				victim, minMeta = sl, 0
+			}
+			continue
+		}
+		if sl.key.Load() == k {
+			victim, minMeta, ownerK = sl, m, true
+			break
+		}
+		if m < minMeta {
+			victim, minMeta = sl, m
+		}
+	}
+	if minMeta != 0 && !ownerK {
+		if !hot && !evictOK {
+			c.rejected.Add(1)
+			return
+		}
+		// A real eviction. When even the victim has earned hits (no
+		// probationary way left), age every resident by one (CLOCK): the
+		// bucket is all-established and must decay to stay adaptive.
+		// While probationary entries remain they absorb the churn and
+		// established entries keep their earned frequency.
+		if minMeta > 1 {
+			for i := uint64(0); i < c.ways; i++ {
+				sl := &c.slots[base+i]
+				if sl == victim {
+					continue
+				}
+				if m := sl.meta.Load(); m > 1 {
+					sl.meta.CompareAndSwap(m, m-2)
+				}
+			}
+		}
+	}
+	v0 := victim.ver.Load()
+	if v0&1 != 0 || !victim.ver.CompareAndSwap(v0, v0+1) {
+		c.rejected.Add(1) // writer or another admitter owns the slot
+		return
+	}
+	// Re-check the stripe under the lock: a concurrent writer that bumped
+	// it after our pre-check is now obligated to scan this bucket and
+	// will spin on our odd ver — unless we abort here, which covers the
+	// case where the bump happened before we took the lock.
+	if stripe.Load() != snap {
+		victim.ver.Store(v0 + 2)
+		c.rejected.Add(1)
+		return
+	}
+	if victim.meta.Load()&1 == 1 && victim.key.Load() != k {
+		c.evicts.Add(1)
+	}
+	victim.key.Store(k)
+	victim.val.Store(v)
+	if hot {
+		victim.meta.Store(2<<1 | 1)
+	} else {
+		victim.meta.Store(0<<1 | 1)
+	}
+	victim.ver.Store(v0 + 2)
+	c.admitted.Add(1)
+}
+
+// Invalidate removes k after a tree write (overwrite, delete, rekey).
+// It bumps k's stripe epoch first — aborting in-flight admissions — then
+// clears matching slots, spinning on locked ones so a racing admission
+// that already passed its epoch check cannot leave a stale entry behind.
+func (c *Cache) Invalidate(k uint64) {
+	h := mix(k)
+	c.stripes[h>>56].Add(1)
+	base := (h & c.mask.Load()) * c.ways
+	for i := uint64(0); i < c.ways; i++ {
+		sl := &c.slots[base+i]
+		for {
+			v0 := sl.ver.Load()
+			if v0&1 != 0 {
+				runtime.Gosched() // writer in critical section: wait, never skip
+				continue
+			}
+			if sl.key.Load() != k || sl.meta.Load()&1 == 0 {
+				// Not our key. An admitter writing k right now holds the
+				// lock (caught above); one starting later re-checks the
+				// stripe we already bumped and aborts.
+				break
+			}
+			if !sl.ver.CompareAndSwap(v0, v0+1) {
+				continue
+			}
+			if sl.key.Load() == k && sl.meta.Load()&1 == 1 {
+				sl.meta.Store(0)
+				c.invals.Add(1)
+			}
+			sl.ver.Store(v0 + 2)
+			break
+		}
+	}
+}
+
+// BumpStripes publishes an invalidation epoch for every stripe set in
+// mask (a 256-bit set indexed by StripeOf). Leaf migrations use it to
+// fence in-flight admissions against the retired leaf image without
+// walking individual slots: cached values stay correct (migration does
+// not change the key→value mapping), only pending admissions abort.
+func (c *Cache) BumpStripes(mask *[4]uint64) {
+	for w := 0; w < 4; w++ {
+		set := mask[w]
+		for set != 0 {
+			c.stripes[w*64+bits.TrailingZeros64(set)].Add(1)
+			set &= set - 1
+		}
+	}
+}
+
+// Resize adjusts the active footprint toward bytes, clamped to the
+// original allocation. The whole table is cleared first: entries parked
+// in buckets that move out of (or back into) the active range must never
+// become reachable again with stale contents. Rebalance-driven resizes
+// are rare enough that losing the working set is acceptable.
+func (c *Cache) Resize(bytes int64) {
+	c.resizeMu.Lock()
+	defer c.resizeMu.Unlock()
+	buckets := uint64(1)
+	if bytes >= minBytes {
+		buckets = pow2Floor(uint64(bytes) / (c.ways * slotBytes))
+	}
+	if buckets > c.alloc {
+		buckets = c.alloc
+	}
+	if buckets-1 == c.mask.Load() {
+		return
+	}
+	// Clear before publishing the new mask: a probe racing the resize
+	// sees either its old bucket (cleared below, under the slot lock) or
+	// the new one (also cleared) — never a stale survivor.
+	for i := range c.slots {
+		sl := &c.slots[i]
+		for {
+			v0 := sl.ver.Load()
+			if v0&1 != 0 {
+				runtime.Gosched()
+				continue
+			}
+			if sl.meta.Load() == 0 {
+				break
+			}
+			if !sl.ver.CompareAndSwap(v0, v0+1) {
+				continue
+			}
+			sl.meta.Store(0)
+			sl.ver.Store(v0 + 2)
+			break
+		}
+	}
+	c.mask.Store(buckets - 1)
+}
+
+// Bytes reports the active accounted footprint — what the adaptation
+// manager charges against the memory budget.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return int64((c.mask.Load() + 1) * c.ways * slotBytes)
+}
+
+// Len counts occupied active slots (diagnostic; O(active slots)).
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	active := (c.mask.Load() + 1) * c.ways
+	for i := uint64(0); i < active; i++ {
+		if c.slots[i].meta.Load()&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats snapshots the counters. Safe on a nil cache.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Admitted:      c.admitted.Load(),
+		Rejected:      c.rejected.Load(),
+		Invalidations: c.invals.Load(),
+		Evictions:     c.evicts.Load(),
+	}
+}

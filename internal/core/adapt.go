@@ -98,7 +98,7 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 		if budget == math.MaxInt64 {
 			env.BudgetRemaining = math.MaxInt64
 		} else {
-			env.BudgetRemaining = budget - m.cfg.UsedMemory()
+			env.BudgetRemaining = budget - m.cfg.UsedMemory() - m.charged()
 		}
 		env.Hot = c.hot
 		act := m.cfg.Heuristic(c.id, &c.ctx, &c.stats, env)
@@ -244,6 +244,7 @@ func (m *Manager[ID, Ctx]) adapt(epoch uint32) {
 			TrackedUnits:   tracked,
 			FrameworkBytes: fwBytes,
 			UsedBytes:      m.cfg.UsedMemory(),
+			ChargedBytes:   m.charged(),
 			AdaptNs:        adaptNs,
 		}
 		if m.cfg.ReclaimStats != nil {
@@ -337,7 +338,7 @@ func (m *Manager[ID, Ctx]) TrainOffline(freqs []IDFreq[ID, Ctx]) int {
 	budget := m.budget(units)
 	migrations := 0
 	for i := range freqs {
-		if budget != math.MaxInt64 && m.cfg.UsedMemory() >= budget {
+		if budget != math.MaxInt64 && m.cfg.UsedMemory()+m.charged() >= budget {
 			break
 		}
 		st := Stats{Reads: uint32(freqs[i].Freq), LastEpoch: m.epoch.Load()}
@@ -346,7 +347,7 @@ func (m *Manager[ID, Ctx]) TrainOffline(freqs []IDFreq[ID, Ctx]) int {
 		if budget == math.MaxInt64 {
 			env.BudgetRemaining = math.MaxInt64
 		} else {
-			env.BudgetRemaining = budget - m.cfg.UsedMemory()
+			env.BudgetRemaining = budget - m.cfg.UsedMemory() - m.charged()
 		}
 		act := m.cfg.Heuristic(freqs[i].ID, &freqs[i].Ctx, &st, env)
 		if !act.Migrate {

@@ -24,6 +24,13 @@ type Config[ID comparable, Ctx any] struct {
 	// UsedMemory returns the index's current size in bytes (Listing 1's
 	// GetUsedMemory callback).
 	UsedMemory func() int64
+	// ChargedBytes, optional, reports bytes consumed by auxiliary
+	// read-path structures (e.g. a hot-key result cache) that must fit
+	// inside the memory budget alongside the index itself. The manager
+	// subtracts it from the budget headroom wherever UsedMemory is
+	// consulted, so index encodings plus auxiliaries never exceed the
+	// configured budget.
+	ChargedBytes func() int64
 	// Heuristic is the index's CSHF (Listing 1's EvaluateHeuristic): given
 	// a unit's stats, context and classification, propose an Action.
 	Heuristic func(id ID, ctx *Ctx, st *Stats, env Env) Action
@@ -293,12 +300,26 @@ func (m *Manager[ID, Ctx]) budget(u UnitCounts) int64 {
 	return math.MaxInt64
 }
 
+// charged resolves ChargedBytes (0 when unset).
+func (m *Manager[ID, Ctx]) charged() int64 {
+	if m.cfg.ChargedBytes == nil {
+		return 0
+	}
+	return m.cfg.ChargedBytes()
+}
+
 // budgetK derives the top-k size from the memory budget (§3: "we set k to
 // the number of theoretically expandable nodes").
 func (m *Manager[ID, Ctx]) budgetK(u UnitCounts) int {
 	b := m.budget(u)
 	if b == math.MaxInt64 {
 		return int(u.Total())
+	}
+	if c := m.charged(); c > 0 {
+		// Auxiliary structures shrink the budget available to encodings.
+		if b -= c; b < 0 {
+			b = 0
+		}
 	}
 	return topk.BudgetK(b, u.Compressed, u.CompressedAvg, u.Uncompressed, u.UncompressedAvg)
 }

@@ -55,22 +55,26 @@ type Snapshot struct {
 	EpochLag    int64 `json:"epoch_lag,omitempty"`
 
 	// Footprints and budget headroom. BudgetBytes is 0 when unbounded;
-	// headroom is BudgetBytes − UsedBytes when bounded.
+	// headroom is BudgetBytes − UsedBytes − ChargedBytes when bounded.
+	// ChargedBytes is auxiliary read-path memory (hot-key result cache)
+	// charged against the same budget as the index encodings.
 	TrackedUnits   int   `json:"tracked_units"`
 	FrameworkBytes int64 `json:"framework_bytes"`
 	UsedBytes      int64 `json:"used_bytes"`
+	ChargedBytes   int64 `json:"charged_bytes,omitempty"`
 	BudgetBytes    int64 `json:"budget_bytes"`
 
 	// AdaptNs is the duration of the adaptation phase itself.
 	AdaptNs int64 `json:"adapt_ns"`
 }
 
-// Headroom returns BudgetBytes − UsedBytes, or 0 when unbounded.
+// Headroom returns BudgetBytes − UsedBytes − ChargedBytes, or 0 when
+// unbounded.
 func (s *Snapshot) Headroom() int64 {
 	if s.BudgetBytes <= 0 {
 		return 0
 	}
-	return s.BudgetBytes - s.UsedBytes
+	return s.BudgetBytes - s.UsedBytes - s.ChargedBytes
 }
 
 // SnapshotRing is a bounded ring of per-epoch snapshots, same contract as

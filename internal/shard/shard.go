@@ -515,6 +515,10 @@ func (s *ShardedBTree) Rebalance() {
 			share += weighted / ns
 		}
 		sh.a.Mgr.SetMemoryBudget(share)
+		// The result cache is sized as a fraction of the shard's budget,
+		// so it follows the re-split (dropping its working set — the
+		// rebalance cadence is far coarser than cache refill).
+		sh.a.ResizeCache(share)
 		// Exponential decay so the split tracks shifting hot ranges
 		// instead of the all-time distribution.
 		for {
