@@ -37,8 +37,32 @@ import (
 	"ahi/internal/core"
 	"ahi/internal/fst"
 	"ahi/internal/hybridtrie"
+	"ahi/internal/obs"
 	"ahi/internal/shard"
 )
+
+// Observability bundles the library's instrumentation sinks: a metrics
+// registry (Prometheus text + JSON over the bundle's HTTP handler), a
+// migration trace ring, per-epoch encoding-distribution snapshots, and —
+// once EnableTracing is called — a per-operation flight recorder with SLO
+// burn-rate tracking. Attach one bundle via BTreeOptions.Obs; disabled
+// (nil) observability costs nothing on the access path.
+type Observability = obs.Observability
+
+// TracingConfig configures the per-operation flight recorder (see
+// BTreeOptions.Tracing): sampling rate, slow-op threshold, ring size,
+// and latency SLOs.
+type TracingConfig = obs.FlightConfig
+
+// SLOConfig declares latency objectives and burn-rate windows.
+type SLOConfig = obs.SLOConfig
+
+// SLOObjective is one latency objective (quantile + target).
+type SLOObjective = obs.Objective
+
+// NewObservability creates an Observability bundle with default ring
+// capacities.
+func NewObservability() *Observability { return obs.New(0, 0) }
 
 // Re-exported framework types: use these to integrate the adaptation
 // manager into a custom index (paper §3.1).
@@ -142,9 +166,26 @@ type BTreeOptions struct {
 	// keys before the compressed search. 6 bits/key ≈ 1.6% false-positive
 	// rate; the filter bytes count toward the leaf's budget footprint.
 	NegFilterBits int
+	// Obs attaches an observability bundle: metrics, migration traces and
+	// encoding snapshots flow into it, labelled ObsSource (sharded trees
+	// label per shard automatically). Nil disables all instrumentation.
+	Obs       *Observability
+	ObsSource string
+	// Tracing, with Obs set, enables the per-operation flight recorder and
+	// SLO tracker before the index is wired (see TracingConfig; the zero
+	// value takes the defaults: sample 1/64, slow-op threshold 100µs,
+	// lookup p99/p999 objectives). Sessions created from this index then
+	// record sampled wide events; ahimon explain-tail consumes them.
+	Tracing *TracingConfig
 }
 
 func (o BTreeOptions) config() btree.AdaptiveConfig {
+	if o.Obs != nil && o.Tracing != nil {
+		// Enable before wiring: scopes derive from the recorder at wiring
+		// time. Idempotent, so sharded construction (N configs off one
+		// options value) enables once.
+		o.Obs.EnableTracing(*o.Tracing)
+	}
 	return btree.AdaptiveConfig{
 		Tree:            btree.Config{DefaultEncoding: o.ColdEncoding, NegFilterBits: o.NegFilterBits},
 		MemoryBudget:    o.MemoryBudget,
@@ -156,11 +197,13 @@ func (o BTreeOptions) config() btree.AdaptiveConfig {
 		OnAdapt:         o.OnAdapt,
 		AsyncMigrations: o.AsyncMigrations,
 		CacheFraction:   o.CacheFraction,
+		Obs:             o.Obs,
+		ObsSource:       o.ObsSource,
 	}
 }
 
 func (o BTreeOptions) shardConfig() shard.Config {
-	return shard.Config{Shards: o.Shards, Workers: o.Workers, Adaptive: o.config()}
+	return shard.Config{Shards: o.Shards, Workers: o.Workers, Adaptive: o.config(), Obs: o.Obs}
 }
 
 // NewBTree creates an empty adaptive B+-tree.

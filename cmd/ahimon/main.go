@@ -6,8 +6,16 @@
 // Usage:
 //
 //	ahimon -replay /tmp/trace.json
+//	ahimon -replay /tmp/trace.json -explain-tail
 //	ahimon -attach localhost:6060 -interval 2s
 //	ahimon -attach localhost:6060 -once
+//	ahimon -attach localhost:6060 -explain-tail -quantile 0.99
+//
+// -explain-tail ranks what the recorded ops beyond the chosen latency
+// quantile were waiting on (flight-recorder cause tags), linking
+// migration-overlap exemplars into the migration trace. Attach mode polls
+// incrementally: after the first /dump.json seed, only trace and op
+// events newer than the last seen seq are fetched (?since=).
 package main
 
 import (
@@ -31,6 +39,8 @@ func main() {
 		interval = flag.Duration("interval", 2*time.Second, "poll interval with -attach")
 		once     = flag.Bool("once", false, "with -attach: render one snapshot and exit")
 		events   = flag.Int("events", 12, "how many trailing trace events to show")
+		tailMode = flag.Bool("explain-tail", false, "rank the causes of the latency tail from recorded ops")
+		quantile = flag.Float64("quantile", 0.999, "with -explain-tail: the tail cut quantile")
 	)
 	flag.Parse()
 
@@ -43,23 +53,30 @@ func main() {
 		if err := d.Validate(); err != nil {
 			fatal(fmt.Errorf("%s: %w", *replay, err))
 		}
+		if *tailMode {
+			renderExplainTail(os.Stdout, &d, *quantile)
+			return
+		}
 		render(os.Stdout, &d, *events)
 	case *attach != "":
-		url := *attach
-		if !strings.Contains(url, "://") {
-			url = "http://" + url
+		base := *attach
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
 		}
-		url = strings.TrimRight(url, "/") + "/dump.json"
+		st := &attachState{base: strings.TrimRight(base, "/")}
 		for {
-			d, err := fetch(url)
-			if err != nil {
+			if err := st.poll(); err != nil {
 				fatal(err)
 			}
 			if !*once {
 				fmt.Print("\x1b[H\x1b[2J") // clear, cursor home
 			}
-			fmt.Printf("ahimon — %s — %s\n\n", url, time.Now().Format(time.TimeOnly))
-			render(os.Stdout, d, *events)
+			fmt.Printf("ahimon — %s — %s\n\n", st.base, time.Now().Format(time.TimeOnly))
+			if *tailMode {
+				renderExplainTail(os.Stdout, st.d, *quantile)
+			} else {
+				render(os.Stdout, st.d, *events)
+			}
 			if *once {
 				return
 			}
@@ -118,6 +135,8 @@ func render(w io.Writer, d *obs.Dump, tail int) {
 		renderEpochs(w, src, bySource[src])
 	}
 	renderCache(w, d)
+	renderOps(w, d)
+	renderSLO(w, d)
 	renderTrace(w, d, tail)
 }
 

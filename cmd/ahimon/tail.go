@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ahi/internal/obs"
+)
+
+// attachRetain bounds how many trace/op events a long -attach session
+// keeps in memory for analysis (the endpoints serve deltas; without a cap
+// the local copy would grow forever).
+const attachRetain = 8192
+
+// attachState is one -attach session's incremental view of a remote
+// bundle: the first poll seeds from /dump.json, later polls refresh
+// metrics/snapshots/SLO and fetch only trace and op events newer than the
+// last seen seq (?since=), so steady-state polling cost is proportional
+// to event arrival, not ring size.
+type attachState struct {
+	base     string
+	d        *obs.Dump
+	traceSeq int64
+	opSeq    int64
+}
+
+func (st *attachState) poll() error {
+	if st.d == nil {
+		d, err := fetch(st.base + "/dump.json")
+		if err != nil {
+			return err
+		}
+		st.d = d
+	} else {
+		if err := fetchJSON(st.base+"/metrics.json", &st.d.Metrics); err != nil {
+			return err
+		}
+		st.d.Snapshots = st.d.Snapshots[:0]
+		if err := fetchJSON(st.base+"/snapshots.json", &st.d.Snapshots); err != nil {
+			return err
+		}
+		var trace []obs.MigrationEvent
+		if err := fetchJSON(fmt.Sprintf("%s/trace.json?since=%d", st.base, st.traceSeq), &trace); err != nil {
+			return err
+		}
+		st.d.Trace = append(st.d.Trace, trace...)
+		st.d.TraceTotal += int64(len(trace))
+		var ops []obs.OpEvent
+		if err := fetchJSON(fmt.Sprintf("%s/ops.json?since=%d", st.base, st.opSeq), &ops); err != nil {
+			return err
+		}
+		st.d.Ops = append(st.d.Ops, ops...)
+		st.d.OpsTotal += int64(len(ops))
+		var slo obs.SLOReport
+		if err := fetchJSON(st.base+"/slo.json", &slo); err != nil {
+			return err
+		}
+		if len(slo.Objectives) > 0 {
+			st.d.SLO = &slo
+		}
+	}
+	if n := len(st.d.Trace); n > 0 {
+		st.traceSeq = st.d.Trace[n-1].Seq
+		if n > attachRetain {
+			st.d.Trace = append(st.d.Trace[:0:0], st.d.Trace[n-attachRetain:]...)
+		}
+	}
+	if n := len(st.d.Ops); n > 0 {
+		st.opSeq = st.d.Ops[n-1].Seq
+		if n > attachRetain {
+			st.d.Ops = append(st.d.Ops[:0:0], st.d.Ops[n-attachRetain:]...)
+		}
+	}
+	return nil
+}
+
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%s: %w", url, err)
+	}
+	return nil
+}
+
+// renderOps summarizes the retained flight-recorder events: volume, slow
+// ops, and the cause mix.
+func renderOps(w io.Writer, d *obs.Dump) {
+	if len(d.Ops) == 0 {
+		return
+	}
+	type agg struct {
+		n, slow int
+		worstNs int64
+	}
+	byCause := map[obs.Cause]*agg{}
+	slow := 0
+	for i := range d.Ops {
+		ev := &d.Ops[i]
+		a := byCause[ev.Cause]
+		if a == nil {
+			a = &agg{}
+			byCause[ev.Cause] = a
+		}
+		a.n++
+		if ev.Slow {
+			a.slow++
+			slow++
+		}
+		if ev.DurNs > a.worstNs {
+			a.worstNs = ev.DurNs
+		}
+	}
+	fmt.Fprintf(w, "== flight recorder: %d events retained (%d recorded, %d dropped, %d slow) ==\n",
+		len(d.Ops), d.OpsTotal, d.OpsDropped, slow)
+	fmt.Fprintf(w, "%-18s %8s %7s %6s %12s\n", "cause", "events", "share", "slow", "worst")
+	for _, c := range obs.Causes() {
+		a := byCause[c]
+		if a == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%-18s %8d %6.1f%% %6d %12s\n",
+			c, a.n, 100*float64(a.n)/float64(len(d.Ops)), a.slow, time.Duration(a.worstNs))
+	}
+	fmt.Fprintln(w)
+}
+
+// renderSLO prints the objective table with per-window burn rates.
+func renderSLO(w io.Writer, d *obs.Dump) {
+	if d.SLO == nil || len(d.SLO.Objectives) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "== SLO burn rates ==")
+	for _, o := range d.SLO.Objectives {
+		fmt.Fprintf(w, "%s %s p%g <= %s: %d ops, %d breaches lifetime\n",
+			o.Name, o.Op, o.Quantile*100, time.Duration(o.TargetNs), o.TotalOps, o.TotalBad)
+		for _, win := range o.Windows {
+			fmt.Fprintf(w, "  window %-6s %10d ops %8d bad  burn %.2fx\n",
+				win.Window, win.Ops, win.Bad, win.BurnRate)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// renderExplainTail ranks the causes of the ≥q latency tail per op kind,
+// resolving migration-overlap exemplars against the dump's trace ring.
+func renderExplainTail(w io.Writer, d *obs.Dump, q float64) {
+	if len(d.Ops) == 0 {
+		fmt.Fprintln(w, "explain-tail: no flight-recorder events in dump (run with tracing enabled)")
+		return
+	}
+	migBySeq := map[int64]*obs.MigrationEvent{}
+	for i := range d.Trace {
+		migBySeq[d.Trace[i].Seq] = &d.Trace[i]
+	}
+	for _, rep := range obs.ExplainTail(d.Ops, q) {
+		fmt.Fprintf(w, "== tail analysis: %s — %d events, p50 %s, p%g threshold %s ==\n",
+			rep.Kind, rep.Events, time.Duration(rep.P50Ns), rep.Quantile*100,
+			time.Duration(rep.ThresholdNs))
+		fmt.Fprintf(w, "%d tail ops, %.1f%% attributed to a named cause\n",
+			rep.TailOps, 100*rep.NamedFraction())
+		for _, c := range rep.Causes {
+			fmt.Fprintf(w, "  %5.1f%% (%d ops) %-18s worst %s", 100*c.Fraction, c.Count,
+				c.Cause, time.Duration(c.WorstNs))
+			if c.Source != "" && c.SourceCount > 0 {
+				fmt.Fprintf(w, "  mostly %s (%d)", c.Source, c.SourceCount)
+			}
+			fmt.Fprintln(w)
+			if c.ExemplarMigSeq > 0 {
+				if m, ok := migBySeq[c.ExemplarMigSeq]; ok {
+					fmt.Fprintf(w, "         exemplar op #%d overlapped migration #%d: %s %s -> %s unit %016x\n",
+						c.ExemplarSeq, m.Seq, m.Source, m.From, m.To, m.Unit)
+				} else {
+					fmt.Fprintf(w, "         exemplar op #%d overlapped migration #%d (aged out of trace ring)\n",
+						c.ExemplarSeq, c.ExemplarMigSeq)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -11,8 +11,12 @@
 //	    fail if any benchmark matching the regex reports a nonzero
 //	    allocs/op, or if none match (wiring rot), or if the run was
 //	    missing -benchmem
+//	benchgate -new new.txt -ratio 'BenchmarkWithFeature,BenchmarkBaseline' -ratio-threshold 1
+//	    fail if the first benchmark's ns/op exceeds the second's by more
+//	    than threshold percent — an overhead budget between two
+//	    benchmarks of the SAME run, immune to runner-to-runner noise
 //
-// Both checks may be combined in one invocation. Exit status 1 on any
+// All checks may be combined in one invocation. Exit status 1 on any
 // violation, with a per-benchmark report either way.
 package main
 
@@ -85,6 +89,8 @@ func main() {
 		oldPath   = flag.String("old", "", "baseline bench output to compare against")
 		threshold = flag.Float64("threshold", 10, "max allowed ns/op regression, percent")
 		zeroRe    = flag.String("zero-allocs", "", "regex of benchmarks that must report allocs/op == 0")
+		ratio     = flag.String("ratio", "", "'CHECK,BASE' benchmark pair compared within -new")
+		ratioMax  = flag.Float64("ratio-threshold", 1, "max allowed CHECK-over-BASE ns/op overhead, percent")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -162,6 +168,37 @@ func main() {
 		if matched == 0 {
 			fmt.Fprintf(os.Stderr, "benchgate: no benchmark matches -zero-allocs %q\n", *zeroRe)
 			failed = true
+		}
+	}
+
+	if *ratio != "" {
+		check, base, ok := strings.Cut(*ratio, ",")
+		if !ok || check == "" || base == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -ratio wants 'CHECK,BASE'")
+			os.Exit(2)
+		}
+		cr, cok := cur[check]
+		br, bok := cur[base]
+		switch {
+		case !cok || !bok:
+			for n, there := range map[string]bool{check: cok, base: bok} {
+				if !there {
+					fmt.Fprintf(os.Stderr, "benchgate: -ratio benchmark %q not in %s\n", n, *newPath)
+				}
+			}
+			failed = true
+		case br.nsOp <= 0:
+			fmt.Fprintf(os.Stderr, "benchgate: -ratio base %q has no ns/op\n", base)
+			failed = true
+		default:
+			over := 100 * (cr.nsOp - br.nsOp) / br.nsOp
+			verdict := "ok"
+			if over > *ratioMax {
+				verdict = fmt.Sprintf("OVER BUDGET (limit +%.1f%%)", *ratioMax)
+				failed = true
+			}
+			fmt.Printf("%s / %s: %.1f / %.1f ns/op  %+.2f%%  %s\n",
+				check, base, cr.nsOp, br.nsOp, over, verdict)
 		}
 	}
 

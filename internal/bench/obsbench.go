@@ -13,10 +13,12 @@ import (
 // RunTraced drives the observability layer end to end: a skewed lookup
 // phase against an adaptive tree (source "btree", asynchronous
 // migrations) followed by a batched phase against a small sharded
-// front-end (sources "shard0".."shardN"), all recording into o. The
-// caller then serializes o.Dump() for ahimon --replay; the printed table
-// summarizes what was captured.
+// front-end (sources "shard0".."shardN"), all recording into o — with
+// the flight recorder on (1/8 sampling), so the dump carries op events
+// for ahimon -explain-tail. The caller then serializes o.Dump() for
+// ahimon --replay; the printed table summarizes what was captured.
 func RunTraced(sc Scale, o *obs.Observability, w io.Writer) error {
+	o.EnableTracing(obs.FlightConfig{SampleEvery: 8})
 	n := sc.ConsecU64
 	keys := make([]uint64, n)
 	vals := make([]uint64, n)
@@ -85,6 +87,8 @@ func RunTraced(sc Scale, o *obs.Observability, w io.Writer) error {
 			{"trace events retained", fmt.Sprint(len(d.Trace))},
 			{"trace events total", fmt.Sprint(d.TraceTotal)},
 			{"epoch snapshots retained", fmt.Sprint(len(d.Snapshots))},
+			{"op events retained", fmt.Sprint(len(d.Ops))},
+			{"op events recorded", fmt.Sprint(d.OpsTotal)},
 			{"metric series", fmt.Sprint(len(d.Metrics))},
 		},
 	}

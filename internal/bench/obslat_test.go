@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestObsLatShape runs the instrumentation sweep at micro scale and
+// checks the four configs all produce timings, the traced run committed
+// events, and the tail attribution clears the ≥90% named-cause bar.
+// Matched by the CI smoke job (go test -run ObsLat).
+func TestObsLatShape(t *testing.T) {
+	sc := microScale
+	sc.OpsPerPhase = 40_000
+	res, tbl := RunObsLat(sc)
+	if len(res.Rows) != 4 || len(tbl.Rows) != 4 {
+		t.Fatalf("rows=%d want 4", len(res.Rows))
+	}
+	for i, r := range res.Rows {
+		if r.NsOp <= 0 {
+			t.Fatalf("empty row: %+v", r)
+		}
+		if i == 0 && r.OverheadPct != 0 {
+			t.Fatalf("baseline row has overhead %v", r.OverheadPct)
+		}
+	}
+	// Absolute overheads are not asserted here — cross-run timings on a
+	// shared runner are noise; the CI gate compares in-run benchmarks.
+	if res.OpsRecorded == 0 {
+		t.Fatal("traced run committed no events")
+	}
+	if res.TailNamedFraction < 0.9 {
+		t.Fatalf("tail attribution %.2f below the 0.9 bar", res.TailNamedFraction)
+	}
+	if len(res.TailReports) == 0 || res.TopTailCause == "" {
+		t.Fatalf("missing tail analysis: %+v", res)
+	}
+}
+
+// TestRecordObsLatSchema writes a real BENCH_obs.json to a temp path and
+// validates the schema: header fields, one _nsop and one _overhead_pct
+// metric per config, and the recorder/attribution keys.
+func TestRecordObsLatSchema(t *testing.T) {
+	sc := microScale
+	sc.OpsPerPhase = 20_000
+	path := filepath.Join(t.TempDir(), "BENCH_obs.json")
+	if err := RecordObsLat(sc, path, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Recorded string             `json:"recorded"`
+		Command  string             `json:"command"`
+		CPU      string             `json:"cpu"`
+		Procs    int                `json:"procs"`
+		Metrics  map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_obs.json is not valid JSON: %v", err)
+	}
+	if doc.Recorded == "" || doc.Command == "" || doc.CPU == "" || doc.Procs <= 0 {
+		t.Fatalf("missing header fields: %+v", doc)
+	}
+	for _, cfg := range []string{"no-obs", "obs-off", "traced-1/64", "traced-1/8"} {
+		for _, suffix := range []string{"_nsop", "_overhead_pct"} {
+			key := "obslat/" + cfg + suffix
+			if _, ok := doc.Metrics[key]; !ok {
+				t.Fatalf("metric %s missing", key)
+			}
+		}
+	}
+	for _, key := range []string{"obslat/ops_recorded", "obslat/tail_named_fraction"} {
+		if _, ok := doc.Metrics[key]; !ok {
+			t.Fatalf("metric %s missing", key)
+		}
+	}
+	if doc.Metrics["obslat/tail_named_fraction"] < 0.9 {
+		t.Fatalf("recorded tail_named_fraction %v below bar", doc.Metrics["obslat/tail_named_fraction"])
+	}
+}

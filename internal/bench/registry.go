@@ -132,6 +132,20 @@ func Registry(repoRoot string, csv bool) map[string]Experiment {
 		}
 		return nil
 	}})
+	add(Experiment{ID: "obslat", Title: "per-op tracing overhead & tail attribution", Run: func(sc Scale, w io.Writer) error {
+		res, t := RunObsLat(sc)
+		render(t, w)
+		if !csv {
+			fmt.Fprintf(w, "flight recorder: %d events recorded (%d slow); tail attribution %.1f%% named",
+				res.OpsRecorded, res.OpsSlow, 100*res.TailNamedFraction)
+			if res.TopTailCause != "" {
+				fmt.Fprintf(w, " — %s", res.TopTailCause)
+			}
+			fmt.Fprintln(w)
+			fmt.Fprintln(w)
+		}
+		return nil
+	}})
 	add(wrap("ext-paging", "extension: paging under a DRAM ceiling", func(sc Scale) Table { _, t := RunPaging(sc); return t }))
 	return reg
 }

@@ -83,6 +83,12 @@ type Adaptive struct {
 
 	impatient bool
 	cacheFrac float64
+
+	// flight is the per-tree flight-recorder scope; nil unless the
+	// attached Observability bundle has tracing enabled. Sessions bind it
+	// at construction, so enabling tracing after sessions exist only
+	// affects sessions created afterwards.
+	flight *obs.OpRecorder
 }
 
 // NewAdaptive builds an empty adaptive tree. The tree uses eager
@@ -154,6 +160,9 @@ func wireAdaptive(t *Tree, cfg AdaptiveConfig) *Adaptive {
 		mcfg.Distribution = a.distribution
 		mcfg.EncodingOf = func(l *Leaf) (core.Encoding, bool) { return l.Encoding(), true }
 		registerReadPathMetrics(cfg.Obs.Reg, cfg.ObsSource, t)
+		if cfg.Obs.Flight != nil {
+			a.flight = cfg.Obs.Flight.Scope(cfg.ObsSource)
+		}
 	}
 	a.Mgr = core.New(mcfg)
 	// Keep tracked contexts fresh across splits (§4.1.4: "in case a leaf
@@ -334,6 +343,14 @@ type Session struct {
 	trackReadFn func(int, *Leaf)
 	trackMissFn func(int, *Leaf)
 	trackInsFn  func(int, *Leaf, bool)
+
+	// Flight-recorder state (flight.go). rec is nil unless tracing was
+	// enabled when the session was created; the probe is reused across
+	// ops, so a Session must stay single-goroutine (which it already
+	// must, for the sampler).
+	rec     *obs.OpRecorder
+	probe   obs.OpProbe
+	recTick uint32
 }
 
 // NewSession creates a tracked session. Each goroutine needs its own.
@@ -342,6 +359,7 @@ func (a *Adaptive) NewSession() *Session {
 	s.trackReadFn = s.trackRead
 	s.trackMissFn = s.trackMiss
 	s.trackInsFn = s.trackInsert
+	s.rec = a.flight
 	return s
 }
 
@@ -350,6 +368,9 @@ func (a *Adaptive) NewSession() *Session {
 // adaptation signal must not see the cache's hit filtering — and their
 // result is admitted pre-warmed (the sampler just declared the key hot).
 func (s *Session) Lookup(k uint64) (uint64, bool) {
+	if s.rec != nil {
+		return s.lookupTraced(k)
+	}
 	sample := s.sampler.IsSample()
 	if s.c == nil {
 		v, leaf, ok := s.a.Tree.lookupLeaf(k)
@@ -394,6 +415,9 @@ func (s *Session) admitGate() bool {
 // always tracked — sampled or not — so the deferred compaction of §5.2 can
 // find the leaf once it cools down.
 func (s *Session) Insert(k, v uint64) bool {
+	if s.rec != nil {
+		return s.insertTraced(k, v)
+	}
 	sample := s.sampler.IsSample()
 	inserted, leaf, expanded := s.a.Tree.insertTracked(k, v)
 	if sample || expanded {
@@ -404,6 +428,9 @@ func (s *Session) Insert(k, v uint64) bool {
 
 // Delete is a tracked delete.
 func (s *Session) Delete(k uint64) bool {
+	if s.rec != nil {
+		return s.deleteTraced(k)
+	}
 	sample := s.sampler.IsSample()
 	ok := s.a.Tree.Delete(k)
 	if sample {
@@ -416,6 +443,9 @@ func (s *Session) Delete(k uint64) bool {
 // Scan is a tracked range scan: when the scan is sampled, every visited
 // leaf is tracked with the Scan access type (§4.1.3).
 func (s *Session) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
+	if s.rec != nil {
+		return s.scanTraced(from, n, fn)
+	}
 	if !s.sampler.IsSample() {
 		return s.a.Tree.Scan(from, n, fn)
 	}

@@ -637,6 +637,14 @@ func (t *Tree) insertRun(keys, vals []uint64, inserted []bool,
 // The whole path is allocation-free: scratch lives on the session (one
 // goroutine) and the tracking callbacks are bound once at construction.
 func (s *Session) LookupBatch(keys, vals []uint64, found []bool) {
+	if s.rec != nil {
+		s.lookupBatchTraced(keys, vals, found)
+		return
+	}
+	s.lookupBatchFast(keys, vals, found)
+}
+
+func (s *Session) lookupBatchFast(keys, vals []uint64, found []bool) {
 	n := len(keys)
 	// Draw the sampling decisions up front so the skip counter advances
 	// exactly as under per-key lookups. Samples are rare (skip >= 50), so
@@ -728,6 +736,14 @@ func (s *Session) trackMiss(j int, l *Leaf) {
 // here: the tree's write paths invalidate overwritten keys before the
 // batch returns.
 func (s *Session) InsertBatch(keys, vals []uint64, inserted []bool) {
+	if s.rec != nil {
+		s.insertBatchTraced(keys, vals, inserted)
+		return
+	}
+	s.insertBatchFast(keys, vals, inserted)
+}
+
+func (s *Session) insertBatchFast(keys, vals []uint64, inserted []bool) {
 	s.sampleBuf = s.sampler.SampleOffsets(len(keys), s.sampleBuf[:0])
 	s.a.Tree.insertBatchTracked(keys, vals, inserted, s.trackInsFn)
 }

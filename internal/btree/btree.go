@@ -153,6 +153,11 @@ type Tree struct {
 	// negHits counts point lookups short-circuited by a leaf's negative
 	// filter (misses that skipped the succinct search entirely).
 	negHits atomic.Int64
+
+	// migActive counts leaf migrations currently re-encoding. The flight
+	// recorder reads it at op end to tag ops that overlapped a migration
+	// (the dominant tail cause the paper's premise predicts).
+	migActive atomic.Int32
 }
 
 // New creates an empty tree.
@@ -391,10 +396,20 @@ func (t *Tree) Insert(k, v uint64) bool {
 // must then track the leaf even when the access is not sampled, or the
 // expansion could never be compacted again).
 func (t *Tree) insertTracked(k, v uint64) (bool, *Leaf, bool) {
+	return t.insertTrackedProf(k, v, nil)
+}
+
+// insertTrackedProf is insertTracked with optional write-retry accounting
+// for the flight recorder: retries (when non-nil) counts each time the
+// insert lost its leaf lock or found a dead leaf and had to re-descend.
+func (t *Tree) insertTrackedProf(k, v uint64, retries *int32) (bool, *Leaf, bool) {
 	for {
 		stack := make([]*Inner, 0, 8)
 		leaf, _ := t.descend(k, &stack)
 		if !leaf.lock.writeLock() {
+			if retries != nil {
+				*retries++
+			}
 			continue // leaf became obsolete under us; re-descend
 		}
 		// Move right while locked (a split may have shifted our range).
@@ -412,6 +427,9 @@ func (t *Tree) insertTracked(k, v uint64) (bool, *Leaf, bool) {
 			}
 		}
 		if leaf == nil {
+			if retries != nil {
+				*retries++
+			}
 			continue
 		}
 		b := leaf.box.Load()
@@ -743,6 +761,8 @@ func (t *Tree) Compactions() int64 { return t.compactions.Add(0) }
 // encoding changed. The displaced image is retired into the epoch domain
 // (when enabled) and freed only after all in-flight readers drain.
 func (t *Tree) MigrateLeaf(l *Leaf, target core.Encoding) bool {
+	t.migActive.Add(1)
+	defer t.migActive.Add(-1)
 	for attempt := 0; ; attempt++ {
 		// Pin before loading the snapshot: a box loaded under the pin
 		// cannot finish its grace period (and have its payload recycled)

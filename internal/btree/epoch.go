@@ -104,6 +104,27 @@ func (e *epochs) pin() *readerSlot {
 	}
 }
 
+// pinProf is pin with wait accounting for the flight recorder: each
+// full-table scan that found every slot busy increments *spins.
+func (e *epochs) pinProf(spins *int32) *readerSlot {
+	if e == nil {
+		return nil
+	}
+	g := e.global.Load()
+	start := int(e.hint.Add(1))
+	for {
+		for i := 0; i < epochSlots; i++ {
+			s := &e.slots[(start+i)&(epochSlots-1)]
+			if s.v.Load() == 0 && s.v.CompareAndSwap(0, g<<1|1) {
+				return s
+			}
+		}
+		*spins++
+		runtime.Gosched()
+		g = e.global.Load()
+	}
+}
+
 // unpin releases a slot claimed by pin.
 func (e *epochs) unpin(s *readerSlot) {
 	if s != nil {

@@ -1,0 +1,245 @@
+package btree
+
+import (
+	"sync"
+	"testing"
+
+	"ahi/internal/core"
+	"ahi/internal/obs"
+)
+
+func flightFixture(t testing.TB, sampleEvery int) (*Adaptive, *obs.Observability) {
+	t.Helper()
+	o := obs.New(64, 16)
+	o.EnableTracing(obs.FlightConfig{SampleEvery: sampleEvery, RingCap: 1 << 14})
+	n := 1 << 12
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 16
+		vals[i] = uint64(i)
+	}
+	a := BulkLoadAdaptive(AdaptiveConfig{
+		Tree:           Config{DefaultEncoding: EncSuccinct, NegFilterBits: 6},
+		Mode:           core.GS, // sessions run concurrently in the race test
+		RelativeBudget: 0.5,
+		InitialSkip:    8,
+		MinSkip:        4,
+		MaxSkip:        32,
+		MaxSampleSize:  256,
+		Obs:            o,
+		ObsSource:      "btree",
+	}, keys, vals)
+	t.Cleanup(a.Close)
+	return a, o
+}
+
+// TestFlightTracedSessions drives every traced session entry point with
+// 1/1 sampling and checks the committed events carry the lifecycle
+// signals: correct kinds, non-zero descent depth, negative-filter
+// rejection on misses into cold succinct leaves — and, structurally, no
+// event ever classified "unknown" (the attribution guarantee the
+// explain-tail acceptance bar leans on).
+func TestFlightTracedSessions(t *testing.T) {
+	a, o := flightFixture(t, 1)
+	s := a.NewSession()
+	for i := 0; i < 64; i++ {
+		if v, ok := s.Lookup(uint64(i) * 16); !ok || v != uint64(i) {
+			t.Fatalf("traced lookup %d wrong: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := s.Lookup(3*16 + 7); ok {
+		t.Fatal("traced miss reported found")
+	}
+	if !s.Insert(5*16+1, 99) {
+		t.Fatal("traced insert failed")
+	}
+	if !s.Delete(5*16 + 1) {
+		t.Fatal("traced delete failed")
+	}
+	if got := s.Scan(0, 10, func(k, v uint64) bool { return true }); got != 10 {
+		t.Fatalf("traced scan visited %d want 10", got)
+	}
+	bk := []uint64{0, 16, 32}
+	bv := make([]uint64, 3)
+	bf := make([]bool, 3)
+	s.LookupBatch(bk, bv, bf)
+	if !bf[0] || bv[2] != 2 {
+		t.Fatalf("traced batch lookup wrong: %v %v", bv, bf)
+	}
+	s.InsertBatch([]uint64{7*16 + 3, 9*16 + 3}, []uint64{1, 2}, make([]bool, 2))
+
+	evs := o.Flight.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events committed at 1/1 sampling")
+	}
+	kinds := map[obs.OpKind]int{}
+	var sawDepth, sawNegFilter bool
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+		if ev.Cause == obs.CauseUnknown {
+			t.Fatalf("event with unknown cause: %+v", ev)
+		}
+		if ev.Source != "btree" {
+			t.Fatalf("event source %q want btree", ev.Source)
+		}
+		if ev.Kind == obs.OpLookup && ev.Depth > 0 {
+			sawDepth = true
+		}
+		if ev.NegFiltered {
+			sawNegFilter = true
+		}
+	}
+	for _, k := range []obs.OpKind{obs.OpLookup, obs.OpInsert, obs.OpDelete,
+		obs.OpScan, obs.OpLookupBatch, obs.OpInsertBatch} {
+		if kinds[k] == 0 {
+			t.Fatalf("no %v events committed (have %v)", k, kinds)
+		}
+	}
+	if !sawDepth {
+		t.Fatal("no lookup recorded a descent depth")
+	}
+	if !sawNegFilter {
+		t.Fatal("miss into a succinct leaf did not record negative-filter rejection")
+	}
+}
+
+// TestFlightSamplingDisabledMatchesFast ensures the sampled-out traced
+// path returns the same results as the fast path (a 1/big mask means
+// nearly every op goes through the traced body unsampled).
+func TestFlightSamplingDisabledMatchesFast(t *testing.T) {
+	a, o := flightFixture(t, 1024)
+	s := a.NewSession()
+	for i := 0; i < 2000; i++ {
+		if v, ok := s.Lookup(uint64(i%512) * 16); !ok || v != uint64(i%512) {
+			t.Fatalf("lookup %d wrong under sampled-out tracing", i)
+		}
+	}
+	// The latency histogram sees every op even when the ring holds few.
+	if f := o.Flight; f.Total() >= 2000 {
+		t.Fatalf("committed %d events at 1/1024 sampling", f.Total())
+	}
+}
+
+// TestFlightUnderConcurrentMigrations is the -race leg: traced sessions
+// (lookups, inserts, batches) racing leaf migrations and the epoch
+// reclamation they trigger, all while a reader drains the recorder
+// incrementally. Run under -race in CI.
+func TestFlightUnderConcurrentMigrations(t *testing.T) {
+	a, o := flightFixture(t, 1)
+	var writers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			s := a.NewSession()
+			bk := make([]uint64, 8)
+			bv := make([]uint64, 8)
+			bf := make([]bool, 8)
+			for i := 0; i < 3000; i++ {
+				k := uint64((i*7+g*13)%(1<<12)) * 16
+				switch i % 5 {
+				case 0:
+					s.Insert(k+1, uint64(i))
+				case 1:
+					for j := range bk {
+						bk[j] = uint64((i+j)%(1<<12)) * 16
+					}
+					s.LookupBatch(bk, bv, bf)
+				default:
+					s.Lookup(k)
+				}
+			}
+		}(g)
+	}
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		targets := []core.Encoding{EncGapped, EncPacked, EncSuccinct}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tgt := targets[i%len(targets)]
+			a.Tree.WalkLeaves(func(l *Leaf) bool {
+				a.Tree.MigrateLeaf(l, tgt)
+				return true
+			})
+		}
+	}()
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var since int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := o.Flight.EventsSince(since)
+			if len(evs) > 0 {
+				since = evs[len(evs)-1].Seq
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	churn.Wait()
+	readers.Wait()
+	if o.Flight.Total() == 0 {
+		t.Fatal("no events recorded under concurrency")
+	}
+	// With migrations churning the whole run, some traced ops must have
+	// observed an overlap and linked a migration exemplar.
+	var overlaps int
+	for _, ev := range o.Flight.Events() {
+		if ev.MigOverlap {
+			overlaps++
+			if ev.Cause != obs.CauseMigrationOverlap {
+				t.Fatalf("overlapped op classified %v", ev.Cause)
+			}
+		}
+	}
+	if overlaps == 0 {
+		t.Log("warning: no migration overlaps observed (timing-dependent)")
+	}
+	if err := a.Tree.Validate(); err != nil {
+		t.Fatalf("tree invalid after churn: %v", err)
+	}
+}
+
+// TestFlightTailAttribution is the acceptance bar in miniature: a
+// skewed mixed workload with 1/1 sampling, migrations running, then
+// ExplainTail over the dump must name a cause for at least 90% of
+// >p999 lookups. Traced events are classified at commit time, so
+// structurally this should be 100%.
+func TestFlightTailAttribution(t *testing.T) {
+	a, o := flightFixture(t, 1)
+	s := a.NewSession()
+	for i := 0; i < 20000; i++ {
+		k := uint64(i%997) * 16
+		if i%10 == 9 {
+			s.Insert(k+1+uint64(i%14), uint64(i))
+		} else {
+			s.Lookup(k)
+		}
+	}
+	d := o.Dump()
+	if len(d.Ops) == 0 {
+		t.Fatal("dump carries no ops")
+	}
+	for _, rep := range obs.ExplainTail(d.Ops, 0.999) {
+		if rep.TailOps == 0 {
+			continue
+		}
+		if nf := rep.NamedFraction(); nf < 0.9 {
+			t.Fatalf("%v tail only %.0f%% named (want >=90%%)", rep.Kind, 100*nf)
+		}
+	}
+}

@@ -146,7 +146,7 @@ func (c *Cache) Snap(k uint64) uint64 {
 // no earlier than the last completed write of k (writers clear slots
 // synchronously before returning).
 func (c *Cache) Probe(k uint64) (uint64, bool) {
-	v, _, ok := c.probe(mix(k), k, false)
+	v, _, _, ok := c.probe(mix(k), k, false)
 	return v, ok
 }
 
@@ -154,34 +154,51 @@ func (c *Cache) Probe(k uint64) (uint64, bool) {
 // and one stripe-line touch instead of two. On a hit snap is meaningless;
 // on a miss it is the invalidation epoch to pass to Admit.
 func (c *Cache) ProbeOrSnap(k uint64) (v, snap uint64, ok bool) {
+	v, snap, _, ok = c.probe(mix(k), k, true)
+	return v, snap, ok
+}
+
+// ProbeOrSnapProf is ProbeOrSnap plus the probe's torn-slot count: how
+// many ways the seqlock observed mid-write (version odd, or changed
+// between the reads). The flight recorder tags ops whose probe raced
+// concurrent cache writers with it.
+func (c *Cache) ProbeOrSnapProf(k uint64) (v, snap uint64, torn int32, ok bool) {
 	return c.probe(mix(k), k, true)
 }
 
-func (c *Cache) probe(h, k uint64, wantSnap bool) (v, snap uint64, ok bool) {
+func (c *Cache) probe(h, k uint64, wantSnap bool) (v, snap uint64, torn int32, ok bool) {
 	base := (h & c.mask.Load()) * c.ways
 	for i := uint64(0); i < c.ways; i++ {
 		sl := &c.slots[base+i]
 		v1 := sl.ver.Load()
 		key := sl.key.Load()
-		if v1&1 != 0 || key != k {
+		if v1&1 != 0 {
+			torn++
+			continue
+		}
+		if key != k {
 			continue
 		}
 		m := sl.meta.Load()
 		val := sl.val.Load()
-		if sl.ver.Load() != v1 || m&1 == 0 {
-			continue // torn or empty: treat as miss, the tree is authoritative
+		if sl.ver.Load() != v1 {
+			torn++
+			continue // torn: treat as miss, the tree is authoritative
+		}
+		if m&1 == 0 {
+			continue // empty way
 		}
 		if m < maxMeta {
 			sl.meta.CompareAndSwap(m, m+2) // best-effort frequency bump
 		}
 		c.hits.Add(1)
-		return val, 0, true
+		return val, 0, torn, true
 	}
 	c.misses.Add(1)
 	if wantSnap {
 		snap = c.stripes[h>>56].Load()
 	}
-	return 0, snap, false
+	return 0, snap, torn, false
 }
 
 // Admit publishes (k, v) obtained from a tree lookup that began after

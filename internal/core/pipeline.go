@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ahi/internal/obs"
@@ -109,6 +110,10 @@ type migrationPipeline[ID comparable, Ctx any] struct {
 	// already holds the unit). Workers promote intents into the queue
 	// after each job completes.
 	deferred map[ID]migrationJob[ID, Ctx]
+	// deferredN mirrors len(deferred) for lock-free reads: the flight
+	// recorder samples it on every traced op to tag backpressure stalls,
+	// a path where backlog()'s mutex would serialize the read side.
+	deferredN atomic.Int32
 
 	wg sync.WaitGroup // running workers
 	// pending counts queued, executing, or deferred jobs. A plain counter
@@ -212,6 +217,7 @@ func (p *migrationPipeline[ID, Ctx]) enqueue(job migrationJob[ID, Ctx]) enqueueS
 		return enqOK
 	default:
 		p.deferred[job.id] = job
+		p.deferredN.Store(int32(len(p.deferred)))
 		p.pending++
 		if p.external {
 			p.idle.Broadcast()
@@ -238,6 +244,7 @@ func (p *migrationPipeline[ID, Ctx]) notifyQueued() {
 func (p *migrationPipeline[ID, Ctx]) popDeferredLocked() (migrationJob[ID, Ctx], bool) {
 	for id, job := range p.deferred {
 		delete(p.deferred, id)
+		p.deferredN.Store(int32(len(p.deferred)))
 		if tgt, dup := p.inflight[id]; dup && tgt == job.target {
 			// A retarget re-queued the same (unit, target) while this
 			// intent was parked: the queued job will perform it.
@@ -277,6 +284,7 @@ func (p *migrationPipeline[ID, Ctx]) promoteDeferred() {
 			// No slot after all: park it again and revert the marker.
 			delete(p.inflight, job.id)
 			p.deferred[job.id] = job
+			p.deferredN.Store(int32(len(p.deferred)))
 		}
 		break
 	}
@@ -456,6 +464,16 @@ func (m *Manager[ID, Ctx]) MigrationBacklog() int {
 		return 0
 	}
 	return m.pipe.backlog()
+}
+
+// DeferredMigrations reports the parked (backpressure-deferred) intents
+// without taking the pipeline mutex — an atomic mirror of the deferred
+// set's size, safe to read on every operation. 0 without AsyncMigrations.
+func (m *Manager[ID, Ctx]) DeferredMigrations() int {
+	if m.pipe == nil {
+		return 0
+	}
+	return int(m.pipe.deferredN.Load())
 }
 
 // QueuedMigrations reports how many migrations are waiting in the

@@ -27,11 +27,18 @@ type Dump struct {
 	SnapsDropped  int64              `json:"snapshots_dropped,omitempty"`
 	TraceTotal    int64              `json:"trace_total"`
 	SnapshotTotal int64              `json:"snapshot_total"`
+
+	// Flight-recorder extension (absent unless tracing was enabled; all
+	// additive, so the schema tag stays v1 and old readers still parse).
+	Ops        []OpEvent  `json:"ops,omitempty"`
+	OpsTotal   int64      `json:"ops_total,omitempty"`
+	OpsDropped int64      `json:"ops_dropped,omitempty"`
+	SLO        *SLOReport `json:"slo,omitempty"`
 }
 
 // Dump captures the bundle's current state.
 func (o *Observability) Dump() Dump {
-	return Dump{
+	d := Dump{
 		Schema:        DumpSchema,
 		Metrics:       o.Reg.metricsSnapshot(),
 		Snapshots:     o.Snaps.Snapshots(),
@@ -41,6 +48,14 @@ func (o *Observability) Dump() Dump {
 		TraceTotal:    o.Trace.Total(),
 		SnapshotTotal: o.Snaps.Total(),
 	}
+	if f := o.Flight; f != nil {
+		d.Ops = f.Events()
+		d.OpsTotal = f.Total()
+		d.OpsDropped = f.Dropped()
+		rep := f.SLOReport()
+		d.SLO = &rep
+	}
+	return d
 }
 
 // WriteDump writes d as indented JSON to path.
@@ -96,6 +111,18 @@ func (d *Dump) Validate() error {
 		}
 		if ev.To == "" {
 			return fmt.Errorf("trace %d: missing target encoding", i)
+		}
+	}
+	for i := range d.Ops {
+		ev := &d.Ops[i]
+		if ev.DurNs < 0 {
+			return fmt.Errorf("op %d: negative duration", i)
+		}
+		if ev.Kind >= numOpKinds {
+			return fmt.Errorf("op %d: unknown kind %d", i, ev.Kind)
+		}
+		if ev.Cause >= numCauses {
+			return fmt.Errorf("op %d: unknown cause %d", i, ev.Cause)
 		}
 	}
 	return nil

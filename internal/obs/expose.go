@@ -58,6 +58,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "%s %d\n", bucket("+Inf"), cum)
 		fmt.Fprintf(w, "%s %d\n", suffix("_sum"), h.Sum())
 		fmt.Fprintf(w, "%s %d\n", suffix("_count"), h.Count())
+		fmt.Fprintf(w, "%s %d\n", suffix("_max"), h.Max())
 	}
 }
 
@@ -65,9 +66,13 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 //
 //	/metrics         Prometheus text exposition
 //	/metrics.json    flat name → value JSON
-//	/trace.json      retained migration trace (oldest first)
+//	/trace.json      retained migration trace (oldest first);
+//	                 ?since=SEQ returns only events newer than SEQ
 //	/snapshots.json  retained per-epoch snapshots (oldest first)
-//	/dump.json       full Dump (what ahimon --attach polls)
+//	/ops.json        flight-recorder events ([] without tracing);
+//	                 ?since=SEQ as above
+//	/slo.json        SLO burn-rate report ({} without tracing)
+//	/dump.json       full Dump (what ahimon --attach seeds from)
 //	/debug/pprof/*   net/http/pprof handlers
 func (o *Observability) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -77,6 +82,10 @@ func (o *Observability) Handler() http.Handler {
 		enc.SetIndent("", " ")
 		_ = enc.Encode(v)
 	}
+	sinceParam := func(req *http.Request) int64 {
+		n, _ := strconv.ParseInt(req.URL.Query().Get("since"), 10, 64)
+		return n
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		o.Reg.WritePrometheus(w)
@@ -84,11 +93,29 @@ func (o *Observability) Handler() http.Handler {
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, o.Reg.metricsSnapshot())
 	})
-	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, req *http.Request) {
+		if since := sinceParam(req); since > 0 {
+			writeJSON(w, o.Trace.Since(since))
+			return
+		}
 		writeJSON(w, o.Trace.Events())
 	})
 	mux.HandleFunc("/snapshots.json", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, o.Snaps.Snapshots())
+	})
+	mux.HandleFunc("/ops.json", func(w http.ResponseWriter, req *http.Request) {
+		if o.Flight == nil {
+			writeJSON(w, []OpEvent{})
+			return
+		}
+		writeJSON(w, o.Flight.EventsSince(sinceParam(req)))
+	})
+	mux.HandleFunc("/slo.json", func(w http.ResponseWriter, _ *http.Request) {
+		if o.Flight == nil {
+			writeJSON(w, SLOReport{})
+			return
+		}
+		writeJSON(w, o.Flight.SLOReport())
 	})
 	mux.HandleFunc("/dump.json", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, o.Dump())

@@ -52,6 +52,7 @@ type Histogram struct {
 	counts  []atomic.Int64
 	sum     atomic.Int64
 	n       atomic.Int64
+	max     atomic.Int64 // largest value ever observed
 	name    string
 	labels  string // pre-rendered label body without braces ("" if none)
 	lbounds []string
@@ -72,7 +73,16 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.n.Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
 }
+
+// Max returns the largest value ever observed (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.n.Load() }
@@ -94,8 +104,10 @@ func (h *Histogram) Counts() []int64 {
 }
 
 // Quantile estimates the q-th quantile (q in [0,1]) by linear
-// interpolation within the owning bucket; values in the +Inf bucket clamp
-// to the largest bound. Returns 0 when empty.
+// interpolation within the owning bucket. Quantiles landing in the +Inf
+// overflow bucket interpolate up to the observed maximum rather than
+// clamping to the last finite bound, so a tail that escapes the bucket
+// layout still reports honestly. Returns 0 when empty.
 func (h *Histogram) Quantile(q float64) int64 {
 	n := h.n.Load()
 	if n == 0 {
@@ -116,14 +128,22 @@ func (h *Histogram) Quantile(q float64) int64 {
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			hi := lo
+			var hi int64
 			if i < len(h.bounds) {
 				hi = h.bounds[i]
+			} else if hi = h.max.Load(); hi < lo {
+				hi = lo
 			}
 			frac := (rank - cum) / c
 			return lo + int64(frac*float64(hi-lo))
 		}
 		cum += c
+	}
+	if m := h.max.Load(); m > 0 {
+		return m
+	}
+	if len(h.bounds) == 0 {
+		return 0
 	}
 	return h.bounds[len(h.bounds)-1]
 }
@@ -151,6 +171,29 @@ func NewRegistry() *Registry {
 	return &Registry{byName: map[string]any{}}
 }
 
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double quote and line feed.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // renderName composes a Prometheus-style series name from base + labels.
 func renderName(base string, labels []Label) string {
 	if len(labels) == 0 {
@@ -165,7 +208,7 @@ func renderName(base string, labels []Label) string {
 		}
 		b.WriteString(l.K)
 		b.WriteString(`="`)
-		b.WriteString(l.V)
+		b.WriteString(escapeLabel(l.V))
 		b.WriteByte('"')
 	}
 	b.WriteByte('}')
@@ -178,7 +221,7 @@ func renderLabels(labels []Label) string {
 	}
 	parts := make([]string, len(labels))
 	for i, l := range labels {
-		parts[i] = l.K + `="` + l.V + `"`
+		parts[i] = l.K + `="` + escapeLabel(l.V) + `"`
 	}
 	return strings.Join(parts, ",")
 }
@@ -271,6 +314,8 @@ func (r *Registry) metricsSnapshot() map[string]float64 {
 		out[base+"_sum"] = float64(h.Sum())
 		out[base+"_p50"] = float64(h.Quantile(0.50))
 		out[base+"_p99"] = float64(h.Quantile(0.99))
+		out[base+"_p999"] = float64(h.Quantile(0.999))
+		out[base+"_max"] = float64(h.Max())
 	}
 	return out
 }

@@ -15,17 +15,24 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
-// Observability bundles the three introspection surfaces of one process:
-// shared metrics registry, migration trace and snapshot ring. Create one
-// per served index (or index group) via New and derive per-index scopes
-// with Index.
+// Observability bundles the introspection surfaces of one process:
+// shared metrics registry, migration trace, snapshot ring, and — once
+// EnableTracing is called — the per-op flight recorder with its SLO
+// tracker. Create one per served index (or index group) via New and
+// derive per-index scopes with Index.
 type Observability struct {
 	Reg   *Registry
 	Trace *MigrationTrace
 	Snaps *SnapshotRing
+	// Flight is nil until EnableTracing; wiring code derives per-source
+	// scopes from it and sessions bind them at creation.
+	Flight *FlightRecorder
+
+	flightMu sync.Mutex
 }
 
 // Default ring capacities: a trace of 4096 events and 1024 snapshots keep

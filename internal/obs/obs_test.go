@@ -59,10 +59,14 @@ func TestHistogramQuantile(t *testing.T) {
 	if empty.Quantile(0.99) != 0 {
 		t.Fatal("empty histogram quantile must be 0")
 	}
-	// +Inf bucket values clamp to the largest bound.
+	// +Inf bucket quantiles report the observed max instead of clamping
+	// to the top finite bound (which silently under-reported the tail).
 	h.Observe(10_000)
-	if q := h.Quantile(1.0); q != 40 {
-		t.Fatalf("quantile into +Inf bucket must clamp to top bound, got %d", q)
+	if q := h.Quantile(1.0); q != 10_000 {
+		t.Fatalf("quantile into +Inf bucket must report observed max, got %d", q)
+	}
+	if m := h.Max(); m != 10_000 {
+		t.Fatalf("max=%d want 10000", m)
 	}
 }
 

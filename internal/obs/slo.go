@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// SLO burn-rate accounting: each objective ("lookup p999 ≤ 100µs")
+// classifies every traced op as good or bad and accumulates both into a
+// ring of coarse time buckets. Exposition sums the buckets inside each
+// configured window and reports the burn rate — the fraction of bad ops
+// divided by the objective's error budget (1−quantile) — so burn 1.0
+// means "exactly spending the budget", 10 means "ten times too fast".
+// Multi-window reporting (fast 1m window for paging, slow 10m window for
+// trend) follows the usual multiwindow/multi-burn-rate alerting shape.
+
+// Objective is one latency target.
+type Objective struct {
+	// Name labels the objective's series ("lookup-p999").
+	Name string `json:"name"`
+	// Op is the operation kind the objective watches.
+	Op OpKind `json:"op"`
+	// Quantile sets the error budget: 1−Quantile of ops may exceed the
+	// target (0.999 → 0.1% budget).
+	Quantile float64 `json:"quantile"`
+	// TargetNs is the latency bound.
+	TargetNs int64 `json:"target_ns"`
+}
+
+// SLOConfig configures the tracker. Zero value takes DefaultObjectives
+// over 1m and 10m windows.
+type SLOConfig struct {
+	Objectives []Objective
+	Windows    []time.Duration
+}
+
+// DefaultObjectives guard the point-lookup tail: p99 ≤ 10µs and
+// p999 ≤ 100µs, generous bounds for an in-memory tree that still trip on
+// real interference (migration storms, pipeline saturation).
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Name: "lookup-p99", Op: OpLookup, Quantile: 0.99, TargetNs: 10_000},
+		{Name: "lookup-p999", Op: OpLookup, Quantile: 0.999, TargetNs: 100_000},
+	}
+}
+
+// sloBucketNs is the accounting granularity: 1s buckets bound the ring to
+// maxWindow/1s entries while keeping window sums sharp enough for a 1m
+// fast window.
+const sloBucketNs = int64(time.Second)
+
+// SLOTracker accumulates good/bad counts per objective into a time-bucket
+// ring. Observe is lock-free: one epoch check (CAS-reset on bucket reuse)
+// plus one atomic add per matching objective.
+type SLOTracker struct {
+	objectives []Objective
+	windows    []time.Duration
+	nbuckets   int
+	epochs     []atomic.Int64 // bucket index currently stored in the slot
+	good       []atomic.Int64 // [slot*len(objectives)+obj]
+	bad        []atomic.Int64
+	totalOps   []atomic.Int64 // lifetime, per objective
+	totalBad   []atomic.Int64
+}
+
+func newSLOTracker(cfg SLOConfig) *SLOTracker {
+	objs := cfg.Objectives
+	if len(objs) == 0 {
+		objs = DefaultObjectives()
+	}
+	wins := cfg.Windows
+	if len(wins) == 0 {
+		wins = []time.Duration{time.Minute, 10 * time.Minute}
+	}
+	maxWin := wins[0]
+	for _, w := range wins {
+		if w > maxWin {
+			maxWin = w
+		}
+	}
+	n := int(maxWin.Nanoseconds()/sloBucketNs) + 2
+	return &SLOTracker{
+		objectives: objs,
+		windows:    wins,
+		nbuckets:   n,
+		epochs:     make([]atomic.Int64, n),
+		good:       make([]atomic.Int64, n*len(objs)),
+		bad:        make([]atomic.Int64, n*len(objs)),
+		totalOps:   make([]atomic.Int64, len(objs)),
+		totalBad:   make([]atomic.Int64, len(objs)),
+	}
+}
+
+// Observe classifies one op against every matching objective. nowNs is
+// wall-clock nanoseconds at op end.
+func (s *SLOTracker) Observe(op OpKind, durNs, nowNs int64) {
+	bi := nowNs / sloBucketNs
+	slot := int(bi % int64(s.nbuckets))
+	if old := s.epochs[slot].Load(); old != bi {
+		// The slot holds a stale bucket: the first arrival CASes the epoch
+		// forward and zeroes the counters. A racer that increments between
+		// the CAS and the zeroing loses its count — bounded, harmless skew
+		// in a reporting path.
+		if s.epochs[slot].CompareAndSwap(old, bi) {
+			base := slot * len(s.objectives)
+			for i := range s.objectives {
+				s.good[base+i].Store(0)
+				s.bad[base+i].Store(0)
+			}
+		}
+	}
+	base := slot * len(s.objectives)
+	for i := range s.objectives {
+		o := &s.objectives[i]
+		if o.Op != op {
+			continue
+		}
+		s.totalOps[i].Add(1)
+		if durNs > o.TargetNs {
+			s.bad[base+i].Add(1)
+			s.totalBad[i].Add(1)
+		} else {
+			s.good[base+i].Add(1)
+		}
+	}
+}
+
+// WindowBurn is one objective×window evaluation.
+type WindowBurn struct {
+	Window      string  `json:"window"`
+	Ops         int64   `json:"ops"`
+	Bad         int64   `json:"bad"`
+	BadFraction float64 `json:"bad_fraction"`
+	// BurnRate is BadFraction / (1−Quantile): 1.0 spends the error budget
+	// exactly, >1 burns it faster.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// ObjectiveReport is one objective's multi-window evaluation.
+type ObjectiveReport struct {
+	Name     string       `json:"name"`
+	Op       OpKind       `json:"op"`
+	Quantile float64      `json:"quantile"`
+	TargetNs int64        `json:"target_ns"`
+	TotalOps int64        `json:"total_ops"`
+	TotalBad int64        `json:"total_bad"`
+	Windows  []WindowBurn `json:"windows"`
+}
+
+// SLOReport is the full tracker evaluation, embedded in dumps and served
+// at /slo.json.
+type SLOReport struct {
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// windowSums adds up good/bad for objective obj over buckets inside
+// [nowNs−win, nowNs].
+func (s *SLOTracker) windowSums(obj int, win time.Duration, nowNs int64) (good, bad int64) {
+	lo := (nowNs - win.Nanoseconds()) / sloBucketNs
+	hi := nowNs / sloBucketNs
+	for slot := 0; slot < s.nbuckets; slot++ {
+		bi := s.epochs[slot].Load()
+		if bi < lo || bi > hi || bi == 0 {
+			continue
+		}
+		good += s.good[slot*len(s.objectives)+obj].Load()
+		bad += s.bad[slot*len(s.objectives)+obj].Load()
+	}
+	return good, bad
+}
+
+// Report evaluates every objective over every window as of nowNs.
+func (s *SLOTracker) Report(nowNs int64) SLOReport {
+	rep := SLOReport{Objectives: make([]ObjectiveReport, len(s.objectives))}
+	for i, o := range s.objectives {
+		or := ObjectiveReport{
+			Name:     o.Name,
+			Op:       o.Op,
+			Quantile: o.Quantile,
+			TargetNs: o.TargetNs,
+			TotalOps: s.totalOps[i].Load(),
+			TotalBad: s.totalBad[i].Load(),
+		}
+		budget := 1 - o.Quantile
+		for _, w := range s.windows {
+			good, bad := s.windowSums(i, w, nowNs)
+			wb := WindowBurn{Window: w.String(), Ops: good + bad, Bad: bad}
+			if wb.Ops > 0 {
+				wb.BadFraction = float64(bad) / float64(wb.Ops)
+				if budget > 0 {
+					wb.BurnRate = wb.BadFraction / budget
+				}
+			}
+			or.Windows = append(or.Windows, wb)
+		}
+		rep.Objectives[i] = or
+	}
+	return rep
+}
+
+// register exposes the tracker through the registry: lifetime op/breach
+// counters and a per-window burn-rate gauge (milli-units, so Prometheus
+// integer series carry three decimals) per objective.
+func (s *SLOTracker) register(reg *Registry) {
+	for i := range s.objectives {
+		o := s.objectives[i]
+		lbl := []Label{{"objective", o.Name}}
+		idx := i
+		reg.GaugeFunc("ahi_slo_ops_total", lbl, func() int64 { return s.totalOps[idx].Load() })
+		reg.GaugeFunc("ahi_slo_breaches_total", lbl, func() int64 { return s.totalBad[idx].Load() })
+		budget := 1 - o.Quantile
+		for _, w := range s.windows {
+			win := w
+			wl := append(append([]Label(nil), lbl...), Label{"window", win.String()})
+			reg.GaugeFunc("ahi_slo_burn_milli", wl, func() int64 {
+				good, bad := s.windowSums(idx, win, time.Now().UnixNano())
+				if good+bad == 0 || budget <= 0 {
+					return 0
+				}
+				frac := float64(bad) / float64(good+bad)
+				return int64(frac / budget * 1000)
+			})
+		}
+	}
+}
+
+// String renders an objective for logs/tables.
+func (o Objective) String() string {
+	return fmt.Sprintf("%s: %s p%g ≤ %s", o.Name, o.Op, o.Quantile*100,
+		time.Duration(o.TargetNs))
+}

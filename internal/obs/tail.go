@@ -1,0 +1,140 @@
+package obs
+
+import "sort"
+
+// ExplainTail is the analysis behind `ahimon -explain-tail`: given a set
+// of recorded op events, it computes the per-kind latency quantile from
+// the events themselves, isolates the ops at or above it, and ranks the
+// causes the recorder tagged them with — "73% of >p999 lookups overlapped
+// a succinct-leaf migration on shard 5" falls straight out of the top
+// TailCause row plus its exemplar.
+
+// TailCause is one cause's share of a kind's latency tail.
+type TailCause struct {
+	Cause Cause `json:"cause"`
+	Count int   `json:"count"`
+	// Fraction is Count over the tail size.
+	Fraction float64 `json:"fraction"`
+	// Source is the scope contributing most of this cause's tail ops.
+	Source      string `json:"source,omitempty"`
+	SourceCount int    `json:"source_count,omitempty"`
+	// ExemplarSeq is the op's event seq; ExemplarMigSeq links into the
+	// migration trace when the cause is migration overlap.
+	ExemplarSeq    int64 `json:"exemplar_seq,omitempty"`
+	ExemplarMigSeq int64 `json:"exemplar_mig_seq,omitempty"`
+	// WorstNs is the slowest op of this cause in the tail.
+	WorstNs int64 `json:"worst_ns"`
+}
+
+// TailReport is one op kind's tail breakdown.
+type TailReport struct {
+	Kind        OpKind      `json:"op"`
+	Events      int         `json:"events"`
+	Quantile    float64     `json:"quantile"`
+	ThresholdNs int64       `json:"threshold_ns"` // the quantile's latency
+	P50Ns       int64       `json:"p50_ns"`
+	TailOps     int         `json:"tail_ops"`
+	Named       int         `json:"named"` // tail ops with a non-unknown cause
+	Causes      []TailCause `json:"causes"`
+}
+
+// NamedFraction is Named/TailOps (1 when the tail is empty).
+func (t TailReport) NamedFraction() float64 {
+	if t.TailOps == 0 {
+		return 1
+	}
+	return float64(t.Named) / float64(t.TailOps)
+}
+
+// ExplainTail breaks down the ≥q latency tail of ops per kind, causes
+// ranked by share. Kinds with no events are omitted.
+func ExplainTail(ops []OpEvent, q float64) []TailReport {
+	if q <= 0 || q >= 1 {
+		q = 0.999
+	}
+	byKind := map[OpKind][]*OpEvent{}
+	for i := range ops {
+		ev := &ops[i]
+		byKind[ev.Kind] = append(byKind[ev.Kind], ev)
+	}
+	kinds := make([]OpKind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+
+	var out []TailReport
+	for _, k := range kinds {
+		evs := byKind[k]
+		durs := make([]int64, len(evs))
+		for i, ev := range evs {
+			durs[i] = ev.DurNs
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		idx := int(q * float64(len(durs)))
+		if idx >= len(durs) {
+			idx = len(durs) - 1
+		}
+		threshold := durs[idx]
+		rep := TailReport{
+			Kind:        k,
+			Events:      len(evs),
+			Quantile:    q,
+			ThresholdNs: threshold,
+			P50Ns:       durs[len(durs)/2],
+		}
+		type causeAgg struct {
+			count    int
+			bySource map[string]int
+			exemplar *OpEvent
+			worstNs  int64
+		}
+		aggs := map[Cause]*causeAgg{}
+		for _, ev := range evs {
+			if ev.DurNs < threshold {
+				continue
+			}
+			rep.TailOps++
+			if ev.Cause != CauseUnknown {
+				rep.Named++
+			}
+			a := aggs[ev.Cause]
+			if a == nil {
+				a = &causeAgg{bySource: map[string]int{}}
+				aggs[ev.Cause] = a
+			}
+			a.count++
+			a.bySource[ev.Source]++
+			if ev.DurNs > a.worstNs {
+				a.worstNs = ev.DurNs
+				a.exemplar = ev
+			}
+		}
+		for c, a := range aggs {
+			tc := TailCause{
+				Cause:    c,
+				Count:    a.count,
+				Fraction: float64(a.count) / float64(rep.TailOps),
+				WorstNs:  a.worstNs,
+			}
+			for src, n := range a.bySource {
+				if n > tc.SourceCount {
+					tc.Source, tc.SourceCount = src, n
+				}
+			}
+			if a.exemplar != nil {
+				tc.ExemplarSeq = a.exemplar.Seq
+				tc.ExemplarMigSeq = a.exemplar.MigSeq
+			}
+			rep.Causes = append(rep.Causes, tc)
+		}
+		sort.Slice(rep.Causes, func(i, j int) bool {
+			if rep.Causes[i].Count != rep.Causes[j].Count {
+				return rep.Causes[i].Count > rep.Causes[j].Count
+			}
+			return rep.Causes[i].Cause < rep.Causes[j].Cause
+		})
+		out = append(out, rep)
+	}
+	return out
+}

@@ -3,7 +3,9 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Trigger classifies what caused a migration (the trace's "why").
@@ -100,6 +102,10 @@ type MigrationTrace struct {
 	buf     []MigrationEvent
 	total   int64 // events ever recorded
 	dropped int64
+	// lastSeq mirrors the newest event's seq for lock-free reads: the
+	// flight recorder stamps it into ops that overlap a migration as the
+	// exemplar link, on a path that must not take the trace mutex.
+	lastSeq atomic.Int64
 }
 
 // NewMigrationTrace creates a trace ring with the given capacity.
@@ -110,10 +116,12 @@ func NewMigrationTrace(capacity int) *MigrationTrace {
 	return &MigrationTrace{buf: make([]MigrationEvent, 0, capacity)}
 }
 
-// Record appends one event, stamping its sequence number.
+// Record appends one event, stamping its sequence number. The seq is
+// drawn under the mutex so ring order equals seq order — Since relies on
+// that to binary-search the retained window.
 func (t *MigrationTrace) Record(ev MigrationEvent) {
-	ev.Seq = nextSeq()
 	t.mu.Lock()
+	ev.Seq = nextSeq()
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
 	} else {
@@ -121,8 +129,13 @@ func (t *MigrationTrace) Record(ev MigrationEvent) {
 		t.dropped++
 	}
 	t.total++
+	t.lastSeq.Store(ev.Seq)
 	t.mu.Unlock()
 }
+
+// LastSeq returns the newest recorded event's seq (0 when empty) without
+// taking the mutex.
+func (t *MigrationTrace) LastSeq() int64 { return t.lastSeq.Load() }
 
 // Events returns the retained events oldest-first (a copy).
 func (t *MigrationTrace) Events() []MigrationEvent {
@@ -137,6 +150,35 @@ func (t *MigrationTrace) Events() []MigrationEvent {
 	head := int(t.total % int64(cap(t.buf))) // oldest retained slot
 	copy(out, t.buf[head:])
 	copy(out[n-head:], t.buf[:head])
+	return out
+}
+
+// Since returns the retained events with Seq > seq, oldest-first. An
+// incremental reader (ahimon attach) passes the last seq it has seen and
+// gets only the new suffix — the full-ring copy Events() takes on every
+// call happens at most once, at attach time. Since(0) equals Events().
+func (t *MigrationTrace) Since(seq int64) []MigrationEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.buf)
+	if n == 0 {
+		return nil
+	}
+	at := func(i int) *MigrationEvent { return &t.buf[i] }
+	if t.total > int64(cap(t.buf)) {
+		head := int(t.total % int64(cap(t.buf)))
+		at = func(i int) *MigrationEvent { return &t.buf[(head+i)%n] }
+	}
+	// Ring order is seq order (Record draws the seq under the mutex), so
+	// the new suffix starts at the first retained event past seq.
+	lo := sort.Search(n, func(i int) bool { return at(i).Seq > seq })
+	if lo == n {
+		return nil
+	}
+	out := make([]MigrationEvent, n-lo)
+	for i := lo; i < n; i++ {
+		out[i-lo] = *at(i)
+	}
 	return out
 }
 

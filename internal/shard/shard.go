@@ -115,6 +115,13 @@ type ShardedBTree struct {
 	// migrators is the shared cross-shard migration executor (nil when
 	// async migrations are off or the shared pool is disabled).
 	migrators *migratorPool
+
+	// frontRec is the flight-recorder scope of the routing layer itself
+	// (source="front"): one coarse event per batch call with its shard
+	// fan-out, on top of the per-shard events the sessions record. Nil
+	// unless the shared Obs sink has tracing enabled.
+	frontRec  *obs.OpRecorder
+	frontTick atomic.Uint32
 }
 
 // New creates an empty ShardedBTree whose shards split the uint64 key
@@ -211,7 +218,22 @@ func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
 		}
 		s.migrators = newMigratorPool(s, cfg.MigrationWorkers, reg)
 	}
+	if cfg.Obs != nil && cfg.Obs.Flight != nil {
+		s.frontRec = cfg.Obs.Flight.Scope("front")
+	}
 	return s
+}
+
+// beginFront arms a front-layer probe for one batch call. The probe lives
+// on the caller's stack — batch entry points run concurrently, so unlike
+// sessions the front cannot reuse one. The sample tick is shared (atomic)
+// across callers.
+func (s *ShardedBTree) beginFront(p *obs.OpProbe, kind obs.OpKind, keys []uint64) {
+	var k0 uint64
+	if len(keys) > 0 {
+		k0 = keys[0]
+	}
+	s.frontRec.Begin(p, kind, k0, s.frontTick.Add(1)&s.frontRec.SampleMask() == 0)
 }
 
 // rangeOf returns shard i's [lo, hi) slice of the bulk-load input — the
@@ -408,6 +430,11 @@ func (s *ShardedBTree) LookupBatch(keys, vals []uint64, found []bool) {
 	if n == 0 {
 		return
 	}
+	var p obs.OpProbe
+	if s.frontRec != nil {
+		s.beginFront(&p, obs.OpLookupBatch, keys)
+	}
+	touched := 1
 	if len(s.shards) == 1 {
 		// Single shard: no grouping, no gather/scatter — the batch runs on
 		// the caller's slices directly.
@@ -416,23 +443,28 @@ func (s *ShardedBTree) LookupBatch(keys, vals []uint64, found []bool) {
 		sh.mu.Lock()
 		sh.session.LookupBatch(keys, vals[:n], found[:n])
 		sh.mu.Unlock()
-		return
+	} else {
+		rs := routePool.Get().(*routeScratch)
+		touched = s.group(keys, rs)
+		s.fanOut(rs, touched, func(g, lo, hi int) {
+			sh := s.shards[g]
+			sh.ops.Add(int64(hi - lo))
+			sh.mu.Lock()
+			sh.session.LookupBatch(rs.gk[lo:hi], rs.gv[lo:hi], rs.gf[lo:hi])
+			sh.mu.Unlock()
+		})
+		for i := 0; i < n; i++ {
+			vals[rs.gidx[i]] = rs.gv[i]
+			found[rs.gidx[i]] = rs.gf[i]
+		}
+		routePool.Put(rs)
+		s.maybeRebalance()
 	}
-	rs := routePool.Get().(*routeScratch)
-	touched := s.group(keys, rs)
-	s.fanOut(rs, touched, func(g, lo, hi int) {
-		sh := s.shards[g]
-		sh.ops.Add(int64(hi - lo))
-		sh.mu.Lock()
-		sh.session.LookupBatch(rs.gk[lo:hi], rs.gv[lo:hi], rs.gf[lo:hi])
-		sh.mu.Unlock()
-	})
-	for i := 0; i < n; i++ {
-		vals[rs.gidx[i]] = rs.gv[i]
-		found[rs.gidx[i]] = rs.gf[i]
+	if s.frontRec != nil {
+		p.Ev.Ops = int32(n)
+		p.Ev.Fanout = int32(touched)
+		p.End()
 	}
-	routePool.Put(rs)
-	s.maybeRebalance()
 }
 
 // InsertBatch inserts len(keys) pairs; inserted[i] reports whether keys[i]
@@ -446,31 +478,41 @@ func (s *ShardedBTree) InsertBatch(keys, vals []uint64, inserted []bool) {
 	if n == 0 {
 		return
 	}
+	var p obs.OpProbe
+	if s.frontRec != nil {
+		s.beginFront(&p, obs.OpInsertBatch, keys)
+	}
+	touched := 1
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
 		sh.ops.Add(int64(n))
 		sh.mu.Lock()
 		sh.session.InsertBatch(keys, vals[:n], inserted[:n])
 		sh.mu.Unlock()
-		return
+	} else {
+		rs := routePool.Get().(*routeScratch)
+		touched = s.group(keys, rs)
+		for i := 0; i < n; i++ {
+			rs.gv[i] = vals[rs.gidx[i]]
+		}
+		s.fanOut(rs, touched, func(g, lo, hi int) {
+			sh := s.shards[g]
+			sh.ops.Add(int64(hi - lo))
+			sh.mu.Lock()
+			sh.session.InsertBatch(rs.gk[lo:hi], rs.gv[lo:hi], rs.gf[lo:hi])
+			sh.mu.Unlock()
+		})
+		for i := 0; i < n; i++ {
+			inserted[rs.gidx[i]] = rs.gf[i]
+		}
+		routePool.Put(rs)
+		s.maybeRebalance()
 	}
-	rs := routePool.Get().(*routeScratch)
-	touched := s.group(keys, rs)
-	for i := 0; i < n; i++ {
-		rs.gv[i] = vals[rs.gidx[i]]
+	if s.frontRec != nil {
+		p.Ev.Ops = int32(n)
+		p.Ev.Fanout = int32(touched)
+		p.End()
 	}
-	s.fanOut(rs, touched, func(g, lo, hi int) {
-		sh := s.shards[g]
-		sh.ops.Add(int64(hi - lo))
-		sh.mu.Lock()
-		sh.session.InsertBatch(rs.gk[lo:hi], rs.gv[lo:hi], rs.gf[lo:hi])
-		sh.mu.Unlock()
-	})
-	for i := 0; i < n; i++ {
-		inserted[rs.gidx[i]] = rs.gf[i]
-	}
-	routePool.Put(rs)
-	s.maybeRebalance()
 }
 
 // --- Budget split ------------------------------------------------------
