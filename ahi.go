@@ -32,6 +32,7 @@ package ahi
 
 import (
 	"io"
+	"time"
 
 	"ahi/internal/btree"
 	"ahi/internal/core"
@@ -39,6 +40,7 @@ import (
 	"ahi/internal/hybridtrie"
 	"ahi/internal/obs"
 	"ahi/internal/shard"
+	"ahi/internal/wal"
 )
 
 // Observability bundles the library's instrumentation sinks: a metrics
@@ -177,6 +179,75 @@ type BTreeOptions struct {
 	// lookup p99/p999 objectives). Sessions created from this index then
 	// record sampled wide events; ahimon explain-tail consumes them.
 	Tracing *TracingConfig
+	// Durability, when non-nil, makes writes crash-safe: every
+	// insert/delete/batch is logged to a write-ahead log before it is
+	// acknowledged, and OpenBTree / OpenShardedBTree recover the index
+	// (checkpointed leaf encodings plus log-tail replay) from the same
+	// directory. Nil keeps the index purely in-memory; the lookup path is
+	// identical either way. Only honored by the Open constructors.
+	Durability *DurabilityOptions
+}
+
+// DurabilityOptions configures the write-ahead log and checkpoints of a
+// durable index (BTreeOptions.Durability).
+type DurabilityOptions struct {
+	// Dir is the log/checkpoint directory (required; created if missing).
+	// Sharded trees place per-shard logs in Dir/shard<i>.
+	Dir string
+	// SyncPolicy selects when the log reaches stable storage relative to
+	// the acknowledgment: SyncAlways (group-committed fsync before every
+	// ack — full durability), SyncInterval (background fsync every
+	// SyncInterval — bounded ack loss on power failure), or SyncOS
+	// (fsync only on segment rotation and Close — survives process
+	// crashes, not power loss). Default SyncInterval.
+	SyncPolicy SyncPolicy
+	// SyncInterval is the background fsync period under SyncInterval
+	// (default 5ms).
+	SyncInterval time.Duration
+	// SegmentBytes caps each log segment (default 64 MiB).
+	SegmentBytes int64
+	// CheckpointEvery, when > 0, snapshots the index (leaf encodings and
+	// adaptation state) after that many logged records, bounding replay
+	// time; Checkpoint() forces one on demand. 0 disables automatic
+	// checkpoints.
+	CheckpointEvery int64
+}
+
+// SyncPolicy selects when the write-ahead log is fsynced (see
+// DurabilityOptions.SyncPolicy).
+type SyncPolicy = wal.SyncPolicy
+
+// Log fsync policies, strongest to weakest.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncOS       = wal.SyncOS
+)
+
+// SyncPolicyByName maps "always", "interval" and "os" to the policy
+// constants (for flag parsing).
+func SyncPolicyByName(name string) (SyncPolicy, error) { return wal.PolicyByName(name) }
+
+// RecoveryStats reports what OpenBTree reconstructed: whether a
+// checkpoint restored the encodings warm, and how much log tail was
+// replayed.
+type RecoveryStats = btree.RecoveryStats
+
+// ShardedRecoveryStats aggregates per-shard recovery results from
+// OpenShardedBTree.
+type ShardedRecoveryStats = shard.RecoveryStats
+
+func (o *DurabilityOptions) config() *btree.DurabilityConfig {
+	if o == nil {
+		return nil
+	}
+	return &btree.DurabilityConfig{
+		Dir:             o.Dir,
+		Policy:          o.SyncPolicy,
+		Interval:        o.SyncInterval,
+		SegmentBytes:    o.SegmentBytes,
+		CheckpointEvery: o.CheckpointEvery,
+	}
 }
 
 func (o BTreeOptions) config() btree.AdaptiveConfig {
@@ -209,6 +280,18 @@ func (o BTreeOptions) shardConfig() shard.Config {
 // NewBTree creates an empty adaptive B+-tree.
 func NewBTree(opts BTreeOptions) *BTree { return btree.NewAdaptive(opts.config()) }
 
+// OpenBTree opens a durable adaptive B+-tree from opts.Durability.Dir,
+// recovering any previous state: the newest valid checkpoint restores the
+// tree with its learned leaf encodings and adaptation state warm, then
+// the log tail replays every acknowledged write since. A fresh directory
+// yields an empty tree. With Durability nil it behaves like NewBTree.
+// Call Close to flush and seal the log.
+func OpenBTree(opts BTreeOptions) (*BTree, *RecoveryStats, error) {
+	cfg := opts.config()
+	cfg.Dur = opts.Durability.config()
+	return btree.OpenAdaptive(cfg)
+}
+
 // BulkLoadBTree builds an adaptive B+-tree from sorted unique keys.
 func BulkLoadBTree(opts BTreeOptions, keys, vals []uint64) *BTree {
 	return btree.BulkLoadAdaptive(opts.config(), keys, vals)
@@ -237,6 +320,16 @@ func NewShardedBTree(opts BTreeOptions) *ShardedBTree {
 // unique keys, cutting shard ranges so each holds an equal share.
 func BulkLoadShardedBTree(opts BTreeOptions, keys, vals []uint64) *ShardedBTree {
 	return shard.BulkLoad(opts.shardConfig(), keys, vals)
+}
+
+// OpenShardedBTree opens a durable sharded adaptive B+-tree: shard i logs
+// to and recovers from Durability.Dir/shard<i>, all shards in parallel.
+// The shard count must match across restarts (routing bounds derive from
+// it). With Durability nil it behaves like NewShardedBTree.
+func OpenShardedBTree(opts BTreeOptions) (*ShardedBTree, *ShardedRecoveryStats, error) {
+	cfg := opts.shardConfig()
+	cfg.Adaptive.Dur = opts.Durability.config()
+	return shard.Open(cfg)
 }
 
 // Trie is the workload-adaptive Hybrid Trie (AHI-Trie) over byte-string

@@ -1,0 +1,295 @@
+// Crash-recovery fault-injection harness (DESIGN.md §12). The parent test
+// re-executes this test binary as a sacrificial child with the WAL's
+// crash injector armed at a randomized syscall site: the child runs a
+// deterministic write workload against a durable tree, printing an ack
+// line after every acknowledged operation, and dies abruptly — possibly
+// mid-fsync, mid-checkpoint, or with a torn partial write — at the
+// injected point. The parent then recovers the directory in-process and
+// asserts the two durability invariants:
+//
+//   - zero lost acked writes: every operation acked before the crash is
+//     visible after recovery (ops are sequential, so the recovered state
+//     must equal the acked prefix, plus at most the one in-flight op);
+//   - zero phantom writes: no key the workload never reached exists.
+//
+// When the child's checkpoint completed before the crash, the parent
+// additionally asserts a warm start with the checkpointed leaf-encoding
+// distribution intact. Injected crashes exit with wal.CrashExitCode so
+// the harness can tell them from real child failures.
+package ahi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ahi"
+	"ahi/internal/btree"
+	"ahi/internal/wal"
+)
+
+const (
+	crashChildEnv = "AHI_CRASH_CHILD"
+	crashOps      = 800 // sequential child ops; checkpoint at the midpoint
+	crashCkptAt   = crashOps / 2
+)
+
+// crashOpts pins sampling off (MinSkip huge) so the child workload and the
+// parent's validation lookups never trigger background adaptation — the
+// only encoding changes are the child's explicit migrations, which the
+// warm-restore assertion counts.
+func crashOpts(dir string, pol ahi.SyncPolicy) ahi.BTreeOptions {
+	huge := 1 << 30
+	return ahi.BTreeOptions{
+		ColdEncoding: ahi.EncSuccinct,
+		InitialSkip:  huge, MinSkip: huge, MaxSkip: huge,
+		Durability: &ahi.DurabilityOptions{
+			Dir:          dir,
+			SyncPolicy:   pol,
+			SegmentBytes: 8 << 10, // small segments: rotation sites get hit
+		},
+	}
+}
+
+// crashApply applies op j to the model: every 7th op deletes an earlier
+// key (inserted at op j-3, never deleted twice since j-3 ≡ 3 mod 7), the
+// rest insert key j.
+func crashApply(m map[uint64]uint64, j int) {
+	if j%7 == 6 {
+		delete(m, uint64(j-3))
+	} else {
+		m[uint64(j)] = uint64(j)*3 + 1
+	}
+}
+
+// TestCrashChild is the sacrificial child body; it only runs re-executed
+// by TestCrashRecovery with the environment set.
+func TestCrashChild(t *testing.T) {
+	if os.Getenv(crashChildEnv) == "" {
+		t.Skip("crash-harness child: run via TestCrashRecovery")
+	}
+	dir := os.Getenv("AHI_CRASH_DIR")
+	target, _ := strconv.ParseInt(os.Getenv("AHI_CRASH_TARGET"), 10, 64)
+	seed, _ := strconv.ParseInt(os.Getenv("AHI_CRASH_SEED"), 10, 64)
+	pol, err := ahi.SyncPolicyByName(os.Getenv("AHI_CRASH_POLICY"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(3)
+	}
+	out := os.Stdout // direct fd writes: nothing buffered when we die
+
+	wal.ArmCrash(target, seed)
+	tree, _, err := ahi.OpenBTree(crashOpts(dir, pol))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "child open:", err)
+		os.Exit(3)
+	}
+	s := tree.NewSession()
+	for j := 0; j < crashOps; j++ {
+		if j == crashCkptAt {
+			// Force a non-default encoding mix before the checkpoint: the
+			// two leftmost leaves hold low keys no later op touches, so
+			// their packed encoding must survive recovery verbatim.
+			migrated := 0
+			tree.Tree.WalkLeaves(func(l *btree.Leaf) bool {
+				if tree.Tree.MigrateLeaf(l, ahi.EncPacked) {
+					migrated++
+				}
+				return migrated < 2
+			})
+			if err := tree.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "child checkpoint:", err)
+				os.Exit(3)
+			}
+			fmt.Fprintf(out, "C %d\n", migrated)
+		}
+		crashApplyTree(s, j)
+		fmt.Fprintf(out, "A %d\n", j) // the op is acked: it must survive
+	}
+	tree.Close() // crash sites inside Close are post-ack: still covered
+	fmt.Fprintf(out, "SITES %d\nDONE\n", wal.CrashSites())
+}
+
+func crashApplyTree(s *ahi.BTreeSession, j int) {
+	if j%7 == 6 {
+		s.Delete(uint64(j - 3))
+	} else {
+		s.Insert(uint64(j), uint64(j)*3+1)
+	}
+}
+
+type crashResult struct {
+	exit     int
+	acked    int   // last acked op index, -1 if none
+	ckptDone bool  // the child's checkpoint call returned
+	migrated int   // leaves the child migrated to Packed before it
+	sites    int64 // syscall sites visited (calibration runs)
+	done     bool
+	stderr   string
+}
+
+func runCrashChild(t *testing.T, dir string, target, seed int64, policy string) crashResult {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChild$")
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		"AHI_CRASH_DIR="+dir,
+		"AHI_CRASH_TARGET="+strconv.FormatInt(target, 10),
+		"AHI_CRASH_SEED="+strconv.FormatInt(seed, 10),
+		"AHI_CRASH_POLICY="+policy,
+	)
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	outB, err := cmd.Output()
+	res := crashResult{acked: -1, stderr: errBuf.String()}
+	if err == nil {
+		res.exit = 0
+	} else if ee, ok := err.(*exec.ExitError); ok {
+		res.exit = ee.ExitCode()
+	} else {
+		t.Fatalf("spawn child: %v", err)
+	}
+	for _, line := range strings.Split(string(outB), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 0 {
+			continue
+		}
+		switch f[0] {
+		case "A":
+			if len(f) == 2 {
+				res.acked, _ = strconv.Atoi(f[1])
+			}
+		case "C":
+			res.ckptDone = true
+			if len(f) == 2 {
+				res.migrated, _ = strconv.Atoi(f[1])
+			}
+		case "SITES":
+			if len(f) == 2 {
+				res.sites, _ = strconv.ParseInt(f[1], 10, 64)
+			}
+		case "DONE":
+			res.done = true
+		}
+	}
+	return res
+}
+
+// validateCrash recovers the child's directory and checks the invariants.
+func validateCrash(t *testing.T, trial int, dir, policy string, res crashResult) {
+	t.Helper()
+	pol, _ := ahi.SyncPolicyByName(policy)
+	tree, st, err := ahi.OpenBTree(crashOpts(dir, pol))
+	if err != nil {
+		t.Fatalf("trial %d (%s, acked %d): recovery failed: %v", trial, policy, res.acked, err)
+	}
+	defer tree.Close()
+
+	// Model: state after the acked prefix; the single in-flight op may or
+	// may not have landed (it was never acked, so both are legal).
+	applied := make(map[uint64]uint64)
+	for j := 0; j <= res.acked; j++ {
+		crashApply(applied, j)
+	}
+	inflight := make(map[uint64]uint64, len(applied))
+	for k, v := range applied {
+		inflight[k] = v
+	}
+	if n := res.acked + 1; n < crashOps {
+		crashApply(inflight, n)
+	}
+
+	s := tree.NewSession()
+	for k := uint64(0); k < crashOps+32; k++ { // +32: phantom band past the workload
+		v, ok := s.Lookup(k)
+		wv, wok := applied[k]
+		iv, iok := inflight[k]
+		if ok == wok && (!ok || v == wv) {
+			continue
+		}
+		if ok == iok && (!ok || v == iv) {
+			continue
+		}
+		t.Fatalf("trial %d (%s, acked %d, exit %d): key %d = (%d,%v), want (%d,%v) or in-flight (%d,%v)\nchild stderr: %s",
+			trial, policy, res.acked, res.exit, k, v, ok, wv, wok, iv, iok, res.stderr)
+	}
+
+	if res.ckptDone {
+		// The checkpoint call returned before the crash, so it is durable:
+		// recovery must be warm with the packed leaves restored (replayed
+		// tail ops only touch higher keys, and replay never expands).
+		if !st.WarmStart {
+			t.Fatalf("trial %d (%s): checkpoint acked but cold start: %+v", trial, policy, st)
+		}
+		if _, p, _ := tree.Tree.LeafCounts(); int(p) < res.migrated {
+			t.Fatalf("trial %d (%s): %d packed leaves after warm recovery, checkpointed %d",
+				trial, policy, p, res.migrated)
+		}
+	}
+}
+
+// TestCrashRecovery drives the harness: one calibration child per fsync
+// policy to count syscall sites, then randomized crash targets across the
+// whole site range. AHI_CRASH_SEED pins the randomization (the CI smoke
+// leg runs a fixed seed); AHI_CRASH_TRIALS overrides the trial count.
+func TestCrashRecovery(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "" {
+		t.Skip("child process")
+	}
+	if testing.Short() {
+		t.Skip("crash harness spawns >100 child processes")
+	}
+	seed := int64(0xA41C0DE)
+	if env := os.Getenv("AHI_CRASH_SEED"); env != "" {
+		seed, _ = strconv.ParseInt(env, 10, 64)
+	}
+	trials := 102 // ≥100 injected crash points, balanced across policies
+	if env := os.Getenv("AHI_CRASH_TRIALS"); env != "" {
+		trials, _ = strconv.Atoi(env)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	policies := []string{"always", "interval", "os"}
+
+	// Calibration: armed with an unreachable target, the child completes
+	// and reports how many syscall sites one full run visits per policy.
+	sites := map[string]int64{}
+	for _, pol := range policies {
+		dir := t.TempDir()
+		res := runCrashChild(t, dir, 1<<40, 1, pol)
+		if res.exit != 0 || !res.done {
+			t.Fatalf("calibration (%s): exit %d done %v\nstderr: %s", pol, res.exit, res.done, res.stderr)
+		}
+		if res.sites < 100 {
+			t.Fatalf("calibration (%s): only %d syscall sites — workload too small for the harness", pol, res.sites)
+		}
+		sites[pol] = res.sites
+		validateCrash(t, -1, dir, pol, res)
+	}
+
+	crashed := 0
+	for i := 0; i < trials; i++ {
+		pol := policies[i%len(policies)]
+		target := 1 + rng.Int63n(sites[pol])
+		dir := t.TempDir()
+		res := runCrashChild(t, dir, target, rng.Int63(), pol)
+		switch res.exit {
+		case wal.CrashExitCode:
+			crashed++
+		case 0:
+			if !res.done {
+				t.Fatalf("trial %d (%s, target %d): clean exit without DONE\nstderr: %s", i, pol, target, res.stderr)
+			}
+		default:
+			t.Fatalf("trial %d (%s, target %d): child failed with exit %d\nstderr: %s", i, pol, target, res.exit, res.stderr)
+		}
+		validateCrash(t, i, dir, pol, res)
+	}
+	if crashed < trials/2 {
+		t.Fatalf("only %d/%d trials actually crashed — site calibration is off", crashed, trials)
+	}
+	t.Logf("%d trials, %d injected crashes, sites per run: %v", trials, crashed, sites)
+}

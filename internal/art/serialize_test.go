@@ -3,6 +3,7 @@ package art
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"testing"
 
 	"ahi/internal/dataset"
@@ -72,5 +73,54 @@ func TestARTSerializeRejectsCorrupt(t *testing.T) {
 	}
 	if _, err := ReadTree(bytes.NewReader(good[:16])); err == nil {
 		t.Fatal("truncated accepted")
+	}
+}
+
+// TestARTSerializeBitFlips flips one bit at every byte offset of a valid
+// stream: the CRC trailer covers everything before it, so every flip must
+// be rejected with ErrCorrupt — no flip may load silently, allocate
+// wildly, or panic.
+func TestARTSerializeBitFlips(t *testing.T) {
+	tr := New()
+	for i := byte(0); i < 30; i++ {
+		tr.Insert([]byte{i, i * 3, 0}, uint64(i))
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := ReadTree(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+	bad := make([]byte, len(good))
+	for off := 0; off < len(good); off++ {
+		copy(bad, good)
+		bad[off] ^= 1 << (off % 8)
+		if _, err := ReadTree(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flip at offset %d accepted", off)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at offset %d: error not ErrCorrupt: %v", off, err)
+		}
+	}
+}
+
+// TestARTSerializeTruncations cuts the stream at every length.
+func TestARTSerializeTruncations(t *testing.T) {
+	tr := New()
+	for i := byte(0); i < 10; i++ {
+		tr.Insert([]byte{i, 0}, uint64(i))
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for n := 0; n < len(good); n++ {
+		if _, err := ReadTree(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(good))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d: error not ErrCorrupt: %v", n, err)
+		}
 	}
 }

@@ -324,7 +324,7 @@ func TestRegistryRunsEverythingTiny(t *testing.T) {
 		t.Skip("full registry run is slow")
 	}
 	reg := Registry("../..", false)
-	if len(reg) != 32 {
+	if len(reg) != 33 {
 		t.Fatalf("registry size %d", len(reg))
 	}
 	// Smoke-run the cheap experiments through the registry interface.

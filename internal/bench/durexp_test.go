@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// durTestScale keeps the sweep small enough for CI: a few hundred fsyncs
+// on the always row, thousands of buffered commits elsewhere.
+func durTestScale() Scale {
+	sc := Tiny
+	sc.OpsPerPhase = 40_000
+	return sc
+}
+
+func TestRunDurability(t *testing.T) {
+	res, tbl := RunDurability(durTestScale())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Policy == "off" {
+			continue
+		}
+		if r.Replayed == 0 && !r.WarmStart {
+			t.Fatalf("%s: recovery saw neither checkpoint nor log (%+v)", r.Policy, r)
+		}
+		if !r.WarmStart {
+			t.Fatalf("%s: auto checkpoint never fired", r.Policy)
+		}
+	}
+	// The always row must actually have fsynced on the commit path.
+	for _, r := range res.Rows {
+		if r.Policy == "always" && r.Fsyncs == 0 {
+			t.Fatal("always policy recorded zero fsyncs")
+		}
+	}
+	if len(res.Devices) != 4 {
+		t.Fatalf("device rows: %d", len(res.Devices))
+	}
+	for _, d := range res.Devices {
+		// Group commit must strictly amortize the modeled barrier.
+		if !(d.PerRecUs[0] > d.PerRecUs[1] && d.PerRecUs[1] > d.PerRecUs[2]) {
+			t.Fatalf("%s: per-record cost not monotone over group size: %v", d.Device, d.PerRecUs)
+		}
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("table rows: %d", len(tbl.Rows))
+	}
+}
+
+// TestRecordDurabilitySchema writes a real BENCH_durability.json to a
+// temp path and validates the schema CI depends on.
+func TestRecordDurabilitySchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_durability.json")
+	if err := RecordDurability(durTestScale(), path, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Recorded string             `json:"recorded"`
+		Command  string             `json:"command"`
+		CPU      string             `json:"cpu"`
+		Procs    int                `json:"procs"`
+		Metrics  map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_durability.json is not valid JSON: %v", err)
+	}
+	if doc.Recorded == "" || doc.Command == "" || doc.CPU == "" || doc.Procs <= 0 {
+		t.Fatalf("missing header fields: %+v", doc)
+	}
+	for _, key := range []string{
+		"durability/off_nsop", "durability/always_nsop", "durability/always_p99_us",
+		"durability/always_recs_per_fsync", "durability/os_recover_ms", "durability/interval_replayed",
+		"durability/model_sata_g1_us", "durability/model_nvme_g64_us", "durability/model_dram_g8_us",
+	} {
+		if _, ok := doc.Metrics[key]; !ok {
+			t.Fatalf("metric %q missing (have %d metrics)", key, len(doc.Metrics))
+		}
+	}
+}

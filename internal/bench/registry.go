@@ -147,6 +147,14 @@ func Registry(repoRoot string, csv bool) map[string]Experiment {
 		return nil
 	}})
 	add(wrap("ext-paging", "extension: paging under a DRAM ceiling", func(sc Scale) Table { _, t := RunPaging(sc); return t }))
+	add(Experiment{ID: "durability", Title: "WAL fsync policies, group commit & recovery", Run: func(sc Scale, w io.Writer) error {
+		res, t := RunDurability(sc)
+		render(t, w)
+		if !csv {
+			renderDurDevices(w, res.Devices)
+		}
+		return nil
+	}})
 	return reg
 }
 

@@ -64,6 +64,10 @@ type AdaptiveConfig struct {
 	// absolute MemoryBudget; fractions of a RelativeBudget would need
 	// the initial data size, which isn't known at construction.
 	CacheFraction float64
+	// Dur enables the write-ahead log + checkpoint durability layer
+	// (durable.go). Only honored by OpenAdaptive; NewAdaptive and
+	// BulkLoadAdaptive build volatile trees regardless.
+	Dur *DurabilityConfig
 	// OnAdapt observes adaptation phases.
 	OnAdapt func(core.AdaptInfo)
 	// Obs attaches an observability sink: the manager then emits metrics,
@@ -83,6 +87,10 @@ type Adaptive struct {
 
 	impatient bool
 	cacheFrac float64
+
+	// dur is the durability runtime (nil: volatile tree). Session write
+	// paths branch on it once; the lookup path never touches it.
+	dur *durState
 
 	// flight is the per-tree flight-recorder scope; nil unless the
 	// attached Observability bundle has tracing enabled. Sessions bind it
@@ -306,8 +314,15 @@ func (a *Adaptive) heuristic(l *Leaf, _ *LeafCtx, st *core.Stats, env core.Env) 
 }
 
 // migrate is the manager's migration callback; leaf identity is stable.
+// On durable trees each applied migration is logged as a redo-optional
+// RecAdapt record — recovery skips them (the manager re-derives encoding
+// decisions), but the log preserves the adaptation timeline for audit.
 func (a *Adaptive) migrate(l *Leaf, _ LeafCtx, target core.Encoding) (*Leaf, bool) {
-	return l, a.Tree.MigrateLeaf(l, target)
+	ok := a.Tree.MigrateLeaf(l, target)
+	if ok && a.dur != nil {
+		a.dur.logAdapt(l.id, uint8(target))
+	}
+	return l, ok
 }
 
 // DrainMigrations blocks until every queued asynchronous migration has
@@ -322,9 +337,16 @@ func (a *Adaptive) RunQueuedMigration() bool { return a.Mgr.RunQueuedMigration()
 // MigrationBacklog reports queued plus backpressure-deferred migrations.
 func (a *Adaptive) MigrationBacklog() int { return a.Mgr.MigrationBacklog() }
 
-// Close flushes and stops the asynchronous migration pipeline. Safe to
-// call multiple times, and a no-op without AsyncMigrations.
-func (a *Adaptive) Close() { a.Mgr.Close() }
+// Close flushes and stops the asynchronous migration pipeline, then — on
+// durable trees — stops the checkpointer and closes the write-ahead log
+// (final fsync, so a clean shutdown loses nothing under any policy).
+// Safe to call multiple times.
+func (a *Adaptive) Close() {
+	a.Mgr.Close()
+	if a.dur != nil {
+		a.dur.close(a)
+	}
+}
 
 // Session is a per-goroutine handle that performs tracked index
 // operations: the embedded sampler holds the thread-local skip counter and
@@ -351,6 +373,10 @@ type Session struct {
 	rec     *obs.OpRecorder
 	probe   obs.OpProbe
 	recTick uint32
+
+	// walBuf is the session's reusable WAL payload scratch (durable trees
+	// only); Append copies it into the log's buffer before returning.
+	walBuf []byte
 }
 
 // NewSession creates a tracked session. Each goroutine needs its own.
@@ -415,6 +441,9 @@ func (s *Session) admitGate() bool {
 // always tracked — sampled or not — so the deferred compaction of §5.2 can
 // find the leaf once it cools down.
 func (s *Session) Insert(k, v uint64) bool {
+	if s.a.dur != nil {
+		return s.insertDurable(k, v)
+	}
 	if s.rec != nil {
 		return s.insertTraced(k, v)
 	}
@@ -428,6 +457,9 @@ func (s *Session) Insert(k, v uint64) bool {
 
 // Delete is a tracked delete.
 func (s *Session) Delete(k uint64) bool {
+	if s.a.dur != nil {
+		return s.deleteDurable(k)
+	}
 	if s.rec != nil {
 		return s.deleteTraced(k)
 	}

@@ -736,6 +736,10 @@ func (s *Session) trackMiss(j int, l *Leaf) {
 // here: the tree's write paths invalidate overwritten keys before the
 // batch returns.
 func (s *Session) InsertBatch(keys, vals []uint64, inserted []bool) {
+	if s.a.dur != nil {
+		s.insertBatchDurable(keys, vals, inserted)
+		return
+	}
 	if s.rec != nil {
 		s.insertBatchTraced(keys, vals, inserted)
 		return

@@ -230,13 +230,22 @@ func BulkLoad(cfg Config, keys, vals []uint64) *Tree {
 			seps = append(seps, keys[i])
 		}
 	}
+	t.keyCount.Store(int64(len(keys)))
+	t.assemble(leaves, seps)
+	return t
+}
+
+// assemble links a sorted run of freshly built leaves and constructs the
+// inner levels bottom-up, installing the root. seps[i-1] is the first
+// key of leaves[i]. Shared by BulkLoad and checkpoint restore (which
+// needs the same construction but with per-leaf encodings).
+func (t *Tree) assemble(leaves []*Leaf, seps []uint64) {
 	for i := 0; i < len(leaves)-1; i++ {
 		b := leaves[i].box.Load()
 		b.next = leaves[i+1]
 		b.highKey = seps[i]
 		b.hasHigh = true
 	}
-	t.keyCount.Store(int64(len(keys)))
 	// Build inner levels bottom-up.
 	level := make([]childRef, len(leaves))
 	for i, l := range leaves {
@@ -284,7 +293,6 @@ func BulkLoad(cfg Config, keys, vals []uint64) *Tree {
 		}
 	}
 	t.root.Store(level[0].inner)
-	return t
 }
 
 // descend walks from the root to the leaf responsible for k. It appends

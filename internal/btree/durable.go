@@ -1,0 +1,588 @@
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ahi/internal/core"
+	"ahi/internal/obs"
+	"ahi/internal/wal"
+)
+
+// Durability layer. A durable adaptive tree pairs the in-memory index
+// with a write-ahead log (internal/wal): every session write appends its
+// record and applies it under a shared checkpoint barrier, then waits
+// for the log's commit point before acking — acked-at-commit semantics,
+// with the fsync policy deciding what "committed" guarantees. Periodic
+// checkpoints snapshot every leaf's keys AND its current encoding plus
+// the adaptation manager's sampling state, so recovery restores a warm
+// index: encodings come back from the snapshot instead of being
+// re-learned, and only the log tail after the checkpoint barrier is
+// replayed. Adaptation records (RecAdapt) are logged fire-and-forget and
+// skipped on replay — redo-optional work in the sense of Graefe et al.'s
+// concurrency control for adaptive indexing: losing them costs at most
+// some re-derived migrations, never correctness.
+//
+// Barrier protocol. durState.mu is the checkpoint barrier: writers hold
+// it shared across append+apply, the checkpoint holds it exclusively for
+// the instant it cuts the barrier LSN. That guarantees every record with
+// LSN ≤ barrier is applied before the snapshot walk starts; records
+// appended after the cut may also be partially reflected in the walk,
+// which is safe because replay re-applies the whole tail in log order
+// and upserts/deletes are idempotent — the recovered tree converges to
+// the logged state. Commit waits happen outside the barrier so a
+// checkpoint never waits out a disk flush it doesn't need.
+
+// DurabilityConfig enables the write-ahead log on an adaptive tree.
+type DurabilityConfig struct {
+	// Dir is the log directory (segments + checkpoints). Required.
+	Dir string
+	// Policy is the fsync policy (default wal.SyncAlways).
+	Policy wal.SyncPolicy
+	// Interval is the SyncInterval fsync period (default 5ms).
+	Interval time.Duration
+	// SegmentBytes rotates log segments past this size (default 16 MiB).
+	SegmentBytes int64
+	// CheckpointEvery triggers a background checkpoint each time this many
+	// records have been logged since the last one (0: manual checkpoints
+	// only, via Adaptive.Checkpoint).
+	CheckpointEvery int64
+}
+
+// RecoveryStats reports what opening a durable tree found and did.
+type RecoveryStats struct {
+	// WarmStart is true when a valid checkpoint restored the tree (leaf
+	// encodings and adaptation state came back warm).
+	WarmStart bool
+	// Barrier is the checkpoint's barrier LSN (0 on a cold start).
+	Barrier uint64
+	// Segments is the number of log segments scanned.
+	Segments int
+	// Replayed counts user records (insert/delete/batch entries count as
+	// one record each) re-applied from the log tail.
+	Replayed int
+	// SkippedRedoOptional counts adaptation/checkpoint records the replay
+	// skipped instead of re-applying.
+	SkippedRedoOptional int
+	// TornBytes is the invalid tail truncated off the last segment.
+	TornBytes int64
+	// WallNs is the total recovery wall time (open + restore + replay).
+	WallNs int64
+}
+
+// durState is the per-tree durability runtime.
+type durState struct {
+	log *wal.Log
+	// mu is the checkpoint barrier (see the package comment above).
+	mu sync.RWMutex
+
+	// ckptMu serializes whole checkpoints.
+	ckptMu sync.Mutex
+	every  int64
+	since  atomic.Int64
+
+	rec RecoveryStats
+
+	ckptErrs atomic.Int64
+	ckptCh   chan struct{}
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// walPanic aborts on a write-ahead-log failure: continuing would ack
+// writes the log did not capture, silently breaking the durability
+// contract. Databases abort here for the same reason.
+func walPanic(op string, err error) {
+	panic(fmt.Sprintf("btree: wal %s failed (durability contract broken): %v", op, err))
+}
+
+func (d *durState) noteRecords(n int64) {
+	if d.every <= 0 {
+		return
+	}
+	if d.since.Add(n) >= d.every {
+		d.since.Store(0)
+		select {
+		case d.ckptCh <- struct{}{}:
+		default: // a checkpoint is already pending
+		}
+	}
+}
+
+// OpenAdaptive opens a durable adaptive tree: it recovers the tree from
+// cfg.Dur.Dir (newest valid checkpoint + log-tail replay, cold start on
+// an empty directory) and logs every subsequent session write. With
+// cfg.Dur == nil it is NewAdaptive with empty recovery stats — callers
+// can branch on one constructor.
+func OpenAdaptive(cfg AdaptiveConfig) (*Adaptive, *RecoveryStats, error) {
+	if cfg.Dur == nil {
+		return NewAdaptive(cfg), &RecoveryStats{}, nil
+	}
+	start := time.Now()
+	wopt := wal.Options{
+		Policy:       cfg.Dur.Policy,
+		Interval:     cfg.Dur.Interval,
+		SegmentBytes: cfg.Dur.SegmentBytes,
+	}
+	if cfg.Obs != nil {
+		var lbl []obs.Label
+		if cfg.ObsSource != "" {
+			lbl = []obs.Label{{K: "source", V: cfg.ObsSource}}
+		}
+		fsyncHist := cfg.Obs.Reg.Histogram("ahi_wal_fsync_ns", obs.DefaultLatencyBucketsNs, lbl...)
+		groupHist := cfg.Obs.Reg.Histogram("ahi_wal_group_records", []int64{1, 2, 4, 8, 16, 32, 64, 128}, lbl...)
+		wopt.ObserveFsyncNs = fsyncHist.Observe
+		wopt.ObserveGroupN = groupHist.Observe
+	}
+	log, info, err := wal.Open(cfg.Dur.Dir, wopt)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cfg.Tree.ExpandOnInsert = !cfg.NoEagerExpand
+	var t *Tree
+	var cs ckptState
+	if info.Checkpoint != nil {
+		t, cs, err = treeFromCheckpoint(cfg.Tree, info.Checkpoint)
+		if err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+	} else {
+		t = New(cfg.Tree)
+	}
+	a := wireAdaptive(t, cfg)
+	if info.Checkpoint != nil {
+		a.Mgr.RestoreAdaptationState(cs.epoch, int(cs.skip), int(cs.sampleSize))
+	}
+
+	// Replay the tail. The replay is single-threaded and must restore the
+	// checkpointed encodings, not churn them: eager expand-on-insert is
+	// disabled for its duration so a replayed write re-encodes its leaf in
+	// place instead of promoting it to Gapped.
+	d := &durState{log: log, every: cfg.Dur.CheckpointEvery}
+	expand := t.cfg.ExpandOnInsert
+	t.cfg.ExpandOnInsert = false
+	err = log.Replay(info.Barrier, func(lsn uint64, typ uint8, p []byte) error {
+		switch typ {
+		case wal.RecInsert:
+			k, v, err := wal.DecodeInsert(p)
+			if err != nil {
+				return err
+			}
+			t.Insert(k, v)
+			d.rec.Replayed++
+		case wal.RecDelete:
+			k, err := wal.DecodeDelete(p)
+			if err != nil {
+				return err
+			}
+			t.Delete(k)
+			d.rec.Replayed++
+		case wal.RecBatch:
+			keys, vals, err := wal.DecodeBatch(p, nil, nil)
+			if err != nil {
+				return err
+			}
+			for i, k := range keys {
+				t.Insert(k, vals[i])
+			}
+			d.rec.Replayed += len(keys)
+		case wal.RecNoop:
+			d.rec.Replayed++
+		default:
+			if !wal.RedoOptional(typ) {
+				return fmt.Errorf("%w: unknown record type %d at LSN %d", wal.ErrCorrupt, typ, lsn)
+			}
+			d.rec.SkippedRedoOptional++
+		}
+		return nil
+	})
+	t.cfg.ExpandOnInsert = expand
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+
+	d.rec.WarmStart = info.Checkpoint != nil
+	d.rec.Barrier = info.Barrier
+	d.rec.Segments = info.Segments
+	d.rec.TornBytes = info.TornBytes
+	d.rec.WallNs = time.Since(start).Nanoseconds()
+	a.dur = d
+	if cfg.Obs != nil {
+		registerDurMetrics(cfg.Obs.Reg, cfg.ObsSource, d)
+	}
+	if d.every > 0 {
+		d.ckptCh = make(chan struct{}, 1)
+		d.stopCh = make(chan struct{})
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				select {
+				case <-d.stopCh:
+					return
+				case <-d.ckptCh:
+					if err := a.Checkpoint(); err != nil {
+						d.ckptErrs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	stats := d.rec
+	return a, &stats, nil
+}
+
+// registerDurMetrics exposes the log and recovery counters as ahi_wal_*
+// gauges, labelled like every other per-tree series.
+func registerDurMetrics(reg *obs.Registry, source string, d *durState) {
+	var lbl []obs.Label
+	if source != "" {
+		lbl = []obs.Label{{K: "source", V: source}}
+	}
+	st := d.log.Stats()
+	for _, m := range []struct {
+		name string
+		f    func() int64
+	}{
+		{"ahi_wal_appends_total", st.Appends.Load},
+		{"ahi_wal_appended_bytes_total", st.AppendedBytes.Load},
+		{"ahi_wal_fsyncs_total", st.Fsyncs.Load},
+		{"ahi_wal_fsync_ns_total", st.FsyncNsTotal.Load},
+		{"ahi_wal_group_commits_total", st.GroupCommits.Load},
+		{"ahi_wal_grouped_records_total", st.GroupedRecords.Load},
+		{"ahi_wal_rotations_total", st.Rotations.Load},
+		{"ahi_wal_checkpoints_total", st.Checkpoints.Load},
+		{"ahi_wal_checkpoint_bytes", st.CheckpointBytes.Load},
+		{"ahi_wal_segments_pruned_total", st.SegmentsPruned.Load},
+		{"ahi_wal_checkpoint_errors_total", d.ckptErrs.Load},
+		{"ahi_wal_recovered_segments", func() int64 { return int64(d.rec.Segments) }},
+		{"ahi_wal_replayed_records", func() int64 { return int64(d.rec.Replayed) }},
+		{"ahi_wal_redo_optional_skipped", func() int64 { return int64(d.rec.SkippedRedoOptional) }},
+		{"ahi_wal_recovery_ns", func() int64 { return d.rec.WallNs }},
+		{"ahi_wal_torn_bytes", func() int64 { return d.rec.TornBytes }},
+		{"ahi_wal_barrier_lsn", func() int64 { return int64(d.rec.Barrier) }},
+	} {
+		reg.GaugeFunc(m.name, lbl, m.f)
+	}
+}
+
+// RecoveryStats returns the stats captured when the tree was opened
+// (zero value for a non-durable tree).
+func (a *Adaptive) RecoveryStats() RecoveryStats {
+	if a.dur == nil {
+		return RecoveryStats{}
+	}
+	return a.dur.rec
+}
+
+// WALStats exposes the underlying log's counters (nil without durability).
+func (a *Adaptive) WALStats() *wal.Stats {
+	if a.dur == nil {
+		return nil
+	}
+	return a.dur.log.Stats()
+}
+
+// SyncWAL forces an fsync of everything logged so far (any policy).
+func (a *Adaptive) SyncWAL() error {
+	if a.dur == nil {
+		return nil
+	}
+	return a.dur.log.Sync()
+}
+
+// Checkpoint snapshots the tree (leaf encodings + adaptation state) and
+// installs it as the recovery baseline, pruning log segments the
+// snapshot supersedes. Safe to call concurrently with ops; concurrent
+// checkpoints serialize. No-op without durability.
+func (a *Adaptive) Checkpoint() error {
+	d := a.dur
+	if d == nil {
+		return nil
+	}
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	// Cut the barrier: the exclusive lock waits out every in-flight
+	// append+apply pair, so all records ≤ barrier are applied when the
+	// snapshot walk below starts.
+	d.mu.Lock()
+	barrier := d.log.LastLSN()
+	d.mu.Unlock()
+	blob := a.encodeCheckpoint()
+	return d.log.WriteCheckpoint(barrier, blob)
+}
+
+// logAdapt records a completed encoding migration, fire-and-forget: no
+// commit wait (the next group flushes it) and no barrier section (replay
+// skips RecAdapt, so checkpoint consistency does not depend on it).
+func (d *durState) logAdapt(unit uint64, target uint8) {
+	var buf [9]byte
+	if _, err := d.log.Append(wal.RecAdapt, wal.EncodeAdapt(buf[:0], unit, target)); err != nil {
+		// The log is closed or failed; adaptation records are optional, so
+		// losing this one is harmless — writes hitting the same log will
+		// surface the failure loudly.
+		return
+	}
+	d.noteRecords(1)
+}
+
+// close stops the checkpointer — honoring a checkpoint the threshold
+// already promised but the goroutine had not picked up — and closes the
+// log (final fsync, so SyncOS/SyncInterval lose nothing on clean exit).
+func (d *durState) close(a *Adaptive) {
+	if d.stopCh != nil {
+		close(d.stopCh)
+		d.wg.Wait()
+		select {
+		case <-d.ckptCh:
+			if err := a.Checkpoint(); err != nil {
+				d.ckptErrs.Add(1)
+			}
+		default:
+		}
+	}
+	_ = d.log.Close()
+}
+
+// --- Checkpoint blob ----------------------------------------------------
+//
+// blob = [ver u8 | epoch u32 | skip u32 | sampleSize u32 | leaves u32]
+// then per leaf [enc u8 | n u32 | n × (key u64, val u64)], leaves in key
+// order, empty leaves omitted. Integrity is the wal checkpoint file's
+// whole-file CRC; this layer only versions the schema.
+
+const ckptBlobVersion = 1
+
+type ckptState struct {
+	epoch            uint32
+	skip, sampleSize uint32
+}
+
+// encodeCheckpoint snapshots every leaf under one reader pin. The walk
+// sees a consistent-enough image: each leaf's box is immutable, and any
+// write racing the walk is > barrier and will be replayed on recovery.
+func (a *Adaptive) encodeCheckpoint() []byte {
+	t := a.Tree
+	blob := make([]byte, 0, 1<<16)
+	blob = append(blob, ckptBlobVersion)
+	blob = binary.LittleEndian.AppendUint32(blob, a.Mgr.Epoch())
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(a.Mgr.SkipLength()))
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(a.Mgr.SampleSize()))
+	countAt := len(blob)
+	blob = append(blob, 0, 0, 0, 0)
+	var leaves uint32
+	var keys, vals []uint64
+	t.WalkLeaves(func(l *Leaf) bool {
+		p := l.box.Load().p
+		keys, vals = p.appendAll(keys[:0], vals[:0])
+		if len(keys) == 0 {
+			return true
+		}
+		leaves++
+		blob = append(blob, byte(p.encoding()))
+		blob = binary.LittleEndian.AppendUint32(blob, uint32(len(keys)))
+		for i, k := range keys {
+			blob = binary.LittleEndian.AppendUint64(blob, k)
+			blob = binary.LittleEndian.AppendUint64(blob, vals[i])
+		}
+		return true
+	})
+	binary.LittleEndian.PutUint32(blob[countAt:], leaves)
+	return blob
+}
+
+// treeFromCheckpoint rebuilds a tree from a checkpoint blob, giving each
+// leaf back its recorded encoding — the warm state the adaptation
+// manager had learned — instead of the cold default.
+func treeFromCheckpoint(cfg Config, blob []byte) (*Tree, ckptState, error) {
+	var cs ckptState
+	if len(blob) < 17 {
+		return nil, cs, fmt.Errorf("%w: checkpoint blob %d bytes", wal.ErrCorrupt, len(blob))
+	}
+	if blob[0] != ckptBlobVersion {
+		return nil, cs, fmt.Errorf("%w: checkpoint blob version %d", wal.ErrCorrupt, blob[0])
+	}
+	cs.epoch = binary.LittleEndian.Uint32(blob[1:])
+	cs.skip = binary.LittleEndian.Uint32(blob[5:])
+	cs.sampleSize = binary.LittleEndian.Uint32(blob[9:])
+	nLeaves := binary.LittleEndian.Uint32(blob[13:])
+	blob = blob[17:]
+
+	if cfg.Occupancy <= 0 || cfg.Occupancy > 1 {
+		cfg.Occupancy = 0.70
+	}
+	if nLeaves == 0 {
+		return New(cfg), cs, nil
+	}
+	t := &Tree{cfg: cfg}
+	leaves := make([]*Leaf, 0, nLeaves)
+	var seps []uint64
+	total := 0
+	var prevLast uint64
+	for li := uint32(0); li < nLeaves; li++ {
+		if len(blob) < 5 {
+			return nil, cs, fmt.Errorf("%w: checkpoint blob truncated at leaf %d", wal.ErrCorrupt, li)
+		}
+		enc := core.Encoding(blob[0])
+		if enc > EncGapped {
+			return nil, cs, fmt.Errorf("%w: checkpoint leaf %d encoding %d", wal.ErrCorrupt, li, enc)
+		}
+		n := int(binary.LittleEndian.Uint32(blob[1:]))
+		blob = blob[5:]
+		if n == 0 || len(blob) < 16*n {
+			return nil, cs, fmt.Errorf("%w: checkpoint leaf %d holds %d keys with %d bytes left",
+				wal.ErrCorrupt, li, n, len(blob))
+		}
+		keys := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			keys[i] = binary.LittleEndian.Uint64(blob[16*i:])
+			vals[i] = binary.LittleEndian.Uint64(blob[16*i+8:])
+		}
+		blob = blob[16*n:]
+		for i := 1; i < n; i++ {
+			if keys[i] <= keys[i-1] {
+				return nil, cs, fmt.Errorf("%w: checkpoint leaf %d keys out of order", wal.ErrCorrupt, li)
+			}
+		}
+		if li > 0 && keys[0] <= prevLast {
+			return nil, cs, fmt.Errorf("%w: checkpoint leaves overlap at leaf %d", wal.ErrCorrupt, li)
+		}
+		prevLast = keys[n-1]
+		leaves = append(leaves, t.newLeaf(t.encode(enc, keys, vals), nil, 0, false))
+		if li > 0 {
+			seps = append(seps, keys[0])
+		}
+		total += n
+	}
+	if len(blob) != 0 {
+		return nil, cs, fmt.Errorf("%w: %d trailing bytes after checkpoint leaves", wal.ErrCorrupt, len(blob))
+	}
+	t.keyCount.Store(int64(total))
+	t.assemble(leaves, seps)
+	return t, cs, nil
+}
+
+// --- Durable session write paths ---------------------------------------
+
+func (s *Session) insertDurable(k, v uint64) bool {
+	if s.rec != nil {
+		return s.insertDurableTraced(k, v)
+	}
+	d := s.a.dur
+	s.walBuf = wal.EncodeInsert(s.walBuf[:0], k, v)
+	d.mu.RLock()
+	lsn, err := d.log.Append(wal.RecInsert, s.walBuf)
+	if err != nil {
+		d.mu.RUnlock()
+		walPanic("append", err)
+	}
+	sample := s.sampler.IsSample()
+	inserted, leaf, expanded := s.a.Tree.insertTracked(k, v)
+	d.mu.RUnlock()
+	if err := d.log.Commit(lsn); err != nil {
+		walPanic("commit", err)
+	}
+	d.noteRecords(1)
+	if sample || expanded {
+		s.sampler.Track(leaf, core.Insert, LeafCtx{})
+	}
+	return inserted
+}
+
+func (s *Session) insertDurableTraced(k, v uint64) bool {
+	ev := s.beginOp(obs.OpInsert, k)
+	d := s.a.dur
+	s.walBuf = wal.EncodeInsert(s.walBuf[:0], k, v)
+	d.mu.RLock()
+	lsn, err := d.log.Append(wal.RecInsert, s.walBuf)
+	if err != nil {
+		d.mu.RUnlock()
+		walPanic("append", err)
+	}
+	sample := s.sampler.IsSample()
+	inserted, leaf, expanded := s.a.Tree.insertTrackedProf(k, v, &ev.WriteRetries)
+	d.mu.RUnlock()
+	cstart := time.Now()
+	if err := d.log.Commit(lsn); err != nil {
+		walPanic("commit", err)
+	}
+	ev.FsyncWaitNs = time.Since(cstart).Nanoseconds()
+	d.noteRecords(1)
+	if sample || expanded {
+		s.sampler.Track(leaf, core.Insert, LeafCtx{})
+	}
+	ev.Found = inserted
+	s.finishOp()
+	return inserted
+}
+
+func (s *Session) deleteDurable(k uint64) bool {
+	var ev *obs.OpEvent
+	if s.rec != nil {
+		ev = s.beginOp(obs.OpDelete, k)
+	}
+	d := s.a.dur
+	s.walBuf = wal.EncodeDelete(s.walBuf[:0], k)
+	d.mu.RLock()
+	lsn, err := d.log.Append(wal.RecDelete, s.walBuf)
+	if err != nil {
+		d.mu.RUnlock()
+		walPanic("append", err)
+	}
+	sample := s.sampler.IsSample()
+	ok := s.a.Tree.Delete(k)
+	d.mu.RUnlock()
+	cstart := time.Now()
+	if err := d.log.Commit(lsn); err != nil {
+		walPanic("commit", err)
+	}
+	d.noteRecords(1)
+	if sample {
+		_, leaf, _ := s.a.Tree.lookupLeaf(k)
+		s.sampler.Track(leaf, core.Delete, LeafCtx{})
+	}
+	if ev != nil {
+		ev.FsyncWaitNs = time.Since(cstart).Nanoseconds()
+		ev.Found = ok
+		s.finishOp()
+	}
+	return ok
+}
+
+func (s *Session) insertBatchDurable(keys, vals []uint64, inserted []bool) {
+	var ev *obs.OpEvent
+	if s.rec != nil {
+		var k0 uint64
+		if len(keys) > 0 {
+			k0 = keys[0]
+		}
+		ev = s.beginOp(obs.OpInsertBatch, k0)
+		ev.Ops = int32(len(keys))
+	}
+	d := s.a.dur
+	s.walBuf = wal.EncodeBatch(s.walBuf[:0], keys, vals)
+	d.mu.RLock()
+	lsn, err := d.log.Append(wal.RecBatch, s.walBuf)
+	if err != nil {
+		d.mu.RUnlock()
+		walPanic("append", err)
+	}
+	s.insertBatchFast(keys, vals, inserted)
+	d.mu.RUnlock()
+	cstart := time.Now()
+	if err := d.log.Commit(lsn); err != nil {
+		walPanic("commit", err)
+	}
+	d.noteRecords(int64(len(keys)))
+	if ev != nil {
+		ev.FsyncWaitNs = time.Since(cstart).Nanoseconds()
+		s.finishOp()
+	}
+}

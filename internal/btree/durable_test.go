@@ -1,0 +1,344 @@
+package btree
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ahi/internal/core"
+	"ahi/internal/wal"
+)
+
+func durCfg(dir string, every int64) AdaptiveConfig {
+	return AdaptiveConfig{
+		Tree:         Config{DefaultEncoding: EncSuccinct},
+		MemoryBudget: 64 << 20,
+		Mode:         core.GS, // reader/checkpoint tests run sessions concurrently
+		Dur: &DurabilityConfig{
+			Dir:             dir,
+			Policy:          wal.SyncOS,
+			SegmentBytes:    1 << 16,
+			CheckpointEvery: every,
+		},
+	}
+}
+
+func TestDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, st, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmStart {
+		t.Fatal("fresh dir reported warm start")
+	}
+	s := a.NewSession()
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		s.Insert(i*3, i)
+	}
+	for i := uint64(0); i < n; i += 5 {
+		if !s.Delete(i * 3) {
+			t.Fatalf("delete %d", i*3)
+		}
+	}
+	a.Close()
+
+	b, st2, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if st2.Replayed == 0 {
+		t.Fatal("nothing replayed")
+	}
+	s2 := b.NewSession()
+	for i := uint64(0); i < n; i++ {
+		v, ok := s2.Lookup(i * 3)
+		if i%5 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d resurrected", i*3)
+			}
+			continue
+		}
+		if !ok || v != i {
+			t.Fatalf("key %d: %d %v", i*3, v, ok)
+		}
+	}
+	if err := b.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableCheckpointWarmRestore(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.NewSession()
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		s.Insert(i, i+1)
+	}
+	// Force a non-default encoding mix: migrate a few leaves by hand, as
+	// the adaptation manager would.
+	var migrated []*Leaf
+	a.Tree.WalkLeaves(func(l *Leaf) bool {
+		if len(migrated) < 4 {
+			a.Tree.MigrateLeaf(l, EncPacked)
+			migrated = append(migrated, l)
+			return true
+		}
+		return false
+	})
+	wantS, wantP, wantG := a.Tree.LeafCounts()
+	if wantP == 0 {
+		t.Fatal("no packed leaves after forced migration")
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint tail.
+	for i := uint64(n); i < n+100; i++ {
+		s.Insert(i, i+1)
+	}
+	a.Close()
+
+	b, st, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if !st.WarmStart || st.Barrier == 0 {
+		t.Fatalf("expected warm start: %+v", st)
+	}
+	if st.Replayed != 100 {
+		t.Fatalf("replayed %d want 100", st.Replayed)
+	}
+	gotS, gotP, gotG := b.Tree.LeafCounts()
+	// The 100 replayed inserts only touch the rightmost leaves; the packed
+	// ones restored from the checkpoint must still be packed.
+	if gotP != wantP {
+		t.Fatalf("packed leaves not restored: got (%d,%d,%d) checkpointed (%d,%d,%d)",
+			gotS, gotP, gotG, wantS, wantP, wantG)
+	}
+	s2 := b.NewSession()
+	for i := uint64(0); i < n+100; i++ {
+		if v, ok := s2.Lookup(i); !ok || v != i+1 {
+			t.Fatalf("key %d: %d %v", i, v, ok)
+		}
+	}
+	if err := b.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableAdaptationStateRestored(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Mgr.RestoreAdaptationState(7, 123, 256) // pretend the sampler converged
+	s := a.NewSession()
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(i, i)
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	b, st, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if !st.WarmStart {
+		t.Fatal("cold start")
+	}
+	if b.Mgr.Epoch() != 7 {
+		t.Fatalf("epoch %d want 7", b.Mgr.Epoch())
+	}
+	if b.Mgr.SkipLength() != 123 {
+		t.Fatalf("skip %d want 123", b.Mgr.SkipLength())
+	}
+	if b.Mgr.SampleSize() != 256 {
+		t.Fatalf("sample size %d want 256", b.Mgr.SampleSize())
+	}
+}
+
+func TestDurableBatchAndAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := OpenAdaptive(durCfg(dir, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.NewSession()
+	keys := make([]uint64, 100)
+	vals := make([]uint64, 100)
+	inserted := make([]bool, 100)
+	for round := uint64(0); round < 20; round++ {
+		for i := range keys {
+			keys[i] = round*100 + uint64(i)
+			vals[i] = keys[i] * 2
+		}
+		s.InsertBatch(keys, vals, inserted)
+	}
+	a.Close()
+	if a.WALStats() == nil {
+		t.Fatal("no wal stats on a durable tree")
+	}
+
+	b, st, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if !st.WarmStart {
+		t.Fatal("auto checkpoint never fired (2000 records at CheckpointEvery=500)")
+	}
+	s2 := b.NewSession()
+	for i := uint64(0); i < 2000; i++ {
+		if v, ok := s2.Lookup(i); !ok || v != i*2 {
+			t.Fatalf("key %d: %d %v", i, v, ok)
+		}
+	}
+}
+
+// TestDurableCheckpointUnderWrites races checkpoints against concurrent
+// writers and verifies the final recovered state: every acked write must
+// survive (run with -race in CI's recovery-race leg).
+func TestDurableCheckpointUnderWrites(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := a.NewSession()
+			for i := 0; i < per; i++ {
+				k := uint64(w*per + i)
+				s.Insert(k, k+7)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			if err := a.Checkpoint(); err != nil {
+				t.Errorf("checkpoint: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	a.Close()
+
+	b, _, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	s := b.NewSession()
+	for k := uint64(0); k < workers*per; k++ {
+		if v, ok := s.Lookup(k); !ok || v != k+7 {
+			t.Fatalf("key %d lost across checkpointed recovery: %d %v", k, v, ok)
+		}
+	}
+}
+
+// TestDurableReopenWhileReaders races recovery of a second tree from the
+// same directory family against readers of the first — the -race leg's
+// concurrent-reopen scenario.
+func TestDurableReopenWhileReaders(t *testing.T) {
+	dir := t.TempDir()
+	a, _, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.NewSession()
+	for i := uint64(0); i < 1000; i++ {
+		s.Insert(i, i)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs := a.NewSession()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := uint64(0); i < 1000; i += 17 {
+					rs.Lookup(i)
+				}
+			}
+		}()
+	}
+	if err := a.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	a.Close()
+
+	b, st, err := OpenAdaptive(durCfg(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if !st.WarmStart {
+		t.Fatal("cold start after checkpoint")
+	}
+}
+
+func TestDurableCorruptCheckpointBlob(t *testing.T) {
+	if _, _, err := treeFromCheckpoint(Config{}, []byte{99}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, _, err := treeFromCheckpoint(Config{}, nil); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("empty blob: %v", err)
+	}
+}
+
+func TestOpenAdaptiveVolatile(t *testing.T) {
+	a, st, err := OpenAdaptive(AdaptiveConfig{Tree: Config{DefaultEncoding: EncSuccinct}})
+	if err != nil || st.WarmStart {
+		t.Fatalf("volatile open: %v %+v", err, st)
+	}
+	defer a.Close()
+	s := a.NewSession()
+	s.Insert(1, 2)
+	if v, ok := s.Lookup(1); !ok || v != 2 {
+		t.Fatal("volatile tree broken")
+	}
+	if a.WALStats() != nil {
+		t.Fatal("volatile tree has wal stats")
+	}
+	if err := a.SyncWAL(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkSessionLookupDurOff / BenchmarkLookupBatchDurOff are the
+// benchgate ratio baselines: a durability-capable build with Durability
+// off must look identical to the pre-durability lookup path (the CI gate
+// pins the in-run ratio vs the NoCache baselines at ≤1%). They reuse the
+// cache bench fixtures so the two sides of the ratio differ only by the
+// session dispatch the durability layer added.
+func BenchmarkSessionLookupDurOff(b *testing.B) { benchmarkLookup(b, 0) }
+
+func BenchmarkLookupBatchDurOff(b *testing.B) { benchmarkLookupBatch(b, 0) }

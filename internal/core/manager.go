@@ -327,6 +327,30 @@ func (m *Manager[ID, Ctx]) budgetK(u UnitCounts) int {
 // Epoch returns the current sampling epoch.
 func (m *Manager[ID, Ctx]) Epoch() uint32 { return m.epoch.Load() }
 
+// RestoreAdaptationState reinstates sampling state recorded in a
+// durability checkpoint — the epoch counter, the converged skip length,
+// and the target sample size — so a recovered index resumes adaptation
+// where it left off instead of re-learning from the initial defaults.
+// Zero arguments leave the corresponding state untouched. Call before
+// the first access; it does not synchronize with running samplers.
+func (m *Manager[ID, Ctx]) RestoreAdaptationState(epoch uint32, skip, sampleSize int) {
+	if epoch > 0 {
+		m.epoch.Store(epoch)
+	}
+	if skip > 0 {
+		if m.cfg.MinSkip > 0 && skip < m.cfg.MinSkip {
+			skip = m.cfg.MinSkip
+		}
+		if m.cfg.MaxSkip > 0 && skip > m.cfg.MaxSkip {
+			skip = m.cfg.MaxSkip
+		}
+		m.globalSkip.Store(int64(skip))
+	}
+	if sampleSize > 0 {
+		m.sampleSize.Store(int64(m.clampSampleSize(sampleSize)))
+	}
+}
+
 // SkipLength returns the current global skip length.
 func (m *Manager[ID, Ctx]) SkipLength() int { return int(m.globalSkip.Load()) }
 

@@ -2,6 +2,7 @@ package fst
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"ahi/internal/dataset"
@@ -121,5 +122,47 @@ func TestSerializeEmpty(t *testing.T) {
 	}
 	if _, ok := g.Lookup([]byte{1}); ok {
 		t.Fatal("empty FST hit after load")
+	}
+}
+
+// TestSerializeBitFlips flips one bit at every byte offset of a valid
+// stream: the CRC trailer covers everything before it, so every flip must
+// be rejected with ErrCorrupt — never loaded silently.
+func TestSerializeBitFlips(t *testing.T) {
+	f := New(AutoDense(), [][]byte{{1, 0}, {2, 0}, {3, 1, 0}, {9, 9, 0}}, []uint64{1, 2, 3, 4})
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := ReadFST(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+	bad := make([]byte, len(good))
+	for off := 0; off < len(good); off++ {
+		copy(bad, good)
+		bad[off] ^= 1 << (off % 8)
+		if _, err := ReadFST(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("flip at offset %d accepted", off)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at offset %d: error not ErrCorrupt: %v", off, err)
+		}
+	}
+}
+
+// TestSerializeTruncations cuts the stream at every length.
+func TestSerializeTruncations(t *testing.T) {
+	f := New(AutoDense(), [][]byte{{1, 0}, {2, 0}}, []uint64{1, 2})
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for n := 0; n < len(good); n++ {
+		if _, err := ReadFST(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(good))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d: error not ErrCorrupt: %v", n, err)
+		}
 	}
 }

@@ -2,11 +2,22 @@ package hybridtrie
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
+	"ahi/internal/art"
 	"ahi/internal/dataset"
 	"ahi/internal/fst"
 )
+
+// buildSmallTrie builds a compact trie for the byte-level corruption
+// sweeps (every offset of the stream gets its own decode attempt).
+func buildSmallTrie(t *testing.T) *Trie {
+	t.Helper()
+	keys := u64keys(dataset.UserIDs(64, 61))
+	vals := seqVals(len(keys))
+	return Build(Config{CArt: 2, FST: fst.AutoDense()}, keys, vals)
+}
 
 func TestTrieSerializeRoundTrip(t *testing.T) {
 	keys := dataset.UserIDs(30000, 61)
@@ -63,5 +74,51 @@ func TestTrieSerializeRejectsCorrupt(t *testing.T) {
 	bad[0] ^= 0x10
 	if _, err := ReadTrie(bytes.NewReader(bad)); err == nil {
 		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestTrieSerializeBitFlips flips one bit at every byte offset: header
+// flips must surface hybridtrie.ErrCorrupt, flips inside the embedded
+// streams the corresponding fst/art sentinel — nothing loads silently.
+func TestTrieSerializeBitFlips(t *testing.T) {
+	tr := buildSmallTrie(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := ReadTrie(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+	bad := make([]byte, len(good))
+	for off := 0; off < len(good); off++ {
+		copy(bad, good)
+		bad[off] ^= 1 << (off % 8)
+		_, err := ReadTrie(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("flip at offset %d accepted", off)
+		}
+		corrupt := errors.Is(err, ErrCorrupt) || errors.Is(err, fst.ErrCorrupt) || errors.Is(err, art.ErrCorrupt)
+		if !corrupt {
+			t.Fatalf("flip at offset %d: untyped error: %v", off, err)
+		}
+		if off < 80 && !errors.Is(err, ErrCorrupt) { // 9 header words + CRC word
+			t.Fatalf("header flip at offset %d not hybridtrie.ErrCorrupt: %v", off, err)
+		}
+	}
+}
+
+// TestTrieSerializeTruncations cuts the stream at every length.
+func TestTrieSerializeTruncations(t *testing.T) {
+	tr := buildSmallTrie(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for n := 0; n < len(good); n++ {
+		if _, err := ReadTrie(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(good))
+		}
 	}
 }

@@ -109,8 +109,12 @@ const (
 	CauseCacheHit
 	// CauseTreeSearch: a plain, uncontended tree descent — the default.
 	CauseTreeSearch
+	// CauseFsyncStall: a durable write spent the bulk of its latency
+	// waiting for its commit group's fsync (appended after CauseTreeSearch
+	// so previously serialized numeric values keep their meaning).
+	CauseFsyncStall
 
-	numCauses = 10
+	numCauses = 11
 )
 
 // String returns the cause's label name.
@@ -136,6 +140,8 @@ func (c Cause) String() string {
 		return "cache-hit"
 	case CauseTreeSearch:
 		return "tree-search"
+	case CauseFsyncStall:
+		return "fsync-stall"
 	default:
 		return fmt.Sprintf("cause%d", uint8(c))
 	}
@@ -177,6 +183,12 @@ const deepDescentDepth = 5
 // classify ranks the event's stall signals and names the dominant one.
 func classify(ev *OpEvent) Cause {
 	switch {
+	case ev.FsyncWaitNs > 0 && ev.FsyncWaitNs*2 >= ev.DurNs:
+		// The commit-group fsync dominated the op (≥ half its latency) —
+		// checked first because a durable write that waited out a disk
+		// flush stalls for orders of magnitude longer than any in-memory
+		// contention the other signals name.
+		return CauseFsyncStall
 	case ev.MigOverlap:
 		return CauseMigrationOverlap
 	case ev.Deferred > 0:
@@ -231,6 +243,9 @@ type OpEvent struct {
 	WriteRetries int32 `json:"write_retries,omitempty"`
 	Deferred     int32 `json:"deferred,omitempty"` // parked migration intents
 	MigOverlap   bool  `json:"mig_overlap,omitempty"`
+	// FsyncWaitNs is the time a durable write spent waiting for its WAL
+	// commit (group fsync) after the in-memory apply finished.
+	FsyncWaitNs int64 `json:"fsync_wait_ns,omitempty"`
 	// MigSeq is an exemplar link: the newest migration-trace seq at op end
 	// when MigOverlap is set (look it up in the dump's trace).
 	MigSeq int64 `json:"mig_seq,omitempty"`

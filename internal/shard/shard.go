@@ -165,43 +165,13 @@ func BulkLoad(cfg Config, keys, vals []uint64) *ShardedBTree {
 }
 
 func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
-	n := cfg.Shards
-	s := &ShardedBTree{
-		cfg:    cfg,
-		bounds: bounds,
-		shards: make([]*shardState, n),
-		sem:    make(chan struct{}, cfg.Workers),
-		total:  cfg.Adaptive.MemoryBudget,
+	if cfg.Adaptive.Dur != nil {
+		panic("shard: durable configs must go through shard.Open")
 	}
-	sharedPool := cfg.Adaptive.AsyncMigrations && cfg.MigrationWorkers > 0
+	n := cfg.Shards
+	s := newSkeleton(cfg, bounds)
 	for i := 0; i < n; i++ {
-		acfg := cfg.Adaptive
-		if s.total > 0 {
-			acfg.MemoryBudget = s.total / int64(n) // even split until hotness data exists
-		}
-		if sharedPool {
-			// The shared pool replaces the per-shard internal workers:
-			// managers only queue, the pool executes (and steals).
-			acfg.ExternalMigrations = true
-			acfg.OnMigrationQueued = func() {
-				if p := s.migrators; p != nil {
-					p.wake()
-				}
-			}
-			if acfg.MigrationQueue <= 0 {
-				// Split the core default queue budget across shards instead
-				// of multiplying it by the shard count.
-				if q := 256 * runtime.GOMAXPROCS(0) / n; q > 128 {
-					acfg.MigrationQueue = q
-				} else {
-					acfg.MigrationQueue = 128
-				}
-			}
-		}
-		if cfg.Obs != nil {
-			acfg.Obs = cfg.Obs
-			acfg.ObsSource = fmt.Sprintf("shard%d", i)
-		}
+		acfg := s.perShardCfg(cfg, i)
 		var a *btree.Adaptive
 		if keys != nil {
 			lo, hi := s.rangeOf(i, len(keys))
@@ -211,7 +181,57 @@ func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
 		}
 		s.shards[i] = &shardState{a: a, session: a.NewSession()}
 	}
-	if sharedPool {
+	s.finishBuild(cfg)
+	return s
+}
+
+func newSkeleton(cfg Config, bounds []uint64) *ShardedBTree {
+	return &ShardedBTree{
+		cfg:    cfg,
+		bounds: bounds,
+		shards: make([]*shardState, cfg.Shards),
+		sem:    make(chan struct{}, cfg.Workers),
+		total:  cfg.Adaptive.MemoryBudget,
+	}
+}
+
+// perShardCfg derives shard i's tree config from the front-end config:
+// even budget split until hotness data exists, shared-pool migration
+// wiring, and per-shard observability sources.
+func (s *ShardedBTree) perShardCfg(cfg Config, i int) btree.AdaptiveConfig {
+	n := cfg.Shards
+	acfg := cfg.Adaptive
+	if s.total > 0 {
+		acfg.MemoryBudget = s.total / int64(n) // even split until hotness data exists
+	}
+	if cfg.Adaptive.AsyncMigrations && cfg.MigrationWorkers > 0 {
+		// The shared pool replaces the per-shard internal workers:
+		// managers only queue, the pool executes (and steals).
+		acfg.ExternalMigrations = true
+		acfg.OnMigrationQueued = func() {
+			if p := s.migrators; p != nil {
+				p.wake()
+			}
+		}
+		if acfg.MigrationQueue <= 0 {
+			// Split the core default queue budget across shards instead
+			// of multiplying it by the shard count.
+			if q := 256 * runtime.GOMAXPROCS(0) / n; q > 128 {
+				acfg.MigrationQueue = q
+			} else {
+				acfg.MigrationQueue = 128
+			}
+		}
+	}
+	if cfg.Obs != nil {
+		acfg.Obs = cfg.Obs
+		acfg.ObsSource = fmt.Sprintf("shard%d", i)
+	}
+	return acfg
+}
+
+func (s *ShardedBTree) finishBuild(cfg Config) {
+	if cfg.Adaptive.AsyncMigrations && cfg.MigrationWorkers > 0 {
 		var reg *obs.Registry
 		if cfg.Obs != nil {
 			reg = cfg.Obs.Reg
@@ -221,7 +241,6 @@ func build(cfg Config, bounds []uint64, keys, vals []uint64) *ShardedBTree {
 	if cfg.Obs != nil && cfg.Obs.Flight != nil {
 		s.frontRec = cfg.Obs.Flight.Scope("front")
 	}
-	return s
 }
 
 // beginFront arms a front-layer probe for one batch call. The probe lives

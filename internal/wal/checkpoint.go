@@ -1,0 +1,191 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint file = [magic u64 | version u64 | barrier u64 | len u64 |
+// blob | crc u32], where the trailing CRC (Castagnoli) covers everything
+// before it. Files are written to a .tmp name, fsynced, renamed into
+// place, and the directory fsynced — a checkpoint either exists whole or
+// not at all. The newest file that validates wins; invalid ones (torn
+// rename targets cannot exist, but a corrupted disk can still bit-flip)
+// are deleted so they are not retried forever.
+
+const (
+	ckptMagic   = uint64(0x414849434b503031) // "AHICKP01"
+	ckptVersion = uint64(1)
+	ckptHdrLen  = 8 + 8 + 8 + 8
+)
+
+// WriteCheckpoint atomically persists blob as the checkpoint covering
+// every record with LSN ≤ barrier, then prunes segments and older
+// checkpoints the new one makes obsolete. The caller guarantees the
+// state in blob reflects at least LSNs 1..barrier (the durable index's
+// checkpoint barrier protocol does).
+func (l *Log) WriteCheckpoint(barrier uint64, blob []byte) error {
+	final := filepath.Join(l.dir, ckptName(barrier))
+	tmp := final + ".tmp"
+	buf := make([]byte, ckptHdrLen, ckptHdrLen+len(blob)+4)
+	binary.LittleEndian.PutUint64(buf, ckptMagic)
+	binary.LittleEndian.PutUint64(buf[8:], ckptVersion)
+	binary.LittleEndian.PutUint64(buf[16:], barrier)
+	binary.LittleEndian.PutUint64(buf[24:], uint64(len(blob)))
+	buf = append(buf, blob...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf, castagnoli))
+	buf = append(buf, crc[:]...)
+
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	crashPoint("ckpt-write")
+	if _, err := writeMaybeTorn(f, buf); err != nil {
+		f.Close()
+		return err
+	}
+	crashPoint("ckpt-sync")
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	crashPoint("ckpt-rename")
+	l.stats.Checkpoints.Add(1)
+	l.stats.CheckpointBytes.Store(int64(len(blob)))
+
+	// The checkpoint is durable; note it in the log (informational) and
+	// drop what it supersedes. A crash anywhere in here only leaves
+	// harmless extra files for the next checkpoint to collect.
+	if _, err := l.AppendCommit(RecCheckpoint, binary.LittleEndian.AppendUint64(nil, barrier)); err != nil {
+		return err
+	}
+	l.prune(barrier)
+	return nil
+}
+
+// prune deletes sealed segments fully covered by barrier and checkpoint
+// files older than the one named by barrier.
+func (l *Log) prune(barrier uint64) {
+	l.mu.Lock()
+	var keep []segMeta
+	var drop []string
+	for i, m := range l.sealed {
+		// A sealed segment is disposable when every LSN it holds is ≤
+		// barrier, i.e. the NEXT segment starts at or below barrier+1.
+		next := l.active.firstLSN
+		if i+1 < len(l.sealed) {
+			next = l.sealed[i+1].firstLSN
+		}
+		if next <= barrier+1 && m.end() <= barrier+1 {
+			drop = append(drop, m.path)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	l.sealed = keep
+	l.mu.Unlock()
+	crashPoint("ckpt-prune")
+	for _, p := range drop {
+		if os.Remove(p) == nil {
+			l.stats.SegmentsPruned.Add(1)
+		}
+	}
+	ents, _ := os.ReadDir(l.dir)
+	for _, e := range ents {
+		b, ok := ckptBarrier(e.Name())
+		if ok && b < barrier {
+			_ = os.Remove(filepath.Join(l.dir, e.Name()))
+		}
+	}
+	_ = syncDir(l.dir)
+}
+
+func ckptBarrier(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	b, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".snap"), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return b, true
+}
+
+// loadCheckpointInfo finds the newest valid checkpoint in dir and fills
+// info.Barrier/Checkpoint. Invalid candidates are counted and removed.
+func loadCheckpointInfo(dir string, info *RecoveryInfo) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var barriers []uint64
+	for _, e := range ents {
+		if b, ok := ckptBarrier(e.Name()); ok {
+			barriers = append(barriers, b)
+		}
+	}
+	sort.Slice(barriers, func(i, j int) bool { return barriers[i] > barriers[j] })
+	for _, b := range barriers {
+		path := filepath.Join(dir, ckptName(b))
+		blob, err := readCheckpointFile(path, b)
+		if err != nil {
+			info.BadCheckpoints++
+			_ = os.Remove(path)
+			continue
+		}
+		info.Barrier = b
+		info.Checkpoint = blob
+		return nil
+	}
+	return nil
+}
+
+// readCheckpointFile validates one checkpoint file and returns its blob.
+func readCheckpointFile(path string, wantBarrier uint64) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < ckptHdrLen+4 {
+		return nil, fmt.Errorf("%w: checkpoint %s truncated (%d bytes)", ErrCorrupt, path, len(b))
+	}
+	if binary.LittleEndian.Uint64(b) != ckptMagic {
+		return nil, fmt.Errorf("%w: checkpoint %s has bad magic", ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint64(b[8:]); v != ckptVersion {
+		return nil, fmt.Errorf("%w: checkpoint %s has unsupported version %d", ErrCorrupt, path, v)
+	}
+	barrier := binary.LittleEndian.Uint64(b[16:])
+	if barrier != wantBarrier {
+		return nil, fmt.Errorf("%w: checkpoint %s barrier %d does not match name", ErrCorrupt, path, barrier)
+	}
+	n := binary.LittleEndian.Uint64(b[24:])
+	if uint64(len(b)) != ckptHdrLen+n+4 {
+		return nil, fmt.Errorf("%w: checkpoint %s length %d does not match header %d", ErrCorrupt, path, len(b), n)
+	}
+	end := ckptHdrLen + int(n)
+	want := binary.LittleEndian.Uint32(b[end:])
+	if got := crc32.Checksum(b[:end], castagnoli); got != want {
+		return nil, fmt.Errorf("%w: checkpoint %s CRC mismatch", ErrCorrupt, path)
+	}
+	blob := make([]byte, n)
+	copy(blob, b[ckptHdrLen:end])
+	return blob, nil
+}
