@@ -126,6 +126,19 @@ type BTreeSession = btree.Session
 // encoding — the Gapped/Packed/Succinct baselines of the paper.
 type PlainBTree = btree.Tree
 
+// ScanReq is one range request of a ScanBatch: up to N pairs with
+// key >= From, ascending.
+type ScanReq = btree.ScanReq
+
+// ScanSink receives decoded result segments from ScanBatch; segments
+// alias reusable scratch and must be consumed before Emit returns.
+type ScanSink = btree.ScanSink
+
+// ScanBuffer is the reusable ScanSink: per-request result buffers that
+// persist across Reset, so a steady-state ScanBatch loop allocates
+// nothing.
+type ScanBuffer = btree.ScanBuffer
+
 // BTreeOptions configures an adaptive B+-tree.
 type BTreeOptions struct {
 	// MemoryBudget bounds the index size in bytes (0 = unbounded);

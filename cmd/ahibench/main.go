@@ -27,7 +27,7 @@ func main() {
 		list   = flag.Bool("list", false, "list experiment ids")
 		root   = flag.String("repo", ".", "repository root (for tbl4 LoC counting)")
 		csv    = flag.Bool("csv", false, "render tables as CSV")
-		record = flag.String("record", "", "write metrics JSON to this file (with -exp serving, scaling, cache, obslat or durability)")
+		record = flag.String("record", "", "write metrics JSON to this file (with -exp serving, scaling, scan, cache, obslat or durability)")
 		trace  = flag.String("trace", "", "run the traced observability workload and write the dump (migration trace + epoch snapshots) to this file")
 		obsSrv = flag.String("obs", "", "serve /metrics, /dump.json and pprof on this address (e.g. localhost:6060) while running")
 	)
@@ -94,6 +94,13 @@ func main() {
 	case *exp == "scaling" && *record != "":
 		fmt.Printf("### scaling — multi-core scaling sweep (scale %s)\n", sc.Name)
 		if err := bench.RecordScaling(sc, *record, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *record)
+	case *exp == "scan" && *record != "":
+		fmt.Printf("### scan — fused range-scan serving sweep (scale %s)\n", sc.Name)
+		if err := bench.RecordScan(sc, *record, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

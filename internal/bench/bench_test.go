@@ -324,7 +324,7 @@ func TestRegistryRunsEverythingTiny(t *testing.T) {
 		t.Skip("full registry run is slow")
 	}
 	reg := Registry("../..", false)
-	if len(reg) != 33 {
+	if len(reg) != 34 {
 		t.Fatalf("registry size %d", len(reg))
 	}
 	// Smoke-run the cheap experiments through the registry interface.
@@ -378,12 +378,12 @@ func TestPagingExtension(t *testing.T) {
 
 func TestYCSBExtension(t *testing.T) {
 	if testing.Short() {
-		t.Skip("slow: 6 workloads x 3 variants")
+		t.Skip("slow: 7 workloads x 3 variants")
 	}
 	sc := microScale
 	sc.OpsPerPhase = 40_000
 	rows, _ := RunYCSB(sc)
-	if len(rows) != 18 {
+	if len(rows) != 21 {
 		t.Fatalf("rows=%d", len(rows))
 	}
 	for _, r := range rows {

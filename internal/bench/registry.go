@@ -122,6 +122,18 @@ func Registry(repoRoot string, csv bool) map[string]Experiment {
 		}
 		return nil
 	}})
+	add(Experiment{ID: "scan", Title: "fused range-scan serving (length x encoding x shards)", Run: func(sc Scale, w io.Writer) error {
+		res, t := RunScan(sc)
+		render(t, w)
+		if !csv {
+			fmt.Fprintf(w, "shards x scanners (len=256): ")
+			for _, r := range res.Shard {
+				fmt.Fprintf(w, "s%d/c%d=%.1f ", r.Shards, r.Scanners, r.Mps)
+			}
+			fmt.Fprintf(w, "Mpairs/s; YCSB-E-long mix %.1f Kops/s\n\n", res.MixKops)
+		}
+		return nil
+	}})
 	add(Experiment{ID: "cache", Title: "read-path cache & negative filters", Run: func(sc Scale, w io.Writer) error {
 		res, t := RunCache(sc)
 		render(t, w)

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ahi/internal/btree"
+	"ahi/internal/core"
+	"ahi/internal/dataset"
+	"ahi/internal/shard"
+	"ahi/internal/workload"
+)
+
+// The scan experiment measures the range-scan serving path end to end:
+//
+//  1. Kernel sweep — scan length x leaf encoding, three implementations
+//     per cell: the element-wise keyAt/valAt reference (the pre-kernel
+//     Scan), the bulk-decode callback Scan, and the fused ScanBatch (8
+//     requests per batch over one walk). The headline metric is the
+//     ScanBatch-vs-element-wise speedup on succinct leaves at length
+//     >= 256, where the word-at-a-time unpack amortizes best.
+//  2. Shard sweep — fused batches crossing shard boundaries, shards x
+//     concurrent scanner goroutines, length fixed at 256.
+//  3. Mix — the YCSB-E-long analogue (95% scans of 256..1024 keys, 5%
+//     inserts, Zipfian starts) served through ScanBatch/InsertBatch on a
+//     sharded adaptive tree with async migrations enabled.
+
+// Scan sweep axes.
+var (
+	scanLens     = []int{16, 64, 256, 1024}
+	scanEncs     = []core.Encoding{btree.EncSuccinct, btree.EncPacked, btree.EncGapped}
+	scanShards   = []int{1, 4}
+	scanScanners = []int{1, 2}
+)
+
+// scanBatchReqs is the fused batch width: 8 concurrent range requests per
+// walk, matching the batch-lookup ring.
+const scanBatchReqs = 8
+
+// ScanKernelRow is one (encoding, length) cell of the kernel sweep.
+type ScanKernelRow struct {
+	Enc     string
+	Len     int
+	ElemMps float64 // element-wise reference, Mpairs/s
+	BulkMps float64 // bulk-decode callback Scan
+	FuseMps float64 // fused ScanBatch
+	Speedup float64 // FuseMps / ElemMps
+}
+
+// ScanShardRow is one (shards, scanners) cell of the shard sweep.
+type ScanShardRow struct {
+	Shards   int
+	Scanners int
+	Mps      float64
+}
+
+// ScanResult is the full experiment output.
+type ScanResult struct {
+	Kernel []ScanKernelRow
+	Shard  []ScanShardRow
+	// MixKops is YCSB-E-long throughput in Kops/s (one op = one scan or
+	// one insert).
+	MixKops float64
+	// RatioLen256 is the succinct len=256 ScanBatch/element-wise speedup —
+	// the acceptance headline.
+	RatioLen256 float64
+}
+
+func encName(e core.Encoding) string {
+	switch e {
+	case btree.EncSuccinct:
+		return "succinct"
+	case btree.EncPacked:
+		return "packed"
+	default:
+		return "gapped"
+	}
+}
+
+// scanPairsQuota returns how many pairs each cell delivers; scaled so the
+// whole sweep stays proportional to the harness scale.
+func scanPairsQuota(sc Scale) int {
+	q := sc.OpsPerPhase * 4
+	if q < 1<<20 {
+		q = 1 << 20
+	}
+	return q
+}
+
+// RunScan runs all three parts and renders the kernel sweep as the table.
+func RunScan(sc Scale) (ScanResult, Table) {
+	keys := dataset.YCSBKeys(sc.ConsecU64, 5)
+	vals := make([]uint64, len(keys))
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	quota := scanPairsQuota(sc)
+
+	var res ScanResult
+	for _, enc := range scanEncs {
+		tr := btree.BulkLoad(btree.Config{DefaultEncoding: enc}, keys, vals)
+		for _, ln := range scanLens {
+			row := scanKernelCell(tr, keys, enc, ln, quota)
+			if enc == btree.EncSuccinct && ln == 256 {
+				res.RatioLen256 = row.Speedup
+			}
+			res.Kernel = append(res.Kernel, row)
+		}
+		runtime.GC()
+	}
+	for _, shards := range scanShards {
+		for _, scanners := range scanScanners {
+			res.Shard = append(res.Shard, scanShardCell(sc, keys, vals, shards, scanners, quota))
+		}
+	}
+	res.MixKops = scanMixCell(sc, keys, vals)
+
+	tbl := Table{
+		Title:  "Range-scan serving: length x encoding, Mpairs/s",
+		Header: []string{"encoding", "len", "elementwise", "bulk Scan", "ScanBatch", "speedup"},
+	}
+	for _, r := range res.Kernel {
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Enc, fmt.Sprint(r.Len), f1(r.ElemMps), f1(r.BulkMps), f1(r.FuseMps), f2(r.Speedup) + "x",
+		})
+	}
+	return res, tbl
+}
+
+// scanKernelCell times the three implementations over identical request
+// streams: starts stride through the sorted key space so every rep touches
+// different leaves (no single-leaf cache residency), each rep delivering
+// scanBatchReqs*ln pairs.
+func scanKernelCell(tr *btree.Tree, keys []uint64, enc core.Encoding, ln, quota int) ScanKernelRow {
+	reps := quota / (scanBatchReqs * ln)
+	if reps < 8 {
+		reps = 8
+	}
+	// Pre-generate starts: batch b, slot i begins at a stride offset so
+	// the batch's requests are spread over the whole tree.
+	starts := make([][]btree.ScanReq, reps)
+	stride := len(keys) / (scanBatchReqs + 1)
+	for b := range starts {
+		reqs := make([]btree.ScanReq, scanBatchReqs)
+		for i := range reqs {
+			at := (i*stride + b*617) % (len(keys) - ln)
+			reqs[i] = btree.ScanReq{From: keys[at], N: ln}
+		}
+		starts[b] = reqs
+	}
+	pairs := float64(reps * scanBatchReqs * ln)
+
+	// Interleave three rounds of all three implementations and keep the
+	// fastest round each: back-to-back single measurements on a shared
+	// host confound implementation cost with frequency and cache-state
+	// drift; best-of-N per implementation is robust to one slow round.
+	var sink uint64
+	var buf btree.ScanBuffer
+	elem, bulk, fuse := 0.0, 0.0, 0.0
+	best := func(cur float64, t0 time.Time) float64 {
+		if mps := pairs / time.Since(t0).Seconds() / 1e6; mps > cur {
+			return mps
+		}
+		return cur
+	}
+	for round := 0; round < 3; round++ {
+		t0 := time.Now()
+		for _, reqs := range starts {
+			for _, r := range reqs {
+				tr.ScanElementwise(r.From, r.N, func(k, v uint64) bool {
+					sink += v
+					return true
+				})
+			}
+		}
+		elem = best(elem, t0)
+
+		t0 = time.Now()
+		for _, reqs := range starts {
+			for _, r := range reqs {
+				tr.Scan(r.From, r.N, func(k, v uint64) bool {
+					sink += v
+					return true
+				})
+			}
+		}
+		bulk = best(bulk, t0)
+
+		t0 = time.Now()
+		for _, reqs := range starts {
+			buf.Reset(len(reqs))
+			tr.ScanBatch(reqs, &buf)
+		}
+		fuse = best(fuse, t0)
+	}
+	_ = sink
+
+	return ScanKernelRow{
+		Enc: encName(enc), Len: ln,
+		ElemMps: elem, BulkMps: bulk, FuseMps: fuse, Speedup: fuse / elem,
+	}
+}
+
+// scanShardCell times concurrent scanner goroutines issuing fused batches
+// (length 256) against one sharded tree.
+func scanShardCell(sc Scale, keys, vals []uint64, shards, scanners, quota int) ScanShardRow {
+	const ln = 256
+	s := shard.BulkLoad(shard.Config{
+		Shards: shards,
+		Adaptive: btree.AdaptiveConfig{
+			Tree: btree.Config{DefaultEncoding: btree.EncSuccinct},
+		},
+	}, keys, vals)
+	defer s.Close()
+
+	batchesPer := quota / (scanBatchReqs * ln * scanners)
+	if batchesPer < 8 {
+		batchesPer = 8
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < scanners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reqs := make([]btree.ScanReq, scanBatchReqs)
+			var buf btree.ScanBuffer
+			stride := len(keys) / (scanBatchReqs + 1)
+			<-start
+			for b := 0; b < batchesPer; b++ {
+				for i := range reqs {
+					at := (i*stride + b*617 + w*131) % (len(keys) - ln)
+					reqs[i] = btree.ScanReq{From: keys[at], N: ln}
+				}
+				buf.Reset(len(reqs))
+				s.ScanBatch(reqs, &buf)
+			}
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	pairs := float64(scanners * batchesPer * scanBatchReqs * ln)
+	return ScanShardRow{
+		Shards: shards, Scanners: scanners,
+		Mps: pairs / time.Since(t0).Seconds() / 1e6,
+	}
+}
+
+// scanMixCell serves the YCSB-E-long mix: scans accumulate into fused
+// batches of scanBatchReqs, inserts flush through InsertBatch, against a
+// sharded adaptive tree with sampling and async migrations on.
+func scanMixCell(sc Scale, keys, vals []uint64) float64 {
+	initial, minS, maxS, maxSample := sc.sampling()
+	s := shard.BulkLoad(shard.Config{
+		Shards: 4,
+		Adaptive: btree.AdaptiveConfig{
+			Tree:            btree.Config{DefaultEncoding: btree.EncSuccinct, ExpandOnInsert: true},
+			MemoryBudget:    adaptiveBudget(keys, vals, 4),
+			InitialSkip:     initial,
+			MinSkip:         minS,
+			MaxSkip:         maxS,
+			MaxSampleSize:   maxSample,
+			Mode:            core.GS,
+			AsyncMigrations: true,
+		},
+	}, keys, vals)
+	defer s.Close()
+
+	ops := sc.OpsPerPhase / 8
+	if ops < 20_000 {
+		ops = 20_000
+	}
+	g := workload.NewGenerator(workload.YCSBELong, len(keys), 11)
+	type scanOp struct {
+		from uint64
+		n    int
+	}
+	// Pre-draw the op tape so generator cost stays outside the timed loop.
+	scanTape := make([]scanOp, 0, ops)
+	insTape := make([]uint64, 0, ops/8)
+	for i := 0; i < ops; i++ {
+		op := g.Next()
+		if op.Kind == workload.OpScan {
+			scanTape = append(scanTape, scanOp{from: keys[op.Index], n: op.ScanLen})
+		} else {
+			insTape = append(insTape, keys[len(keys)-1]+uint64(len(insTape))+1)
+		}
+	}
+
+	reqs := make([]btree.ScanReq, 0, scanBatchReqs)
+	var buf btree.ScanBuffer
+	ik := make([]uint64, 0, 64)
+	var iv [64]uint64
+	ib := make([]bool, 64)
+	t0 := time.Now()
+	si, ii := 0, 0
+	for si < len(scanTape) || ii < len(insTape) {
+		reqs = reqs[:0]
+		for si < len(scanTape) && len(reqs) < scanBatchReqs {
+			reqs = append(reqs, btree.ScanReq{From: scanTape[si].from, N: scanTape[si].n})
+			si++
+		}
+		if len(reqs) > 0 {
+			buf.Reset(len(reqs))
+			s.ScanBatch(reqs, &buf)
+		}
+		ik = ik[:0]
+		for ii < len(insTape) && len(ik) < 64 {
+			ik = append(ik, insTape[ii])
+			ii++
+		}
+		if len(ik) > 0 {
+			s.InsertBatch(ik, iv[:len(ik)], ib[:len(ik)])
+		}
+	}
+	elapsed := time.Since(t0)
+	s.DrainMigrations()
+	return float64(len(scanTape)+len(insTape)) / elapsed.Seconds() / 1e3
+}
+
+// RecordScan runs the experiment, renders the tables to w, and writes the
+// metrics JSON (BENCH_scan.json) to path.
+func RecordScan(sc Scale, path string, w io.Writer) error {
+	res, tbl := RunScan(sc)
+	tbl.Render(w)
+	fmt.Fprintf(w, "shards x scanners (len=256): ")
+	for _, r := range res.Shard {
+		fmt.Fprintf(w, "s%d/c%d=%.1f ", r.Shards, r.Scanners, r.Mps)
+	}
+	fmt.Fprintf(w, "Mpairs/s\nYCSB-E-long mix: %.1f Kops/s\n", res.MixKops)
+
+	hostProcs := runtime.GOMAXPROCS(0)
+	notes := fmt.Sprintf(
+		"speedup = fused ScanBatch vs the element-wise keyAt/valAt reference scan "+
+			"(the pre-kernel Scan path) on identical request streams; acceptance floor "+
+			"is >=3x on succinct at len>=256; recorded ratio %.2fx", res.RatioLen256)
+	if hostProcs == 1 {
+		notes += "; RECORDED ON A 1-CORE HOST: scanner>1 cells time-slice one CPU, so " +
+			"the shard sweep shows fan-out overhead, not parallel speedup"
+	}
+	doc := struct {
+		Recorded string             `json:"recorded"`
+		Command  string             `json:"command"`
+		Scale    string             `json:"scale"`
+		CPU      string             `json:"cpu"`
+		Procs    int                `json:"procs"`
+		Notes    string             `json:"notes"`
+		Metrics  map[string]float64 `json:"metrics"`
+	}{
+		Recorded: time.Now().Format("2006-01-02"),
+		Command:  fmt.Sprintf("go run ./cmd/ahibench -exp scan -scale %s -record %s", sc.Name, path),
+		Scale: fmt.Sprintf("%s (%d YCSB u64 keys, %d pairs per kernel cell, batch %d)",
+			sc.Name, sc.ConsecU64, scanPairsQuota(sc), scanBatchReqs),
+		CPU:     cpuModel(),
+		Procs:   hostProcs,
+		Notes:   notes,
+		Metrics: map[string]float64{},
+	}
+	for _, r := range res.Kernel {
+		key := fmt.Sprintf("scan/%s_len%d", r.Enc, r.Len)
+		doc.Metrics[key+"_elem_mps"] = round2(r.ElemMps)
+		doc.Metrics[key+"_bulk_mps"] = round2(r.BulkMps)
+		doc.Metrics[key+"_batch_mps"] = round2(r.FuseMps)
+		doc.Metrics[key+"_speedup"] = round2(r.Speedup)
+	}
+	for _, r := range res.Shard {
+		doc.Metrics[fmt.Sprintf("scan/shards%d_scanners%d_mps", r.Shards, r.Scanners)] = round2(r.Mps)
+	}
+	doc.Metrics["scan/ycsbe_long_kops"] = round2(res.MixKops)
+	doc.Metrics["scan/ratio_succinct_len256"] = round2(res.RatioLen256)
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

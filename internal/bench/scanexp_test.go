@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestScanShape runs the length x encoding x shards sweep at micro scale
+// and checks the grid is complete with non-empty cells. Matched by the CI
+// smoke job (go test -run Scan).
+func TestScanShape(t *testing.T) {
+	sc := microScale
+	sc.OpsPerPhase = 8_000
+	res, tbl := RunScan(sc)
+
+	wantKernel := len(scanEncs) * len(scanLens)
+	if len(res.Kernel) != wantKernel || len(tbl.Rows) != wantKernel {
+		t.Fatalf("kernel rows=%d want %d", len(res.Kernel), wantKernel)
+	}
+	for _, r := range res.Kernel {
+		if r.ElemMps <= 0 || r.BulkMps <= 0 || r.FuseMps <= 0 || r.Speedup <= 0 {
+			t.Fatalf("empty kernel cell: %+v", r)
+		}
+	}
+	if wantShard := len(scanShards) * len(scanScanners); len(res.Shard) != wantShard {
+		t.Fatalf("shard rows=%d want %d", len(res.Shard), wantShard)
+	}
+	for _, r := range res.Shard {
+		if r.Mps <= 0 {
+			t.Fatalf("empty shard cell: %+v", r)
+		}
+	}
+	if res.MixKops <= 0 {
+		t.Fatalf("YCSB-E-long mix throughput %v", res.MixKops)
+	}
+	if res.RatioLen256 <= 0 {
+		t.Fatalf("succinct len256 ratio %v", res.RatioLen256)
+	}
+	// The >=3x acceptance floor is asserted only on the recorded run (see
+	// BENCH_scan.json notes): the micro-scale smoke tree is too small for
+	// stable ratios under CI noise.
+}
+
+// TestRecordScanSchema writes a real BENCH_scan.json to a temp path and
+// validates the schema CI depends on: header fields, one metric per
+// kernel cell and implementation, the shard cells, the mix entry, and the
+// headline ratio key.
+func TestRecordScanSchema(t *testing.T) {
+	sc := microScale
+	sc.OpsPerPhase = 8_000
+	path := filepath.Join(t.TempDir(), "BENCH_scan.json")
+	if err := RecordScan(sc, path, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Recorded string             `json:"recorded"`
+		Command  string             `json:"command"`
+		Scale    string             `json:"scale"`
+		CPU      string             `json:"cpu"`
+		Procs    int                `json:"procs"`
+		Notes    string             `json:"notes"`
+		Metrics  map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_scan.json is not valid JSON: %v", err)
+	}
+	if doc.Recorded == "" || doc.Command == "" || doc.CPU == "" || doc.Procs <= 0 || doc.Notes == "" {
+		t.Fatalf("missing header fields: %+v", doc)
+	}
+	for _, enc := range scanEncs {
+		for _, ln := range scanLens {
+			for _, suffix := range []string{"_elem_mps", "_bulk_mps", "_batch_mps", "_speedup"} {
+				key := fmt.Sprintf("scan/%s_len%d%s", encName(enc), ln, suffix)
+				v, ok := doc.Metrics[key]
+				if !ok || v <= 0 {
+					t.Fatalf("metric %s missing or non-positive (%v)", key, v)
+				}
+			}
+		}
+	}
+	for _, shards := range scanShards {
+		for _, scanners := range scanScanners {
+			key := fmt.Sprintf("scan/shards%d_scanners%d_mps", shards, scanners)
+			if v, ok := doc.Metrics[key]; !ok || v <= 0 {
+				t.Fatalf("metric %s missing or non-positive (%v)", key, v)
+			}
+		}
+	}
+	for _, key := range []string{"scan/ycsbe_long_kops", "scan/ratio_succinct_len256"} {
+		if v, ok := doc.Metrics[key]; !ok || v <= 0 {
+			t.Fatalf("metric %s missing or non-positive (%v)", key, v)
+		}
+	}
+}

@@ -118,10 +118,22 @@ func (f *FORArray) SearchSkipFrom(key uint64, from int) int {
 	return b + int(c)
 }
 
+// DecodeRange decodes elements [lo, hi) into dst (len(dst) >= hi-lo) and
+// returns the count: one word-at-a-time pass over the packed deltas with
+// the frame folded into every store (PackedArray.DecodeRangeAdd), so
+// rebasing costs no second pass over dst.
+func (f *FORArray) DecodeRange(lo, hi int, dst []uint64) int {
+	return f.deltas.DecodeRangeAdd(lo, hi, dst, f.min)
+}
+
+// Touch prefetches the packed delta words (see PackedArray.Touch).
+func (f *FORArray) Touch() uint64 { return f.deltas.Touch() }
+
 // AppendTo appends all decoded elements to dst and returns the slice.
 func (f *FORArray) AppendTo(dst []uint64) []uint64 {
-	for i, n := 0, f.deltas.Len(); i < n; i++ {
-		dst = append(dst, f.Get(i))
-	}
+	base := len(dst)
+	n := f.deltas.Len()
+	dst = growU64(dst, n)
+	f.DecodeRange(0, n, dst[base:])
 	return dst
 }

@@ -148,3 +148,101 @@ func TestFORArrayQuickUnsorted(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPackedDecodeRangeAgainstGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Every width: the decode kernel picks between a wide absolute-position
+	// path (w > 32) and a rolling-buffer path with 4/2/1-wide drains, so
+	// boundary widths all deserve a pass.
+	for width := uint8(0); width <= 64; width++ {
+		for _, n := range []int{0, 1, 2, 15, 16, 17, 63, 64, 65, 256, 257} {
+			vals := make([]uint64, n)
+			for i := range vals {
+				if width == 64 {
+					vals[i] = rng.Uint64()
+				} else if width > 0 {
+					vals[i] = rng.Uint64() & (1<<width - 1)
+				}
+			}
+			p := NewPackedArray(vals, width)
+			dst := make([]uint64, n)
+			// Full range plus a spread of partial windows covering word
+			// boundaries and empty slices.
+			ranges := [][2]int{{0, n}, {0, 0}, {n, n}}
+			for trial := 0; trial < 20 && n > 0; trial++ {
+				lo := rng.Intn(n + 1)
+				hi := lo + rng.Intn(n+1-lo)
+				ranges = append(ranges, [2]int{lo, hi})
+			}
+			for _, r := range ranges {
+				lo, hi := r[0], r[1]
+				got := p.DecodeRange(lo, hi, dst)
+				if got != hi-lo {
+					t.Fatalf("w=%d n=%d [%d,%d): count %d", width, n, lo, hi, got)
+				}
+				for i := lo; i < hi; i++ {
+					if dst[i-lo] != p.Get(i) {
+						t.Fatalf("w=%d n=%d [%d,%d): elem %d = %d, Get = %d",
+							width, n, lo, hi, i, dst[i-lo], p.Get(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPackedDecodeRangePanicsOutOfBounds(t *testing.T) {
+	p := NewPackedArray([]uint64{1, 2, 3}, 2)
+	for _, r := range [][2]int{{-1, 2}, {0, 4}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("DecodeRange(%d,%d) did not panic", r[0], r[1])
+				}
+			}()
+			p.DecodeRange(r[0], r[1], make([]uint64, 8))
+		}()
+	}
+}
+
+func TestFORDecodeRangeAgainstGet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, base := range []uint64{0, 1, 1 << 40, ^uint64(0) - 1<<20} {
+		vals := make([]uint64, 300)
+		for i := range vals {
+			vals[i] = base + uint64(rng.Intn(1<<20))
+		}
+		f := NewFORArray(vals)
+		dst := make([]uint64, len(vals))
+		for trial := 0; trial < 50; trial++ {
+			lo := rng.Intn(len(vals) + 1)
+			hi := lo + rng.Intn(len(vals)+1-lo)
+			f.DecodeRange(lo, hi, dst)
+			for i := lo; i < hi; i++ {
+				if dst[i-lo] != f.Get(i) {
+					t.Fatalf("base=%d [%d,%d): elem %d = %d, Get = %d", base, lo, hi, i, dst[i-lo], f.Get(i))
+				}
+			}
+		}
+	}
+}
+
+func TestAppendToUsesBulkDecode(t *testing.T) {
+	// AppendTo must round-trip through DecodeRange, preserving both the
+	// existing prefix and capacity reuse.
+	vals := []uint64{9, 4, 7, 1, 100, 3}
+	f := NewFORArray(vals)
+	dst := append(make([]uint64, 0, 32), 42)
+	out := f.AppendTo(dst)
+	if out[0] != 42 || len(out) != 7 {
+		t.Fatalf("prefix lost: %v", out)
+	}
+	for i, v := range vals {
+		if out[i+1] != v {
+			t.Fatalf("elem %d = %d, want %d", i, out[i+1], v)
+		}
+	}
+	if &out[0] != &dst[0] {
+		t.Fatalf("AppendTo reallocated despite sufficient capacity")
+	}
+}

@@ -365,6 +365,7 @@ type Session struct {
 	trackReadFn func(int, *Leaf)
 	trackMissFn func(int, *Leaf)
 	trackInsFn  func(int, *Leaf, bool)
+	trackScanFn func(*Leaf)
 
 	// Flight-recorder state (flight.go). rec is nil unless tracing was
 	// enabled when the session was created; the probe is reused across
@@ -385,6 +386,7 @@ func (a *Adaptive) NewSession() *Session {
 	s.trackReadFn = s.trackRead
 	s.trackMissFn = s.trackMiss
 	s.trackInsFn = s.trackInsert
+	s.trackScanFn = s.trackScan
 	s.rec = a.flight
 	return s
 }
@@ -484,6 +486,34 @@ func (s *Session) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
 	return s.a.Tree.scanLeaves(from, n, fn, func(l *Leaf) {
 		s.sampler.Track(l, core.Scan, LeafCtx{})
 	})
+}
+
+// ScanBatch serves len(reqs) range requests through one fused B-link walk
+// (see Tree.ScanBatch) and returns the total pairs delivered. Sampling
+// draws one SampleOffsets pass over the batch, so the skip counter
+// advances exactly as len(reqs) per-request scans would; when any request
+// of the batch is sampled, every leaf the fused walk visits is tracked
+// with the Scan access type — fusion loses the leaf→request attribution,
+// so a sampled batch over-tracks only within its own walk.
+func (s *Session) ScanBatch(reqs []ScanReq, sink ScanSink) int {
+	if s.rec != nil {
+		return s.scanBatchTraced(reqs, sink)
+	}
+	n, _ := s.scanBatchFast(reqs, sink)
+	return n
+}
+
+func (s *Session) scanBatchFast(reqs []ScanReq, sink ScanSink) (int, int) {
+	s.sampleBuf = s.sampler.SampleOffsets(len(reqs), s.sampleBuf[:0])
+	if len(s.sampleBuf) == 0 {
+		return s.a.Tree.scanBatchTracked(reqs, sink, nil)
+	}
+	return s.a.Tree.scanBatchTracked(reqs, sink, s.trackScanFn)
+}
+
+// trackScan is the sampled-scan leaf callback (bound once).
+func (s *Session) trackScan(l *Leaf) {
+	s.sampler.Track(l, core.Scan, LeafCtx{})
 }
 
 // Flush hands buffered thread-local samples to the manager (TLS mode).

@@ -361,34 +361,63 @@ func (t *Tree) Scan(from uint64, n int, fn func(k, v uint64) bool) int {
 	return t.scanLeaves(from, n, fn, nil)
 }
 
-// scanLeaves is Scan plus a per-leaf callback for access tracking. The
-// whole scan runs under one reader pin: scans are bounded by n, so the
-// slot is held for a bounded walk, and per-leaf re-pinning would cost a
-// CAS per hop.
+// scanLeaves is Scan plus a per-leaf callback for access tracking. Each
+// leaf image is bulk-decoded into pooled scratch (payload.decodeRange)
+// before the callback loop, so compact encodings pay their shift/mask tax
+// once per word instead of once per pair. The walk re-pins its reader
+// slot every scanRepinLeaves hops: a huge n no longer holds one epoch
+// stamp across the whole walk, so long scans cannot stall leaf
+// reclamation beyond a bounded window. Only the GC-stable *Leaf pointer
+// crosses a re-pin boundary — the next image is re-loaded under the fresh
+// stamp, never carried over.
 func (t *Tree) scanLeaves(from uint64, n int, fn func(k, v uint64) bool, onLeaf func(*Leaf)) int {
+	if n <= 0 {
+		return 0
+	}
 	slot := t.epochs.pin()
-	defer t.epochs.unpin(slot)
 	leaf, _ := t.descend(from, nil)
 	leaf, b := moveRightLeaf(leaf, from)
+	sc := scanPool.Get().(*scanScratch)
 	visited := 0
+	hops := 0
 	i, _ := b.p.search(from)
-	for visited < n {
+	for {
 		if onLeaf != nil {
 			onLeaf(leaf)
 		}
-		for ; i < b.p.count() && visited < n; i++ {
-			if !fn(b.p.keyAt(i), b.p.valAt(i)) {
-				return visited + 1
+		cnt := b.p.count()
+		hi := cnt
+		if rem := n - visited; hi-i > rem {
+			hi = i + rem
+		}
+		if hi > i {
+			sc.size(hi - i)
+			m := b.p.decodeRange(i, hi, sc.ks, sc.vs)
+			for j := 0; j < m; j++ {
+				if !fn(sc.ks[j], sc.vs[j]) {
+					scanPool.Put(sc)
+					t.epochs.unpin(slot)
+					return visited + j + 1
+				}
 			}
-			visited++
+			visited += m
 		}
 		if visited >= n || b.next == nil {
 			break
 		}
-		leaf = b.next
-		b = leaf.box.Load()
+		nl := b.next
+		hops++
+		if hops >= scanRepinLeaves {
+			t.epochs.unpin(slot)
+			slot = t.epochs.pin()
+			hops = 0
+		}
+		leaf = nl
+		b = nl.box.Load()
 		i = 0
 	}
+	scanPool.Put(sc)
+	t.epochs.unpin(slot)
 	return visited
 }
 

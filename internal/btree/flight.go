@@ -160,8 +160,27 @@ func (s *Session) scanTraced(from uint64, n int, fn func(k, v uint64) bool) int 
 		})
 	}
 	ev.Ops = int32(visited)
+	ev.BulkDecode = true
 	s.finishOp()
 	return visited
+}
+
+// scanBatchTraced records one coarse event per fused scan batch: pairs
+// delivered (Ops), request count (Fanout), leaves visited, and the
+// cross-op signals finishOp stamps.
+func (s *Session) scanBatchTraced(reqs []ScanReq, sink ScanSink) int {
+	var k0 uint64
+	if len(reqs) > 0 {
+		k0 = reqs[0].From
+	}
+	ev := s.beginOp(obs.OpScanBatch, k0)
+	n, leaves := s.scanBatchFast(reqs, sink)
+	ev.Ops = int32(n)
+	ev.Fanout = int32(len(reqs))
+	ev.Leaves = int32(leaves)
+	ev.BulkDecode = true
+	s.finishOp()
+	return n
 }
 
 // Batch ops record one coarse event per call (kind, size, duration, and

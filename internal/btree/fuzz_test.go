@@ -54,3 +54,61 @@ func FuzzTreeAgainstModel(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeRangePayloads checks the satellite-3 property: for every leaf
+// encoding, decodeRange(lo, hi) returns exactly the pairs element-wise
+// keyAt/valAt would, for arbitrary sorted content and arbitrary [lo, hi)
+// windows — including empty windows and full-LeafCap payloads.
+func FuzzDecodeRangePayloads(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), uint8(255))
+	f.Add([]byte{0, 0, 255, 255}, uint8(3), uint8(3))
+	f.Add([]byte{200, 100, 50, 25, 12, 6}, uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, a, b uint8) {
+		// Build a sorted, deduplicated key set (≤ LeafCap entries) from the
+		// raw bytes; widths vary with the byte values so packed/succinct
+		// exercise different bit widths.
+		var keys, vals []uint64
+		var prev uint64
+		for i := 0; i+1 < len(raw) && len(keys) < LeafCap; i += 2 {
+			step := uint64(binary.LittleEndian.Uint16(raw[i:i+2]))%1024 + 1
+			prev += step
+			keys = append(keys, prev)
+			vals = append(vals, prev*3+1)
+		}
+		if len(keys) == 0 {
+			return
+		}
+		n := len(keys)
+		lo := int(a) % (n + 1)
+		hi := int(b) % (n + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ks := make([]uint64, n)
+		vs := make([]uint64, n)
+		for _, p := range []payload{
+			payload(newGapped(keys, vals)),
+			payload(newPacked(keys, vals)),
+			payload(newSuccinct(keys, vals)),
+		} {
+			got := p.decodeRange(lo, hi, ks, vs)
+			if got != hi-lo {
+				t.Fatalf("%T decodeRange(%d,%d) returned %d, want %d", p, lo, hi, got, hi-lo)
+			}
+			for j := 0; j < got; j++ {
+				if ks[j] != p.keyAt(lo+j) || vs[j] != p.valAt(lo+j) {
+					t.Fatalf("%T element %d: decodeRange (%d,%d) vs keyAt/valAt (%d,%d)",
+						p, lo+j, ks[j], vs[j], p.keyAt(lo+j), p.valAt(lo+j))
+				}
+			}
+			// Full-range decode must reproduce the input exactly.
+			p.decodeRange(0, n, ks, vs)
+			for j := range keys {
+				if ks[j] != keys[j] || vs[j] != vals[j] {
+					t.Fatalf("%T full decode element %d: got (%d,%d) want (%d,%d)",
+						p, j, ks[j], vs[j], keys[j], vals[j])
+				}
+			}
+		}
+	})
+}

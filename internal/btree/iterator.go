@@ -46,12 +46,24 @@ func (it *Iterator) Seek(k uint64) bool {
 // SeekFirst positions at the smallest key.
 func (it *Iterator) SeekFirst() bool { return it.Seek(0) }
 
-// enter decodes the leaf image into the cursor's buffer. Must run under
-// a reader pin when reclamation is enabled.
+// enter decodes the leaf image into the cursor's buffer via the bulk
+// decodeRange kernel — one word-at-a-time unpack per leaf instead of an
+// element-wise copy. Must run under a reader pin when reclamation is
+// enabled.
 func (it *Iterator) enter(leaf *Leaf, box *leafBox) {
 	it.leaf = leaf
 	it.next = box.next
-	it.keys, it.vals = box.p.appendAll(it.keys[:0], it.vals[:0])
+	n := box.p.count()
+	if cap(it.keys) < n {
+		c := n
+		if c < LeafCap {
+			c = LeafCap
+		}
+		it.keys = make([]uint64, 0, c)
+		it.vals = make([]uint64, 0, c)
+	}
+	it.keys, it.vals = it.keys[:n], it.vals[:n]
+	box.p.decodeRange(0, n, it.keys, it.vals)
 	if it.onLeaf != nil {
 		it.onLeaf(leaf)
 	}

@@ -58,6 +58,27 @@ type payload interface {
 	bytes() int
 	// appendAll decodes all pairs into the destination slices.
 	appendAll(keys, vals []uint64) ([]uint64, []uint64)
+	// decodeRange decodes elements [lo, hi) into ks/vs (each at least
+	// hi-lo long) and returns the count — the bulk kernel behind scans
+	// and iterators. For bit-packed encodings this is a word-at-a-time
+	// unpack instead of a per-element Get, which is where sequential
+	// access amortizes the compact layout's shift/mask tax.
+	decodeRange(lo, hi int, ks, vs []uint64) int
+	// touch reads one word per cache line of the payload and returns the
+	// sum — a software prefetch. The fused scan walk touches the next
+	// leaf's payload while the current leaf decodes, so the upcoming
+	// misses overlap with unpack work instead of stalling the walk.
+	touch() uint64
+}
+
+// touchWords reads one word per cache line of ws and returns the sum —
+// the plain-slice half of the payload touch prefetch.
+func touchWords(ws []uint64) uint64 {
+	var s uint64
+	for i := 0; i < len(ws); i += 8 {
+		s += ws[i]
+	}
+	return s
 }
 
 // mutablePayload additionally supports in-place mutation. Gapped supports
@@ -141,6 +162,14 @@ func (g *gapped) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
 	return append(keys, g.keys...), append(vals, g.vals...)
 }
 
+func (g *gapped) touch() uint64 { return touchWords(g.keys) + touchWords(g.vals) }
+
+func (g *gapped) decodeRange(lo, hi int, ks, vs []uint64) int {
+	copy(ks[:hi-lo], g.keys[lo:hi])
+	copy(vs[:hi-lo], g.vals[lo:hi])
+	return hi - lo
+}
+
 func (g *gapped) insert(k, v uint64) payload {
 	pos, found := g.search(k)
 	if found {
@@ -199,6 +228,14 @@ func (p *packed) searchFrom(k uint64, from int) (int, bool) {
 
 func (p *packed) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
 	return append(keys, p.keys...), append(vals, p.vals...)
+}
+
+func (p *packed) touch() uint64 { return touchWords(p.keys) + touchWords(p.vals) }
+
+func (p *packed) decodeRange(lo, hi int, ks, vs []uint64) int {
+	copy(ks[:hi-lo], p.keys[lo:hi])
+	copy(vs[:hi-lo], p.vals[lo:hi])
+	return hi - lo
 }
 
 func (p *packed) insert(k, v uint64) payload {
@@ -326,6 +363,13 @@ func (s *succinct) searchFrom(k uint64, from int) (int, bool) {
 
 func (s *succinct) appendAll(keys, vals []uint64) ([]uint64, []uint64) {
 	return s.keys.AppendTo(keys), s.vals.AppendTo(vals)
+}
+
+func (s *succinct) touch() uint64 { return s.keys.Touch() + s.vals.Touch() }
+
+func (s *succinct) decodeRange(lo, hi int, ks, vs []uint64) int {
+	s.keys.DecodeRange(lo, hi, ks)
+	return s.vals.DecodeRange(lo, hi, vs)
 }
 
 func (s *succinct) insert(k, v uint64) payload {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package btree
+
+const raceEnabled = false

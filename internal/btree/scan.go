@@ -1,0 +1,428 @@
+package btree
+
+import "sync"
+
+// Batched range-scan serving. A range scan is the access pattern the
+// compact leaf encodings are supposed to reward: once positioned, the
+// payload is consumed sequentially, so the per-element shift/mask tax of
+// the bit-packed layouts can be amortized by decoding whole leaf windows
+// at once (payload.decodeRange → bitutil DecodeRange, a word-at-a-time
+// unpack). ScanBatch builds on that kernel and fuses multiple concurrent
+// range requests over one B-link walk:
+//
+//   - Request start keys are sorted with the batch.go radix machinery, so
+//     the walk visits each leaf at most once and every request attaches to
+//     it ("activates") exactly where its range begins.
+//   - Each visited leaf is bulk-decoded once into pooled scratch covering
+//     the union of the active requests' windows; per-request segments are
+//     sliced out of the shared decode, so N overlapping requests cost one
+//     unpack, not N.
+//   - While the current leaf decodes, the next leaves' box images are
+//     loaded through a small lookahead ring (the same AMAC-style idea as
+//     the batch-lookup ring): the loads of upcoming payload headers are
+//     issued early and overlap in the memory system with the decode work.
+//   - Results are delivered through a reusable buffer API (ScanSink /
+//     ScanBuffer) — no per-pair callback on the fast path, and a
+//     steady-state batch performs zero allocations.
+//
+// Epoch discipline: the walk runs under a reader pin, re-pinned every
+// scanRepinLeaves hops (see scanLeaves) so an arbitrarily long fused walk
+// cannot stall leaf reclamation; every leaf image loaded under a pin is
+// dropped before that pin is released — only GC-stable *Leaf pointers
+// cross a re-pin boundary. Results reflect the per-leaf snapshot at the
+// moment the leaf's image is loaded, exactly like Scan and Iterator.
+
+// ScanReq is one range request of a batch: up to N pairs with key >= From
+// in ascending key order.
+type ScanReq struct {
+	From uint64
+	N    int
+}
+
+// ScanSink receives decoded result segments. Emit may be called several
+// times per request — segments arrive in ascending key order within a
+// request, while segments of different requests interleave arbitrarily.
+// The slices alias reusable scratch: they are valid only for the duration
+// of the Emit call and must be consumed (or copied) before returning.
+type ScanSink interface {
+	Emit(req int, keys, vals []uint64)
+}
+
+// ScanBuffer is the reusable concrete sink: it copies emitted segments
+// into per-request buffers that persist across Reset, so a steady-state
+// caller re-using one buffer allocates nothing.
+type ScanBuffer struct {
+	ks, vs [][]uint64
+}
+
+// Reset prepares the buffer for a batch of n requests, truncating (but
+// keeping) the per-request result buffers.
+func (b *ScanBuffer) Reset(n int) {
+	if cap(b.ks) < n {
+		ks := make([][]uint64, n)
+		vs := make([][]uint64, n)
+		copy(ks, b.ks)
+		copy(vs, b.vs)
+		b.ks, b.vs = ks, vs
+	}
+	b.ks, b.vs = b.ks[:n], b.vs[:n]
+	for i := range b.ks {
+		b.ks[i] = b.ks[i][:0]
+		b.vs[i] = b.vs[i][:0]
+	}
+}
+
+// Emit implements ScanSink.
+func (b *ScanBuffer) Emit(req int, keys, vals []uint64) {
+	b.ks[req] = append(b.ks[req], keys...)
+	b.vs[req] = append(b.vs[req], vals...)
+}
+
+// scanDirectSink is an optional ScanSink extension: when a leaf serves a
+// single request, the walk asks the sink for a destination window and
+// decodes into it directly, skipping the intermediate scratch buffer and
+// its copy. Only sinks that retain emitted data can offer this; callback
+// adapters stay on the Emit path.
+type scanDirectSink interface {
+	dst(req, n int) (ks, vs []uint64)
+}
+
+// dst implements scanDirectSink: it extends request req's buffers by n
+// and returns the fresh tails for the decoder to fill.
+func (b *ScanBuffer) dst(req, n int) ([]uint64, []uint64) {
+	kb, base := growBy(b.ks[req], n)
+	vb, _ := growBy(b.vs[req], n)
+	b.ks[req], b.vs[req] = kb, vb
+	return kb[base:], vb[base:]
+}
+
+// growBy extends s by n elements (reusing capacity when possible) and
+// returns the new slice plus the old length.
+func growBy(s []uint64, n int) ([]uint64, int) {
+	base := len(s)
+	if cap(s)-base >= n {
+		return s[:base+n], base
+	}
+	ns := make([]uint64, base+n, (base+n)*2)
+	copy(ns, s)
+	return ns, base
+}
+
+// Len returns the number of pairs collected for request req.
+func (b *ScanBuffer) Len(req int) int { return len(b.ks[req]) }
+
+// Keys returns request req's collected keys (valid until the next Reset).
+func (b *ScanBuffer) Keys(req int) []uint64 { return b.ks[req] }
+
+// Vals returns request req's collected values.
+func (b *ScanBuffer) Vals(req int) []uint64 { return b.vs[req] }
+
+// scanRepinLeaves bounds how many leaf hops one reader pin may cover
+// before the scan re-pins with a fresh epoch stamp. Within the window the
+// scan pays nothing extra; at the boundary it pays one unpin/pin (two
+// atomic stores plus a CAS) and re-loads the next leaf's image — the
+// price of never letting a long scan hold the global reclamation epoch
+// back for more than a bounded number of leaves.
+const scanRepinLeaves = 8
+
+// scanActive is one request currently attached to the walk.
+type scanActive struct {
+	req int32 // request index (caller's numbering)
+	off int32 // start offset within the current leaf
+	rem int32 // pairs still wanted
+}
+
+// scanScratch is the pooled per-walk state: bulk-decode buffers sized to
+// the leaf capacity, the request start keys handed to the radix sort, and
+// the active set.
+type scanScratch struct {
+	ks, vs []uint64
+	froms  []uint64
+	active []scanActive
+	// starts caches each request's pre-descended start leaf (by sorted
+	// position). Leaf structs are GC-stable, so the pointers stay valid
+	// across re-pins; the box image is re-loaded at use.
+	starts []*Leaf
+	// sink absorbs payload touch sums so the prefetch loads cannot be
+	// dead-code-eliminated.
+	sink uint64
+}
+
+var scanPool = sync.Pool{New: func() any {
+	return &scanScratch{
+		ks:     make([]uint64, LeafCap),
+		vs:     make([]uint64, LeafCap),
+		froms:  make([]uint64, 0, 128),
+		active: make([]scanActive, 0, 16),
+		starts: make([]*Leaf, 0, 128),
+	}
+}}
+
+// size grows the decode buffers for an oversized (defensive-path) leaf.
+func (sc *scanScratch) size(n int) {
+	if len(sc.ks) < n {
+		sc.ks = make([]uint64, n)
+		sc.vs = make([]uint64, n)
+	}
+}
+
+// ScanBatch serves len(reqs) range requests through one fused B-link walk
+// and returns the total number of pairs delivered. Results stream into
+// sink; use a ScanBuffer to collect them without allocation. Requests may
+// overlap arbitrarily — overlapping windows share leaf decodes.
+func (t *Tree) ScanBatch(reqs []ScanReq, sink ScanSink) int {
+	n, _ := t.scanBatchTracked(reqs, sink, nil)
+	return n
+}
+
+// scanBatchTracked is ScanBatch plus a per-visited-leaf callback for
+// access tracking; it returns (pairs delivered, leaves visited).
+func (t *Tree) scanBatchTracked(reqs []ScanReq, sink ScanSink, onLeaf func(*Leaf)) (int, int) {
+	if len(reqs) == 0 {
+		return 0, 0
+	}
+	sc := scanPool.Get().(*scanScratch)
+	bs := batchPool.Get().(*batchScratch)
+	froms := sc.froms[:0]
+	for _, r := range reqs {
+		froms = append(froms, r.From)
+	}
+	sc.froms = froms
+	order := bs.sortOrder(froms)
+	direct, _ := sink.(scanDirectSink)
+
+	// Lookahead ring: box images of upcoming leaves, loaded ahead of the
+	// current leaf's decode so their cache misses overlap with the unpack
+	// work. Entries never outlive the pin they were loaded under.
+	var ring [batchRing]*leafBox
+	ringN := 0
+
+	active := sc.active[:0]
+	delivered, visited := 0, 0
+	pi := 0
+	hops := 0
+	slot := t.epochs.pin()
+	var leaf *Leaf
+	var box *leafBox
+
+	// Pre-descend every request's start leaf and touch its payload: the
+	// descents run back to back, so each request's start-leaf misses are
+	// issued while the next descent computes, instead of serializing one
+	// cold leaf per request inside the walk. Only the GC-stable *Leaf
+	// crosses into the walk; the box image is re-loaded at use.
+	starts := sc.starts[:0]
+	for _, r := range order {
+		if reqs[r].N <= 0 {
+			starts = append(starts, nil)
+			continue
+		}
+		l, _ := t.descend(reqs[r].From, nil)
+		nl, nb := moveRightLeaf(l, reqs[r].From)
+		starts = append(starts, nl)
+		sc.sink += nb.p.touch()
+	}
+	sc.starts = starts
+
+	for pi < len(order) || len(active) > 0 {
+		if box == nil {
+			// Position at the next pending request's first leaf.
+			for pi < len(order) && reqs[order[pi]].N <= 0 {
+				pi++
+			}
+			if pi == len(order) {
+				break
+			}
+			leaf, box = moveRightLeaf(starts[pi], reqs[order[pi]].From)
+			ringN = 0
+		}
+		// Activate every pending request this leaf covers. Sorted starts
+		// guarantee each pending From is >= the leaf's lower bound: the
+		// walk only moves right past leaves whose range the request's From
+		// already cleared.
+		for pi < len(order) {
+			r := order[pi]
+			if reqs[r].N <= 0 {
+				pi++
+				continue
+			}
+			if !box.covers(reqs[r].From) {
+				break
+			}
+			pos, _ := box.p.search(reqs[r].From)
+			active = append(active, scanActive{req: int32(r), off: int32(pos), rem: int32(reqs[r].N)})
+			pi++
+		}
+		visited++
+		if onLeaf != nil {
+			onLeaf(leaf)
+		}
+		cnt := box.p.count()
+		if len(active) > 0 {
+			// Top up the lookahead ring before decoding, staying inside the
+			// current pin window (prefetched images die at a re-pin) and
+			// within remaining demand: a short request must not chase box
+			// images of leaves the walk will never reach.
+			limit := scanRepinLeaves - hops
+			if limit > batchRing {
+				limit = batchRing
+			}
+			need := 0
+			for _, a := range active {
+				if end := int(a.off) + int(a.rem); end > need {
+					need = end
+				}
+			}
+			// Leaves past the current one the walk will still visit,
+			// estimated at half occupancy so a sparse run of leaves cannot
+			// starve the prefetch.
+			if ahead := (need - cnt + LeafCap/2 - 1) / (LeafCap / 2); limit > ahead {
+				limit = ahead
+			}
+			tail := box
+			if ringN > 0 {
+				tail = ring[ringN-1]
+			}
+			for ringN < limit && tail.next != nil {
+				tail = tail.next.box.Load()
+				ring[ringN] = tail
+				ringN++
+			}
+
+			if len(active) == 1 && direct != nil {
+				// Single-request leaf (the common case for spread starts):
+				// decode straight into the sink's retained buffer, skipping
+				// the scratch round-trip and Emit's copy.
+				a := &active[0]
+				end := int(a.off) + int(a.rem)
+				if end > cnt {
+					end = cnt
+				}
+				if m := end - int(a.off); m > 0 {
+					dk, dv := direct.dst(int(a.req), m)
+					box.p.decodeRange(int(a.off), end, dk, dv)
+					delivered += m
+					a.rem -= int32(m)
+				}
+				if a.rem <= 0 || box.next == nil {
+					active = active[:0]
+				} else {
+					a.off = 0
+				}
+			} else {
+				// One bulk decode covers the union of the active windows.
+				lo, hi := cnt, 0
+				for _, a := range active {
+					if int(a.off) < lo {
+						lo = int(a.off)
+					}
+					if end := int(a.off) + int(a.rem); end > hi {
+						hi = end
+					}
+				}
+				if hi > cnt {
+					hi = cnt
+				}
+				if hi > lo {
+					sc.size(hi - lo)
+					box.p.decodeRange(lo, hi, sc.ks, sc.vs)
+				}
+				live := active[:0]
+				for _, a := range active {
+					end := int(a.off) + int(a.rem)
+					if end > hi {
+						end = hi
+					}
+					if m := end - int(a.off); m > 0 {
+						sink.Emit(int(a.req), sc.ks[int(a.off)-lo:end-lo], sc.vs[int(a.off)-lo:end-lo])
+						delivered += m
+						a.rem -= int32(m)
+					}
+					if a.rem > 0 && box.next != nil {
+						a.off = 0
+						live = append(live, a)
+					}
+				}
+				active = live
+			}
+		}
+		// Advance: continue right while requests remain attached; otherwise
+		// chain a bounded number of hops toward the next pending request's
+		// leaf, falling back to a fresh descent when it is far away.
+		if len(active) > 0 {
+			nl := box.next
+			hops++
+			if hops >= scanRepinLeaves {
+				// Re-pin: every image loaded under the old stamp — the
+				// current box and the ring — is dropped before unpinning.
+				// Leaf structs are GC-stable, so nl survives the boundary
+				// and its image re-loads under the fresh stamp.
+				box = nil
+				ringN = 0
+				t.epochs.unpin(slot)
+				slot = t.epochs.pin()
+				hops = 0
+			}
+			leaf = nl
+			if ringN > 0 {
+				box = ring[0]
+				copy(ring[:ringN-1], ring[1:ringN])
+				ringN--
+			} else {
+				box = nl.box.Load()
+			}
+		} else if pi < len(order) {
+			if nl, nb, ok := chainRight(box, reqs[order[pi]].From); ok {
+				hops++
+				if hops >= scanRepinLeaves {
+					t.epochs.unpin(slot)
+					slot = t.epochs.pin()
+					hops = 0
+					nb = nl.box.Load()
+				}
+				leaf, box = nl, nb
+				ringN = 0
+			} else {
+				box = nil // fresh descent next iteration
+			}
+		} else {
+			break
+		}
+	}
+	sc.active = active[:0]
+	clear(sc.starts) // don't retain leaves beyond the call
+	sc.starts = sc.starts[:0]
+	scanPool.Put(sc)
+	batchPool.Put(bs)
+	t.epochs.unpin(slot)
+	return delivered, visited
+}
+
+// ScanElementwise is the pre-kernel reference scan: one keyAt/valAt
+// interface call per pair, exactly the per-element access path ScanBatch
+// replaces. Retained as the benchmark baseline (BENCH_scan.json records
+// the ratio against it) and as the oracle for decode-kernel tests.
+func (t *Tree) ScanElementwise(from uint64, n int, fn func(k, v uint64) bool) int {
+	if n <= 0 {
+		return 0
+	}
+	slot := t.epochs.pin()
+	defer t.epochs.unpin(slot)
+	leaf, _ := t.descend(from, nil)
+	_, b := moveRightLeaf(leaf, from)
+	visited := 0
+	i, _ := b.p.search(from)
+	for visited < n {
+		for ; i < b.p.count() && visited < n; i++ {
+			if !fn(b.p.keyAt(i), b.p.valAt(i)) {
+				return visited + 1
+			}
+			visited++
+		}
+		if visited >= n || b.next == nil {
+			break
+		}
+		b = b.next.box.Load()
+		i = 0
+	}
+	return visited
+}

@@ -1,0 +1,431 @@
+package btree
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"ahi/internal/core"
+)
+
+// scanTree bulk-loads n pairs (keys i*3, vals i*3+1) with the given
+// default encoding.
+func scanTree(tb testing.TB, enc core.Encoding, n int) (*Tree, []uint64, []uint64) {
+	tb.Helper()
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+		vals[i] = uint64(i)*3 + 1
+	}
+	return BulkLoad(Config{DefaultEncoding: enc}, keys, vals), keys, vals
+}
+
+// collectElementwise gathers up to n pairs from the element-wise
+// reference scan — the oracle every bulk path must match.
+func collectElementwise(tr *Tree, from uint64, n int) ([]uint64, []uint64) {
+	var ks, vs []uint64
+	tr.ScanElementwise(from, n, func(k, v uint64) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return true
+	})
+	return ks, vs
+}
+
+func TestScanBatchMatchesElementwiseOracle(t *testing.T) {
+	for _, enc := range []core.Encoding{EncSuccinct, EncPacked, EncGapped} {
+		tr, keys, _ := scanTree(t, enc, 40_000)
+		rng := rand.New(rand.NewSource(int64(enc) + 1))
+		var buf ScanBuffer
+		for round := 0; round < 30; round++ {
+			nreq := 1 + rng.Intn(12)
+			reqs := make([]ScanReq, nreq)
+			for i := range reqs {
+				// Starts anywhere (incl. between keys and past the max key),
+				// lengths from tiny to multi-leaf; a few overlapping pairs.
+				reqs[i] = ScanReq{
+					From: uint64(rng.Intn(len(keys)*3 + 1000)),
+					N:    rng.Intn(1500),
+				}
+				if i > 0 && rng.Intn(3) == 0 {
+					reqs[i].From = reqs[i-1].From + uint64(rng.Intn(64)) // overlap
+				}
+			}
+			buf.Reset(nreq)
+			got := tr.ScanBatch(reqs, &buf)
+			total := 0
+			for i, r := range reqs {
+				wk, wv := collectElementwise(tr, r.From, r.N)
+				total += len(wk)
+				if len(buf.Keys(i)) != len(wk) {
+					t.Fatalf("enc=%v round=%d req=%d (%+v): got %d pairs, want %d",
+						enc, round, i, r, len(buf.Keys(i)), len(wk))
+				}
+				for j := range wk {
+					if buf.Keys(i)[j] != wk[j] || buf.Vals(i)[j] != wv[j] {
+						t.Fatalf("enc=%v req=%d pair %d: got (%d,%d) want (%d,%d)",
+							enc, i, j, buf.Keys(i)[j], buf.Vals(i)[j], wk[j], wv[j])
+					}
+				}
+			}
+			if got != total {
+				t.Fatalf("enc=%v round=%d: ScanBatch returned %d, delivered %d", enc, round, got, total)
+			}
+		}
+	}
+}
+
+func TestScanBatchEdgeCases(t *testing.T) {
+	tr, keys, _ := scanTree(t, EncSuccinct, 5_000)
+	var buf ScanBuffer
+
+	// Empty batch, zero/negative N, start past the last key.
+	if n := tr.ScanBatch(nil, &buf); n != 0 {
+		t.Fatalf("empty batch delivered %d", n)
+	}
+	buf.Reset(3)
+	n := tr.ScanBatch([]ScanReq{
+		{From: 0, N: 0},
+		{From: 10, N: -5},
+		{From: keys[len(keys)-1] + 1, N: 100},
+	}, &buf)
+	if n != 0 || buf.Len(0) != 0 || buf.Len(1) != 0 || buf.Len(2) != 0 {
+		t.Fatalf("degenerate requests delivered %d pairs", n)
+	}
+
+	// A request larger than the key count drains the whole tree.
+	buf.Reset(1)
+	tr.ScanBatch([]ScanReq{{From: 0, N: len(keys) * 2}}, &buf)
+	if buf.Len(0) != len(keys) {
+		t.Fatalf("huge request delivered %d pairs, want %d", buf.Len(0), len(keys))
+	}
+
+	// Identical Froms must each get their own full result.
+	buf.Reset(2)
+	tr.ScanBatch([]ScanReq{{From: 300, N: 40}, {From: 300, N: 40}}, &buf)
+	for i := 0; i < 2; i++ {
+		if buf.Len(i) != 40 {
+			t.Fatalf("duplicate req %d delivered %d pairs", i, buf.Len(i))
+		}
+	}
+}
+
+func TestScanMatchesElementwise(t *testing.T) {
+	// The compatibility wrapper (callback Scan) now rides the bulk decode
+	// kernel; it must stay pair-for-pair identical to the element-wise
+	// path, including the early-stop count.
+	for _, enc := range []core.Encoding{EncSuccinct, EncPacked, EncGapped} {
+		tr, keys, _ := scanTree(t, enc, 10_000)
+		rng := rand.New(rand.NewSource(99))
+		for round := 0; round < 20; round++ {
+			from := uint64(rng.Intn(len(keys) * 3))
+			n := 1 + rng.Intn(2000)
+			gk, gv := make([]uint64, 0, n), make([]uint64, 0, n)
+			got := tr.Scan(from, n, func(k, v uint64) bool {
+				gk = append(gk, k)
+				gv = append(gv, v)
+				return true
+			})
+			wk, wv := collectElementwise(tr, from, n)
+			if got != len(wk) || len(gk) != len(wk) {
+				t.Fatalf("enc=%v: Scan visited %d, want %d", enc, got, len(wk))
+			}
+			for j := range wk {
+				if gk[j] != wk[j] || gv[j] != wv[j] {
+					t.Fatalf("enc=%v pair %d: got (%d,%d) want (%d,%d)", enc, j, gk[j], gv[j], wk[j], wv[j])
+				}
+			}
+			// Early stop after m pairs reports m (the stopping pair counts).
+			m := 1 + rng.Intn(n)
+			seen := 0
+			got = tr.Scan(from, n, func(k, v uint64) bool {
+				seen++
+				return seen < m
+			})
+			want := m
+			if len(wk) < m {
+				want = len(wk)
+			}
+			if got != want {
+				t.Fatalf("enc=%v early stop: visited %d, want %d", enc, got, want)
+			}
+		}
+	}
+}
+
+// TestScanRepinDoesNotBlockReclaim is the satellite-1 regression test: a
+// long scan must re-pin its reader slot every scanRepinLeaves hops, so
+// leaf images retired while it runs become reclaimable before it ends.
+// The churn runs inside the scan callback (same goroutine), making the
+// interleaving deterministic: retire a batch of images early in the walk,
+// keep scanning far enough to cross several re-pin boundaries, then
+// demand reclamation while the scan is still in flight.
+func TestScanRepinDoesNotBlockReclaim(t *testing.T) {
+	tr, keys, _ := epochTree(t, 60_000)
+	var leaves []*Leaf
+	tr.WalkLeaves(func(l *Leaf) bool {
+		leaves = append(leaves, l)
+		return true
+	})
+	if len(leaves) < 3*scanRepinLeaves {
+		t.Fatalf("need > %d leaves, got %d", 3*scanRepinLeaves, len(leaves))
+	}
+	// Churn/check trigger points, far enough apart that the walk crosses
+	// several re-pin boundaries in between even at full leaf occupancy.
+	churnAt := 10
+	checkAt := churnAt + 3*scanRepinLeaves*LeafCap
+	var retired int64
+	reclaimedBefore := int64(-1)
+	scanned := 0
+	visited := tr.Scan(0, len(keys), func(k, v uint64) bool {
+		scanned++
+		switch scanned {
+		case churnAt:
+			// Retire a pile of images: migrate early (already-visited)
+			// leaves back and forth. The auto-reclaim these retirements
+			// trigger cannot free anything yet — this scan's current pin
+			// predates every retirement.
+			before := tr.epochs.retiredTotal.Load()
+			for _, l := range leaves[:2*scanRepinLeaves] {
+				if tr.MigrateLeaf(l, EncGapped) {
+					tr.MigrateLeaf(l, EncSuccinct)
+				}
+			}
+			retired = tr.epochs.retiredTotal.Load() - before
+			reclaimedBefore = tr.epochs.reclaimedTotal.Load()
+		case checkAt:
+			tr.epochs.reclaim()
+		}
+		return true
+	})
+	if visited != len(keys) {
+		t.Fatalf("churned scan visited %d pairs, want %d", visited, len(keys))
+	}
+	if retired < int64(2*scanRepinLeaves) {
+		t.Fatalf("churn retired only %d images", retired)
+	}
+	freed := tr.epochs.reclaimedTotal.Load() - reclaimedBefore
+	if freed < retired {
+		t.Fatalf("mid-scan reclaim freed %d of %d retired images; the scan's pin still blocks the grace window", freed, retired)
+	}
+}
+
+// TestScanBatchVsIteratorUnderMigrationChurn is the satellite-2 oracle:
+// with a migrator goroutine re-encoding random leaves (content-preserving
+// by construction), a full iterator walk and a fused ScanBatch over the
+// same ranges must both observe the exact static key set, in order. Run
+// under -race this also exercises bulk decode against concurrent box
+// swaps and epoch reclamation.
+func TestScanBatchVsIteratorUnderMigrationChurn(t *testing.T) {
+	tr, keys, _ := epochTree(t, 30_000)
+	var leaves []*Leaf
+	tr.WalkLeaves(func(l *Leaf) bool {
+		leaves = append(leaves, l)
+		return true
+	})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(42))
+		encs := []core.Encoding{EncGapped, EncPacked, EncSuccinct}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l := leaves[rng.Intn(len(leaves))]
+			tr.MigrateLeaf(l, encs[rng.Intn(len(encs))])
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(7))
+	var buf ScanBuffer
+	for round := 0; round < 40; round++ {
+		nreq := 4
+		reqs := make([]ScanReq, nreq)
+		for i := range reqs {
+			reqs[i] = ScanReq{From: uint64(rng.Intn(len(keys) * 7)), N: 500 + rng.Intn(1000)}
+		}
+		buf.Reset(nreq)
+		tr.ScanBatch(reqs, &buf)
+		it := tr.NewIterator()
+		for i, r := range reqs {
+			got := 0
+			for ok := it.Seek(r.From); ok && got < r.N; ok = it.Next() {
+				if it.Key() != buf.Keys(i)[got] || it.Value() != buf.Vals(i)[got] {
+					t.Errorf("round %d req %d pair %d: iterator (%d,%d) vs ScanBatch (%d,%d)",
+						round, i, got, it.Key(), it.Value(), buf.Keys(i)[got], buf.Vals(i)[got])
+				}
+				got++
+				if t.Failed() {
+					break
+				}
+			}
+			if got != buf.Len(i) {
+				t.Errorf("round %d req %d: iterator saw %d pairs, ScanBatch %d", round, i, got, buf.Len(i))
+			}
+			if t.Failed() {
+				break
+			}
+		}
+		if t.Failed() {
+			break
+		}
+	}
+	close(stop)
+	<-done
+}
+
+func TestScanBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	tr, _, _ := scanTree(t, EncSuccinct, 40_000)
+	reqs := []ScanReq{
+		{From: 3_000, N: 256}, {From: 30_000, N: 256},
+		{From: 60_000, N: 256}, {From: 90_000, N: 256},
+		{From: 91_000, N: 256}, {From: 100_000, N: 256},
+		{From: 110_000, N: 256}, {From: 111_000, N: 256},
+	}
+	var buf ScanBuffer
+	// Warm the pools and grow the buffer to steady state.
+	for i := 0; i < 4; i++ {
+		buf.Reset(len(reqs))
+		tr.ScanBatch(reqs, &buf)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		buf.Reset(len(reqs))
+		tr.ScanBatch(reqs, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ScanBatch allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSessionScanBatchTracksSampledLeaves(t *testing.T) {
+	keys := make([]uint64, 20_000)
+	vals := make([]uint64, 20_000)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+		vals[i] = uint64(i)
+	}
+	a := BulkLoadAdaptive(AdaptiveConfig{
+		Tree:        Config{DefaultEncoding: EncSuccinct},
+		InitialSkip: 1, MinSkip: 1, MaxSkip: 1,
+		FixedSkip:    true,
+		DisableBloom: true, // count first sightings directly in the store
+	}, keys, vals)
+	defer a.Close()
+	s := a.NewSession()
+	var buf ScanBuffer
+	buf.Reset(2)
+	n := s.ScanBatch([]ScanReq{{From: 0, N: 600}, {From: 30_000, N: 600}}, &buf)
+	if n != 1200 {
+		t.Fatalf("delivered %d pairs, want 1200", n)
+	}
+	s.Flush()
+	if got := a.Mgr.TrackedUnits(); got == 0 {
+		t.Fatal("skip=1 sampled ScanBatch tracked no leaves")
+	}
+}
+
+func TestScanBatchReturnValuesAndLeafCount(t *testing.T) {
+	tr, _, _ := scanTree(t, EncPacked, 10_000)
+	var buf ScanBuffer
+	buf.Reset(1)
+	var tracked int32
+	n, leaves := tr.scanBatchTracked([]ScanReq{{From: 0, N: 1000}}, &buf, func(*Leaf) {
+		atomic.AddInt32(&tracked, 1)
+	})
+	if n != 1000 {
+		t.Fatalf("delivered %d, want 1000", n)
+	}
+	if leaves == 0 || int(tracked) != leaves {
+		t.Fatalf("leaf count %d, callback saw %d", leaves, tracked)
+	}
+}
+
+// --- Benchmarks feeding the CI gates -----------------------------------
+
+// benchScanTree: 256k succinct-encoded pairs, the recorded configuration
+// of the BENCH_scan.json ratio.
+func benchScanTree(b *testing.B) (*Tree, int) {
+	n := 1 << 18
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+		vals[i] = uint64(i)
+	}
+	return BulkLoad(Config{DefaultEncoding: EncSuccinct}, keys, vals), n
+}
+
+const benchScanLen = 256
+
+func benchReqs(n int, rng *rand.Rand) []ScanReq {
+	reqs := make([]ScanReq, 8)
+	for i := range reqs {
+		reqs[i] = ScanReq{From: uint64(rng.Intn(n)) * 3, N: benchScanLen}
+	}
+	return reqs
+}
+
+// BenchmarkScanBatchSuccinct is the fused bulk path: 8 requests × 256
+// pairs per op. Paired with BenchmarkScanElementwiseSuccinct in the same
+// run, benchgate -ratio enforces the bulk-vs-element-wise speedup floor;
+// -zero-allocs asserts the steady-state loop stays allocation-free.
+func BenchmarkScanBatchSuccinct(b *testing.B) {
+	tr, n := benchScanTree(b)
+	rng := rand.New(rand.NewSource(1))
+	reqs := benchReqs(n, rng)
+	var buf ScanBuffer
+	buf.Reset(len(reqs))
+	tr.ScanBatch(reqs, &buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset(len(reqs))
+		tr.ScanBatch(reqs, &buf)
+	}
+}
+
+// BenchmarkScanElementwiseSuccinct is the pre-kernel baseline: the same 8
+// ranges served by per-element keyAt/valAt scans.
+func BenchmarkScanElementwiseSuccinct(b *testing.B) {
+	tr, n := benchScanTree(b)
+	rng := rand.New(rand.NewSource(1))
+	reqs := benchReqs(n, rng)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reqs {
+			tr.ScanElementwise(r.From, r.N, func(k, v uint64) bool {
+				sink += v
+				return true
+			})
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkScanBulkSuccinct is the compatibility wrapper (callback Scan
+// on the bulk kernel) over the same ranges — the middle bar of the sweep.
+func BenchmarkScanBulkSuccinct(b *testing.B) {
+	tr, n := benchScanTree(b)
+	rng := rand.New(rand.NewSource(1))
+	reqs := benchReqs(n, rng)
+	var sink uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reqs {
+			tr.Scan(r.From, r.N, func(k, v uint64) bool {
+				sink += v
+				return true
+			})
+		}
+	}
+	_ = sink
+}

@@ -32,8 +32,9 @@ const (
 	OpScan
 	OpLookupBatch
 	OpInsertBatch
+	OpScanBatch
 
-	numOpKinds = 6
+	numOpKinds = 7
 )
 
 // String returns the kind's label name.
@@ -51,6 +52,8 @@ func (k OpKind) String() string {
 		return "lookup_batch"
 	case OpInsertBatch:
 		return "insert_batch"
+	case OpScanBatch:
+		return "scan_batch"
 	default:
 		return fmt.Sprintf("op%d", uint8(k))
 	}
@@ -224,8 +227,14 @@ type OpEvent struct {
 	Key     uint64 `json:"key"`
 	// Ops is the batch size for batch kinds / entries visited for scans.
 	Ops int32 `json:"ops,omitempty"`
-	// Fanout is the number of shards a front-end batch touched.
+	// Fanout is the number of shards a front-end batch touched, or the
+	// request count of a fused scan batch.
 	Fanout int32 `json:"fanout,omitempty"`
+	// Leaves is the number of leaf images a scan walk visited; BulkDecode
+	// records whether they were served by the bulk decodeRange kernels
+	// (false only for the element-wise compatibility path).
+	Leaves     int32 `json:"leaves,omitempty"`
+	BulkDecode bool  `json:"bulk_decode,omitempty"`
 
 	Sampled bool `json:"sampled,omitempty"`
 	// Slow is set when DurNs crossed the always-record threshold (the

@@ -34,9 +34,18 @@ var (
 	// YCSBF: read-modify-write (50/50) — "user database".
 	YCSBF = Spec{Name: "YCSB-F", ZipfAlpha: 0.99,
 		Mix: []Mix{{0.50, OpRead, DistZipfian}, {0.50, OpInsert, DistZipfian}}}
+	// YCSBELong: the scan-serving stress variant of E. Standard YCSB-E
+	// caps scans at 100 keys, which rarely leaves a single leaf; the long
+	// variant draws lengths uniform in [256, 1024] — multi-leaf ranges
+	// where the bulk decode kernels and fused batch walk dominate — while
+	// keeping E's 95/5 scan/insert mix and Zipfian starts. This is the
+	// range analogue the scan experiment records.
+	YCSBELong = Spec{Name: "YCSB-E-long", ZipfAlpha: 0.99, ScanMin: 256, ScanMax: 1024,
+		Mix: []Mix{{0.95, OpScan, DistZipfian}, {0.05, OpInsert, DistZipfian}}}
 )
 
 // YCSBSpecs lists the six core workloads by letter.
 var YCSBSpecs = map[string]Spec{
 	"A": YCSBA, "B": YCSBB, "C": YCSBC, "D": YCSBD, "E": YCSBE, "F": YCSBF,
+	"E-long": YCSBELong,
 }

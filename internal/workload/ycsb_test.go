@@ -20,8 +20,9 @@ func TestYCSBSpecsGenerate(t *testing.T) {
 				reads++
 			case OpScan:
 				scans++
-				if op.ScanLen < 1 || op.ScanLen > 100 {
-					t.Fatalf("YCSB-%s: scan length %d", letter, op.ScanLen)
+				if op.ScanLen < spec.ScanMin || op.ScanLen > spec.ScanMax {
+					t.Fatalf("YCSB-%s: scan length %d outside [%d,%d]",
+						letter, op.ScanLen, spec.ScanMin, spec.ScanMax)
 				}
 			case OpInsert:
 				writes++
@@ -42,7 +43,7 @@ func TestYCSBSpecsGenerate(t *testing.T) {
 			check("write", writes, 0.05)
 		case "C":
 			check("read", reads, 1.0)
-		case "E":
+		case "E", "E-long":
 			check("scan", scans, 0.95)
 			check("write", writes, 0.05)
 		}
